@@ -1,0 +1,117 @@
+// Command flclient joins a federated training session coordinated by
+// flserver. It regenerates the shared dataset from the seed, takes the
+// partition matching its client id, and participates honestly — or, with
+// -byzantine, misbehaves using one of the local attack strategies
+// (the network setting restricts the adversary to non-omniscient attacks:
+// sign flipping, scaled reverse, random noise, or label flipping).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+
+	"github.com/signguard/signguard/internal/data"
+	"github.com/signguard/signguard/internal/fl"
+	"github.com/signguard/signguard/internal/nn"
+	"github.com/signguard/signguard/internal/tensor"
+	"github.com/signguard/signguard/internal/transport"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:9000", "server address")
+		id      = flag.Int("id", 0, "client id in [0, clients)")
+		clients = flag.Int("clients", 4, "total number of clients (must match server)")
+		batch   = flag.Int("batch", 16, "local mini-batch size")
+		seed    = flag.Int64("seed", 1, "shared dataset/model seed (must match server)")
+		byzStr  = flag.String("byzantine", "", "misbehave: signflip|reverse|random|labelflip (empty = honest)")
+	)
+	flag.Parse()
+
+	if err := run(*addr, *id, *clients, *batch, *seed, *byzStr); err != nil {
+		log.Fatalf("flclient: %v", err)
+	}
+}
+
+func run(addr string, id, clients, batch int, seed int64, byzStr string) error {
+	if id < 0 || id >= clients {
+		return fmt.Errorf("id %d out of [0, %d)", id, clients)
+	}
+	ds, err := data.MNISTLike(seed, 4000, 1000)
+	if err != nil {
+		return err
+	}
+	parts, err := data.PartitionIID(tensor.NewRNG(seed+2), len(ds.Train), clients)
+	if err != nil {
+		return err
+	}
+	local, err := data.Subset(ds.Train, parts[id])
+	if err != nil {
+		return err
+	}
+	if byzStr == "labelflip" {
+		local, err = data.FlipLabels(local, ds.Classes)
+		if err != nil {
+			return err
+		}
+	}
+	sampler, err := data.NewSampler(tensor.NewRNG(seed+100+int64(id)), local)
+	if err != nil {
+		return err
+	}
+	model, err := nn.NewImageCNN(tensor.NewRNG(seed), 1, 8, 8, 6, 32, 10)
+	if err != nil {
+		return err
+	}
+	noiseRng := tensor.NewRNG(seed + 500 + int64(id))
+
+	compute := func(round int, params []float64) ([]float64, error) {
+		if err := model.SetParamVector(params); err != nil {
+			return nil, err
+		}
+		in, labels, err := fl.BatchInput(ds, sampler.Batch(batch))
+		if err != nil {
+			return nil, err
+		}
+		model.ZeroGrad()
+		if _, _, err := model.LossAndGrad(in, labels); err != nil {
+			return nil, err
+		}
+		g := model.GradVector()
+		switch byzStr {
+		case "", "labelflip":
+			// labelflip already poisoned the data; gradient is "honest".
+		case "signflip":
+			tensor.ScaleInPlace(g, -1)
+		case "reverse":
+			tensor.ScaleInPlace(g, -100)
+		case "random":
+			g = tensor.RandNormal(noiseRng, len(g), 0, 0.5)
+		default:
+			return nil, fmt.Errorf("unknown byzantine mode %q", byzStr)
+		}
+		return g, nil
+	}
+
+	log.Printf("flclient %d: joining %s (%d local examples, byzantine=%q)",
+		id, addr, sampler.Size(), byzStr)
+	final, err := transport.RunClient(context.Background(), transport.ClientConfig{
+		Addr:    addr,
+		ID:      fmt.Sprintf("client-%d", id),
+		Compute: compute,
+	})
+	if err != nil {
+		return err
+	}
+	if err := model.SetParamVector(final); err != nil {
+		return err
+	}
+	acc, err := fl.Evaluate(model, ds, ds.Test)
+	if err != nil {
+		return err
+	}
+	log.Printf("flclient %d: training finished, local view of final accuracy: %.2f%%", id, acc)
+	return nil
+}

@@ -1,0 +1,133 @@
+// Command flserver runs the federated-learning parameter server over TCP:
+// it waits for the configured number of clients, coordinates synchronous
+// training rounds, applies the selected robust aggregation rule (SignGuard
+// by default), and prints the final test accuracy of the global model.
+//
+// The server owns the dataset definition (test split + model architecture)
+// so it can evaluate the trained model; clients generate the same dataset
+// from the shared seed and train on their own partition (see cmd/flclient).
+//
+// Example (three terminals):
+//
+//	flserver -addr :9000 -clients 4 -rounds 100 -rule signguard
+//	flclient -addr :9000 -id 0 -clients 4
+//	flclient -addr :9000 -id 1 -clients 4 -byzantine signflip
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"github.com/signguard/signguard/internal/aggregate"
+	"github.com/signguard/signguard/internal/core"
+	"github.com/signguard/signguard/internal/data"
+	"github.com/signguard/signguard/internal/fl"
+	"github.com/signguard/signguard/internal/nn"
+	"github.com/signguard/signguard/internal/tensor"
+	"github.com/signguard/signguard/internal/transport"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:9000", "listen address")
+		clients = flag.Int("clients", 4, "number of clients to wait for")
+		rounds  = flag.Int("rounds", 100, "training rounds")
+		ruleStr = flag.String("rule", "signguard", "aggregation rule: mean|trmean|median|geomed|krum|multikrum|bulyan|dnc|signguard|signguard-sim|signguard-dist")
+		byz     = flag.Int("byz", 0, "assumed Byzantine count for rules that need it (trmean/krum/bulyan/dnc)")
+		lr      = flag.Float64("lr", 0.05, "learning rate")
+		seed    = flag.Int64("seed", 1, "shared dataset/model seed (must match clients)")
+		timeout = flag.Duration("round-timeout", 30*time.Second, "per-round network timeout")
+	)
+	flag.Parse()
+
+	if err := run(*addr, *ruleStr, *clients, *rounds, *byz, *lr, *seed, *timeout); err != nil {
+		log.Fatalf("flserver: %v", err)
+	}
+}
+
+// buildRule maps the CLI rule name to an aggregation rule.
+func buildRule(name string, n, f int, seed int64) (aggregate.Rule, error) {
+	switch name {
+	case "mean":
+		return aggregate.NewMean(), nil
+	case "trmean":
+		return aggregate.NewTrimmedMean(f), nil
+	case "median":
+		return aggregate.NewMedian(), nil
+	case "geomed":
+		return aggregate.NewGeoMed(), nil
+	case "krum":
+		return aggregate.NewKrum(f), nil
+	case "multikrum":
+		return aggregate.NewMultiKrum(f, n-f), nil
+	case "bulyan":
+		return aggregate.NewBulyan(f), nil
+	case "dnc":
+		return aggregate.NewDnC(f, seed), nil
+	case "signguard":
+		return core.NewPlain(seed), nil
+	case "signguard-sim":
+		return core.NewSim(seed), nil
+	case "signguard-dist":
+		return core.NewDist(seed), nil
+	default:
+		return nil, fmt.Errorf("unknown rule %q", name)
+	}
+}
+
+// sharedModel is the model architecture both server and clients build from
+// the shared seed (MNIST-analog CNN).
+func sharedModel(seed int64) (nn.Classifier, error) {
+	return nn.NewImageCNN(tensor.NewRNG(seed), 1, 8, 8, 6, 32, 10)
+}
+
+func run(addr, ruleStr string, clients, rounds, byz int, lr float64, seed int64, timeout time.Duration) error {
+	rule, err := buildRule(ruleStr, clients, byz, seed)
+	if err != nil {
+		return err
+	}
+	model, err := sharedModel(seed)
+	if err != nil {
+		return err
+	}
+	ds, err := data.MNISTLike(seed, 4000, 1000)
+	if err != nil {
+		return err
+	}
+
+	srv, err := transport.NewServer(transport.ServerConfig{
+		Addr:          addr,
+		Clients:       clients,
+		Rounds:        rounds,
+		Rule:          rule,
+		InitialParams: model.ParamVector(),
+		LR:            lr,
+		Momentum:      0.9,
+		WeightDecay:   5e-4,
+		RoundTimeout:  timeout,
+		Logf:          log.Printf,
+	})
+	if err != nil {
+		return err
+	}
+	log.Printf("flserver: listening on %s (rule=%s, clients=%d, rounds=%d)",
+		srv.Addr(), rule.Name(), clients, rounds)
+
+	if err := srv.Serve(context.Background()); err != nil {
+		return err
+	}
+
+	if err := model.SetParamVector(srv.FinalParams()); err != nil {
+		return err
+	}
+	acc, err := fl.Evaluate(model, ds, ds.Test)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stdout, "final test accuracy: %.2f%%\n", acc)
+	return nil
+}

@@ -1,0 +1,177 @@
+// Command reproduce regenerates the tables and figures of the SignGuard
+// paper's evaluation section on the synthetic substrate.
+//
+// Usage:
+//
+//	reproduce -exp table1 [-dataset mnist] [-scale bench|standard|full] [-format md|tsv] [-v]
+//	reproduce -exp all -scale standard -out results.md
+//
+// Experiments: table1, table2, table3, fig2, fig4, fig5, fig6, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"time"
+
+	"github.com/signguard/signguard/internal/experiments"
+)
+
+func main() {
+	var (
+		expFlag     = flag.String("exp", "table1", "experiment id: table1|table2|table3|fig2|fig4|fig5|fig6|all")
+		datasetFlag = flag.String("dataset", "", "table1 only: restrict to one dataset (mnist|fashion|cifar|agnews)")
+		scaleFlag   = flag.String("scale", "bench", "scale preset: bench|standard|full")
+		formatFlag  = flag.String("format", "md", "output format: md|tsv")
+		outFlag     = flag.String("out", "", "output file (default stdout)")
+		seedFlag    = flag.Int64("seed", 1, "experiment seed")
+		verbose     = flag.Bool("v", false, "log per-cell progress to stderr")
+	)
+	flag.Parse()
+
+	if err := run(*expFlag, *datasetFlag, *scaleFlag, *formatFlag, *outFlag, *seedFlag, *verbose); err != nil {
+		log.Fatalf("reproduce: %v", err)
+	}
+}
+
+func run(exp, dataset, scaleName, format, outPath string, seed int64, verbose bool) error {
+	scale, err := experiments.ParseScale(scaleName)
+	if err != nil {
+		return err
+	}
+	p := experiments.DefaultParams(scale)
+	p.Seed = seed
+
+	var logf experiments.Reporter
+	if verbose {
+		logf = func(format string, args ...any) { log.Printf(format, args...) }
+	}
+
+	var out io.Writer = os.Stdout
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			return fmt.Errorf("creating %s: %w", outPath, err)
+		}
+		defer f.Close()
+		out = f
+	}
+
+	emit := func(tables ...*experiments.Table) error {
+		for _, t := range tables {
+			var err error
+			if format == "tsv" {
+				err = t.TSV(out)
+			} else {
+				err = t.Markdown(out)
+			}
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	start := time.Now()
+	defer func() {
+		if verbose {
+			log.Printf("reproduce: %s done in %v", exp, time.Since(start).Round(time.Second))
+		}
+	}()
+
+	runTable1 := func() error {
+		specs := experiments.Datasets()
+		if dataset != "" {
+			ds, err := experiments.DatasetByKey(dataset)
+			if err != nil {
+				return err
+			}
+			specs = []experiments.DatasetSpec{ds}
+		}
+		for _, ds := range specs {
+			t, err := experiments.Table1(ds, p, logf)
+			if err != nil {
+				return err
+			}
+			if err := emit(t); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	runTable2 := func() error {
+		t, err := experiments.Table2(p, logf)
+		if err != nil {
+			return err
+		}
+		return emit(t)
+	}
+	runTable3 := func() error {
+		t, err := experiments.Table3(p, logf)
+		if err != nil {
+			return err
+		}
+		return emit(t)
+	}
+	runFig2 := func() error {
+		sampleEvery := p.Rounds / 30
+		if sampleEvery < 1 {
+			sampleEvery = 1
+		}
+		_, tables, err := experiments.Fig2(p, sampleEvery, logf)
+		if err != nil {
+			return err
+		}
+		return emit(tables...)
+	}
+	runFig4 := func() error {
+		tables, err := experiments.Fig4(p, logf)
+		if err != nil {
+			return err
+		}
+		return emit(tables...)
+	}
+	runFig5 := func() error {
+		tables, err := experiments.Fig5(p, logf)
+		if err != nil {
+			return err
+		}
+		return emit(tables...)
+	}
+	runFig6 := func() error {
+		tables, err := experiments.Fig6(p, logf)
+		if err != nil {
+			return err
+		}
+		return emit(tables...)
+	}
+
+	switch exp {
+	case "table1":
+		return runTable1()
+	case "table2":
+		return runTable2()
+	case "table3":
+		return runTable3()
+	case "fig2":
+		return runFig2()
+	case "fig4":
+		return runFig4()
+	case "fig5":
+		return runFig5()
+	case "fig6":
+		return runFig6()
+	case "all":
+		for _, f := range []func() error{runFig2, runTable1, runTable2, runFig4, runFig5, runFig6, runTable3} {
+			if err := f(); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+}

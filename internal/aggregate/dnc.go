@@ -1,0 +1,122 @@
+package aggregate
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"github.com/signguard/signguard/internal/tensor"
+)
+
+// DnC implements Divide-and-Conquer spectral filtering (Shejwalkar &
+// Houmansadr, NDSS'21). Each iteration subsamples a random block of
+// coordinates, centers the subsampled gradients, computes their dominant
+// right singular vector by power iteration, scores every gradient by its
+// squared projection onto that direction, and discards the C·F
+// highest-scoring gradients. The final trusted set is the intersection
+// across iterations, aggregated by plain averaging.
+type DnC struct {
+	// F is the assumed Byzantine count.
+	F int
+	// NIters is the number of filtering iterations (default 3).
+	NIters int
+	// SubDim is the number of coordinates sampled per iteration
+	// (default min(d, 10000)).
+	SubDim int
+	// C scales how many gradients are discarded per iteration: C·F
+	// (default 1).
+	C float64
+
+	rng *rand.Rand
+}
+
+var _ Rule = (*DnC)(nil)
+
+// NewDnC returns a DnC rule with the given Byzantine count and defaults,
+// seeded for deterministic coordinate subsampling.
+func NewDnC(f int, seed int64) *DnC {
+	return &DnC{F: f, NIters: 3, SubDim: 10000, C: 1, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Name implements Rule.
+func (*DnC) Name() string { return "DnC" }
+
+// Aggregate implements Rule.
+func (a *DnC) Aggregate(grads [][]float64) (*Result, error) {
+	n := len(grads)
+	d, err := validate(grads)
+	if err != nil {
+		return nil, err
+	}
+	remove := int(a.C * float64(a.F))
+	if remove < 0 {
+		return nil, fmt.Errorf("aggregate: DnC removal count %d invalid", remove)
+	}
+	if remove >= n {
+		return nil, fmt.Errorf("aggregate: DnC would remove all %d gradients (C·F=%d)", n, remove)
+	}
+	iters := a.NIters
+	if iters <= 0 {
+		iters = 3
+	}
+	subDim := a.SubDim
+	if subDim <= 0 || subDim > d {
+		subDim = d
+	}
+	if a.rng == nil {
+		a.rng = rand.New(rand.NewSource(1))
+	}
+
+	good := make(map[int]bool, n)
+	for i := 0; i < n; i++ {
+		good[i] = true
+	}
+	for it := 0; it < iters; it++ {
+		coords := tensor.SampleIndices(a.rng, d, subDim)
+		sub := tensor.NewMatrix(n, subDim)
+		for i, g := range grads {
+			row := sub.Row(i)
+			for j, c := range coords {
+				row[j] = g[c]
+			}
+		}
+		sub.CenterRows()
+		v := sub.TopSingularVector(50, 1e-9)
+		scores := make([]float64, n)
+		for i := 0; i < n; i++ {
+			p, err := tensor.Dot(sub.Row(i), v)
+			if err != nil {
+				return nil, err
+			}
+			scores[i] = p * p
+		}
+		// Keep the n - remove lowest-scoring gradients this iteration.
+		order := argsort(scores)
+		keep := make(map[int]bool, n-remove)
+		for _, idx := range order[:n-remove] {
+			keep[idx] = true
+		}
+		for i := range good {
+			if !keep[i] {
+				delete(good, i)
+			}
+		}
+	}
+	if len(good) == 0 {
+		return nil, fmt.Errorf("aggregate: DnC filtered out every gradient")
+	}
+	selected := make([]int, 0, len(good))
+	for i := range good {
+		selected = append(selected, i)
+	}
+	sort.Ints(selected)
+	chosen := make([][]float64, len(selected))
+	for i, idx := range selected {
+		chosen[i] = grads[idx]
+	}
+	g, err := tensor.Mean(chosen)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Gradient: g, Selected: selected}, nil
+}

@@ -1,0 +1,222 @@
+package aggregate
+
+import (
+	"fmt"
+
+	"github.com/signguard/signguard/internal/stats"
+	"github.com/signguard/signguard/internal/tensor"
+)
+
+// TrimmedMean is the coordinate-wise trimmed mean of Yin et al. (ICML'18):
+// per coordinate, drop the K smallest and K largest values and average the
+// rest. K is normally set to the (assumed known) number of Byzantine
+// clients — an advantage the paper grants the baselines but that SignGuard
+// does not need.
+type TrimmedMean struct {
+	// K is the per-side trim count; the rule requires n > 2K.
+	K int
+}
+
+var _ Rule = (*TrimmedMean)(nil)
+
+// NewTrimmedMean returns a trimmed-mean rule trimming k from each side.
+func NewTrimmedMean(k int) *TrimmedMean { return &TrimmedMean{K: k} }
+
+// Name implements Rule.
+func (*TrimmedMean) Name() string { return "TrMean" }
+
+// Aggregate implements Rule.
+func (t *TrimmedMean) Aggregate(grads [][]float64) (*Result, error) {
+	if _, err := validate(grads); err != nil {
+		return nil, err
+	}
+	if t.K < 0 || len(grads) <= 2*t.K {
+		return nil, fmt.Errorf("aggregate: TrMean needs n > 2K (n=%d, K=%d)", len(grads), t.K)
+	}
+	g, err := stats.CoordinateTrimmedMean(grads, t.K)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Gradient: g}, nil
+}
+
+// Median is the coordinate-wise median rule of Yin et al.
+type Median struct{}
+
+var _ Rule = (*Median)(nil)
+
+// NewMedian returns the coordinate-wise median rule.
+func NewMedian() *Median { return &Median{} }
+
+// Name implements Rule.
+func (*Median) Name() string { return "Median" }
+
+// Aggregate implements Rule.
+func (*Median) Aggregate(grads [][]float64) (*Result, error) {
+	if _, err := validate(grads); err != nil {
+		return nil, err
+	}
+	g, err := stats.CoordinateMedian(grads)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Gradient: g}, nil
+}
+
+// GeoMed approximates the geometric median — the point minimizing the sum
+// of Euclidean distances to all gradients — with Weiszfeld's algorithm.
+type GeoMed struct {
+	// MaxIter bounds the Weiszfeld iterations (default 100).
+	MaxIter int
+	// Tol is the movement threshold for convergence (default 1e-8).
+	Tol float64
+}
+
+var _ Rule = (*GeoMed)(nil)
+
+// NewGeoMed returns a geometric-median rule with default settings.
+func NewGeoMed() *GeoMed { return &GeoMed{MaxIter: 100, Tol: 1e-8} }
+
+// Name implements Rule.
+func (*GeoMed) Name() string { return "GeoMed" }
+
+// Aggregate implements Rule.
+func (g *GeoMed) Aggregate(grads [][]float64) (*Result, error) {
+	if _, err := validate(grads); err != nil {
+		return nil, err
+	}
+	maxIter := g.MaxIter
+	if maxIter <= 0 {
+		maxIter = 100
+	}
+	tol := g.Tol
+	if tol <= 0 {
+		tol = 1e-8
+	}
+	// Weiszfeld: start at the mean, iterate inverse-distance reweighting.
+	x, err := tensor.Mean(grads)
+	if err != nil {
+		return nil, err
+	}
+	w := make([]float64, len(grads))
+	for it := 0; it < maxIter; it++ {
+		var coincident bool
+		for i, gi := range grads {
+			dist, err := tensor.Distance(x, gi)
+			if err != nil {
+				return nil, err
+			}
+			if dist < 1e-12 {
+				// Current estimate coincides with a data point; Weiszfeld's
+				// weight is singular there. Nudge with a tiny epsilon.
+				dist = 1e-12
+				coincident = true
+			}
+			w[i] = 1 / dist
+		}
+		next, err := tensor.WeightedMean(grads, w)
+		if err != nil {
+			return nil, err
+		}
+		move, err := tensor.Distance(next, x)
+		if err != nil {
+			return nil, err
+		}
+		x = next
+		if move < tol || coincident {
+			break
+		}
+	}
+	return &Result{Gradient: x}, nil
+}
+
+// SignSGDMajority aggregates only the signs of the gradients (Bernstein et
+// al.): the output coordinate is the majority sign, with magnitude Scale.
+type SignSGDMajority struct {
+	// Scale is the magnitude applied to the majority sign (default 1).
+	Scale float64
+}
+
+var _ Rule = (*SignSGDMajority)(nil)
+
+// NewSignSGDMajority returns the sign majority-vote rule.
+func NewSignSGDMajority(scale float64) *SignSGDMajority {
+	if scale <= 0 {
+		scale = 1
+	}
+	return &SignSGDMajority{Scale: scale}
+}
+
+// Name implements Rule.
+func (*SignSGDMajority) Name() string { return "SignSGD" }
+
+// Aggregate implements Rule.
+func (s *SignSGDMajority) Aggregate(grads [][]float64) (*Result, error) {
+	d, err := validate(grads)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, d)
+	for j := 0; j < d; j++ {
+		var vote float64
+		for _, g := range grads {
+			switch {
+			case g[j] > 0:
+				vote++
+			case g[j] < 0:
+				vote--
+			}
+		}
+		switch {
+		case vote > 0:
+			out[j] = s.Scale
+		case vote < 0:
+			out[j] = -s.Scale
+		}
+	}
+	return &Result{Gradient: out}, nil
+}
+
+// NormClip scales each gradient to at most the given bound before
+// delegating to an inner rule. A non-positive bound means "use the median
+// norm of the round's gradients", the clipping rule SignGuard uses.
+type NormClip struct {
+	Inner Rule
+	Bound float64
+}
+
+var _ Rule = (*NormClip)(nil)
+
+// NewNormClip wraps inner with norm clipping at bound (<= 0 for median).
+func NewNormClip(inner Rule, bound float64) *NormClip {
+	return &NormClip{Inner: inner, Bound: bound}
+}
+
+// Name implements Rule.
+func (n *NormClip) Name() string { return "NormClip+" + n.Inner.Name() }
+
+// Aggregate implements Rule.
+func (n *NormClip) Aggregate(grads [][]float64) (*Result, error) {
+	if _, err := validate(grads); err != nil {
+		return nil, err
+	}
+	bound := n.Bound
+	if bound <= 0 {
+		norms := make([]float64, len(grads))
+		for i, g := range grads {
+			norms[i] = tensor.Norm(g)
+		}
+		med, err := stats.Median(norms)
+		if err != nil {
+			return nil, err
+		}
+		bound = med
+	}
+	clipped := make([][]float64, len(grads))
+	for i, g := range grads {
+		c := tensor.Clone(g)
+		tensor.ClipNorm(c, bound)
+		clipped[i] = c
+	}
+	return n.Inner.Aggregate(clipped)
+}

@@ -1,0 +1,137 @@
+package attack
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"github.com/signguard/signguard/internal/core"
+	"github.com/signguard/signguard/internal/stats"
+	"github.com/signguard/signguard/internal/tensor"
+)
+
+func TestSignKeepingPreservesSignStatsAndNorm(t *testing.T) {
+	ctx := makeContext(21, 30, 8, 500, 0.2, 1)
+	out, err := NewSignKeeping().Craft(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean, err := tensor.Mean(ctx.AllHonest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ssMean, _ := stats.ComputeSignStats(mean)
+	for i, gm := range out {
+		ss, _ := stats.ComputeSignStats(gm)
+		if ss != ssMean {
+			t.Errorf("gradient %d changed sign statistics: %v vs %v", i, ss, ssMean)
+		}
+		if math.Abs(tensor.Norm(gm)-tensor.Norm(mean)) > 1e-9 {
+			t.Errorf("gradient %d changed norm", i)
+		}
+		// Per-coordinate signs must match the mean exactly.
+		for j := range gm {
+			if (gm[j] > 0) != (mean[j] > 0) || (gm[j] < 0) != (mean[j] < 0) {
+				t.Fatalf("gradient %d flipped sign at coordinate %d", i, j)
+			}
+		}
+		// The multiset of magnitudes is preserved (a permutation).
+		a := append([]float64(nil), gm...)
+		b := append([]float64(nil), mean...)
+		sort.Float64s(a)
+		sort.Float64s(b)
+		if !tensor.Equal(a, b, 1e-12) {
+			t.Errorf("gradient %d is not a within-class permutation of the mean", i)
+		}
+	}
+}
+
+func TestSignKeepingCorruptsDirection(t *testing.T) {
+	ctx := makeContext(22, 30, 5, 2000, 0.3, 1)
+	out, err := NewSignKeeping().Craft(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean, _ := tensor.Mean(ctx.AllHonest())
+	c, err := stats.CosineSimilarity(out[0], mean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c > 0.95 {
+		t.Errorf("shuffled gradient still aligned with the mean (cos=%v)", c)
+	}
+}
+
+// TestSignKeepingEvadesPlainSignGuard demonstrates the adaptive attack's
+// point: the plain sign-statistics filter cannot separate it, while the
+// -Sim variant's similarity feature can.
+func TestSignKeepingEvadesPlainSignGuard(t *testing.T) {
+	// Tight benign cohort so the similarity feature is informative.
+	rng := tensor.NewRNG(23)
+	d := 800
+	signal := tensor.RandNormal(rng, d, 0, 1)
+	benign := make([][]float64, 24)
+	for i := range benign {
+		g := tensor.Clone(signal)
+		for j := range g {
+			g[j] += 0.3 * rng.NormFloat64()
+		}
+		benign[i] = g
+	}
+	ctx := &Context{Benign: benign[:18], ByzOwn: benign[18:], Rng: tensor.NewRNG(5)}
+	malicious, err := NewSignKeeping().Craft(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grads := append(tensor.CloneAll(benign[:18]), malicious...)
+
+	countByz := func(selected []int) int {
+		var n int
+		for _, i := range selected {
+			if i >= 18 {
+				n++
+			}
+		}
+		return n
+	}
+
+	plain := core.NewPlain(1)
+	resPlain, err := plain.Aggregate(grads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Plain SignGuard sees identical sign statistics — the attack is
+	// designed to be indistinguishable there.
+	if countByz(resPlain.Selected) == 0 {
+		t.Log("plain SignGuard unexpectedly filtered the adaptive attack (acceptable but surprising)")
+	}
+
+	sim := core.NewSim(1)
+	// Warm up the similarity reference with one clean round.
+	if _, err := sim.Aggregate(benign[:18]); err != nil {
+		t.Fatal(err)
+	}
+	resSim, err := sim.Aggregate(grads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := countByz(resSim.Selected); got > countByz(resPlain.Selected) {
+		t.Errorf("similarity feature should not admit more adaptive gradients than plain (%d vs %d)",
+			got, countByz(resPlain.Selected))
+	}
+}
+
+func TestSignKeepingContract(t *testing.T) {
+	ctx := makeContext(24, 10, 3, 50, 0.5, 1)
+	out, err := NewSignKeeping().Craft(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 {
+		t.Fatalf("got %d gradients", len(out))
+	}
+	// Different Byzantine clients get different permutations (w.h.p.).
+	if tensor.Equal(out[0], out[1], 0) && tensor.Equal(out[1], out[2], 0) {
+		t.Error("all clients sent identical permutations")
+	}
+}

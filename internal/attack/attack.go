@@ -1,0 +1,241 @@
+// Package attack implements every model-poisoning attack evaluated in the
+// paper: the simple Random / Noise / Sign-Flipping / Label-Flipping
+// attacks, the state-of-the-art Little-is-Enough (Baruch et al.) and
+// Min-Max / Min-Sum (Shejwalkar & Houmansadr) attacks, the paper's new
+// ByzMean hybrid attack, the scaled reverse attack used in the ablation
+// study, and the time-varying strategy of Fig. 5.
+//
+// Attacks follow the paper's threat model: an omniscient adversary that
+// observes the honest gradients of every client (both benign clients and
+// the would-be-honest gradients of the clients it controls) and substitutes
+// the gradients of the Byzantine cohort.
+package attack
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"github.com/signguard/signguard/internal/data"
+	"github.com/signguard/signguard/internal/tensor"
+)
+
+// Context is everything the adversary can see in one round.
+type Context struct {
+	// Benign holds the honest gradients of the benign clients.
+	Benign [][]float64
+	// ByzOwn holds the gradients the Byzantine clients would have sent had
+	// they been honest (they own local data too). len(ByzOwn) is the number
+	// of malicious gradients the attack must produce.
+	ByzOwn [][]float64
+	// Rng drives any randomness in the attack, seeded per experiment.
+	Rng *rand.Rand
+}
+
+// N returns the total number of clients.
+func (c *Context) N() int { return len(c.Benign) + len(c.ByzOwn) }
+
+// NumByz returns the number of Byzantine clients.
+func (c *Context) NumByz() int { return len(c.ByzOwn) }
+
+// AllHonest returns the concatenation of all honest gradients (benign
+// first, then the Byzantine clients' would-be-honest ones). The slices are
+// shared, not copied; attacks must not mutate them.
+func (c *Context) AllHonest() [][]float64 {
+	out := make([][]float64, 0, c.N())
+	out = append(out, c.Benign...)
+	out = append(out, c.ByzOwn...)
+	return out
+}
+
+func (c *Context) validate() error {
+	if len(c.ByzOwn) == 0 {
+		return errors.New("attack: no Byzantine clients in context")
+	}
+	if len(c.Benign) == 0 {
+		return errors.New("attack: no benign gradients to observe")
+	}
+	if c.Rng == nil {
+		return errors.New("attack: nil rng")
+	}
+	d := len(c.Benign[0])
+	for _, g := range c.AllHonest() {
+		if len(g) != d {
+			return fmt.Errorf("%w: attack context gradients disagree on dimension", tensor.ErrDimensionMismatch)
+		}
+	}
+	return nil
+}
+
+// Attack crafts the malicious gradients for one round.
+type Attack interface {
+	// Name returns a short stable identifier used in tables.
+	Name() string
+	// Craft returns exactly len(ctx.ByzOwn) malicious gradient vectors.
+	Craft(ctx *Context) ([][]float64, error)
+}
+
+// DataPoisoner is implemented by attacks that corrupt the Byzantine
+// clients' local training data instead of (or in addition to) their
+// gradients, e.g. label flipping.
+type DataPoisoner interface {
+	PoisonData(xs []data.Example, classes int) ([]data.Example, error)
+}
+
+// None is the no-attack baseline: Byzantine clients behave honestly.
+type None struct{}
+
+var _ Attack = (*None)(nil)
+
+// NewNone returns the no-attack strategy.
+func NewNone() *None { return &None{} }
+
+// Name implements Attack.
+func (*None) Name() string { return "NoAttack" }
+
+// Craft returns the clients' own honest gradients.
+func (*None) Craft(ctx *Context) ([][]float64, error) {
+	if err := ctx.validate(); err != nil {
+		return nil, err
+	}
+	return tensor.CloneAll(ctx.ByzOwn), nil
+}
+
+// Random sends pure Gaussian noise N(Mean, Std²·I), the paper's "random
+// attack" with µ=0, σ=0.5. Each Byzantine client draws independently.
+type Random struct {
+	Mean, Std float64
+}
+
+var _ Attack = (*Random)(nil)
+
+// NewRandom returns the random attack with the paper's defaults.
+func NewRandom() *Random { return &Random{Mean: 0, Std: 0.5} }
+
+// Name implements Attack.
+func (*Random) Name() string { return "Random" }
+
+// Craft implements Attack.
+func (a *Random) Craft(ctx *Context) ([][]float64, error) {
+	if err := ctx.validate(); err != nil {
+		return nil, err
+	}
+	d := len(ctx.Benign[0])
+	out := make([][]float64, ctx.NumByz())
+	for i := range out {
+		out[i] = tensor.RandNormal(ctx.Rng, d, a.Mean, a.Std)
+	}
+	return out, nil
+}
+
+// Noise perturbs each Byzantine client's honest gradient with Gaussian
+// noise: gm = gb + N(Mean, Std²·I).
+type Noise struct {
+	Mean, Std float64
+}
+
+var _ Attack = (*Noise)(nil)
+
+// NewNoise returns the noise attack with the paper's defaults (σ=0.5).
+func NewNoise() *Noise { return &Noise{Mean: 0, Std: 0.5} }
+
+// Name implements Attack.
+func (*Noise) Name() string { return "Noise" }
+
+// Craft implements Attack.
+func (a *Noise) Craft(ctx *Context) ([][]float64, error) {
+	if err := ctx.validate(); err != nil {
+		return nil, err
+	}
+	out := make([][]float64, ctx.NumByz())
+	for i, g := range ctx.ByzOwn {
+		noisy := tensor.Clone(g)
+		for j := range noisy {
+			noisy[j] += a.Mean + a.Std*ctx.Rng.NormFloat64()
+		}
+		out[i] = noisy
+	}
+	return out, nil
+}
+
+// SignFlip sends the reversed gradient without scaling: gm = -gb.
+type SignFlip struct{}
+
+var _ Attack = (*SignFlip)(nil)
+
+// NewSignFlip returns the sign-flipping attack.
+func NewSignFlip() *SignFlip { return &SignFlip{} }
+
+// Name implements Attack.
+func (*SignFlip) Name() string { return "Sign-flip" }
+
+// Craft implements Attack.
+func (*SignFlip) Craft(ctx *Context) ([][]float64, error) {
+	if err := ctx.validate(); err != nil {
+		return nil, err
+	}
+	out := make([][]float64, ctx.NumByz())
+	for i, g := range ctx.ByzOwn {
+		out[i] = tensor.Scale(g, -1)
+	}
+	return out, nil
+}
+
+// Reverse is the "reverse attack with scaling" from the DETOX paper used in
+// the ablation study (Table III): gm = -r·gb with a positive scale r.
+type Reverse struct {
+	Scale float64
+}
+
+var _ Attack = (*Reverse)(nil)
+
+// NewReverse returns a scaled reverse attack.
+func NewReverse(scale float64) *Reverse { return &Reverse{Scale: scale} }
+
+// Name implements Attack.
+func (*Reverse) Name() string { return "Reverse" }
+
+// Craft implements Attack.
+func (a *Reverse) Craft(ctx *Context) ([][]float64, error) {
+	if err := ctx.validate(); err != nil {
+		return nil, err
+	}
+	if a.Scale <= 0 {
+		return nil, fmt.Errorf("attack: Reverse scale %v must be positive", a.Scale)
+	}
+	out := make([][]float64, ctx.NumByz())
+	for i, g := range ctx.ByzOwn {
+		out[i] = tensor.Scale(g, -a.Scale)
+	}
+	return out, nil
+}
+
+// LabelFlip is the data-poisoning attack: Byzantine clients train honestly
+// on data whose labels have been flipped l → classes-1-l, so their
+// gradients are "faulty" rather than arbitrary.
+type LabelFlip struct{}
+
+var (
+	_ Attack       = (*LabelFlip)(nil)
+	_ DataPoisoner = (*LabelFlip)(nil)
+)
+
+// NewLabelFlip returns the label-flipping attack.
+func NewLabelFlip() *LabelFlip { return &LabelFlip{} }
+
+// Name implements Attack.
+func (*LabelFlip) Name() string { return "Label-flip" }
+
+// Craft returns the Byzantine clients' own gradients unchanged — the
+// poisoning already happened at the data level.
+func (*LabelFlip) Craft(ctx *Context) ([][]float64, error) {
+	if err := ctx.validate(); err != nil {
+		return nil, err
+	}
+	return tensor.CloneAll(ctx.ByzOwn), nil
+}
+
+// PoisonData implements DataPoisoner.
+func (*LabelFlip) PoisonData(xs []data.Example, classes int) ([]data.Example, error) {
+	return data.FlipLabels(xs, classes)
+}

@@ -1,0 +1,262 @@
+package attack
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/signguard/signguard/internal/stats"
+	"github.com/signguard/signguard/internal/tensor"
+)
+
+// Perturbation selects the direction ∇p used by the Min-Max and Min-Sum
+// attacks (Shejwalkar & Houmansadr, NDSS'21).
+type Perturbation int
+
+const (
+	// InverseStd uses −std(g) — the paper's default choice.
+	InverseStd Perturbation = iota + 1
+	// InverseUnit uses −mean(g)/||mean(g)||.
+	InverseUnit
+	// InverseSign uses −sign(mean(g)).
+	InverseSign
+)
+
+func (p Perturbation) String() string {
+	switch p {
+	case InverseStd:
+		return "inverse-std"
+	case InverseUnit:
+		return "inverse-unit"
+	case InverseSign:
+		return "inverse-sign"
+	default:
+		return fmt.Sprintf("Perturbation(%d)", int(p))
+	}
+}
+
+// minMaxSum is the shared engine of the Min-Max and Min-Sum attacks. The
+// malicious gradient is gm = avg(honest) + γ·∇p with the largest γ that
+// still satisfies the attack's distance constraint, found by doubling then
+// bisection (the "halving search" of the original paper). All Byzantine
+// clients send the same gm.
+//
+// The constraint threshold (a function of the honest gradients only) is
+// computed once per round; each bisection probe then only measures the
+// candidate's distances to the honest set.
+type minMaxSum struct {
+	perturb Perturbation
+	// bound computes the round's constraint threshold from the honest
+	// gradients.
+	bound func(honest [][]float64) (float64, error)
+	// measure computes the candidate statistic compared against the bound.
+	measure func(gm []float64, honest [][]float64) (float64, error)
+}
+
+// Craft computes the attack vector and replicates it across the cohort.
+func (a *minMaxSum) Craft(ctx *Context) ([][]float64, error) {
+	if err := ctx.validate(); err != nil {
+		return nil, err
+	}
+	honest := ctx.AllHonest()
+	avg, err := tensor.Mean(honest)
+	if err != nil {
+		return nil, err
+	}
+	dir, err := a.direction(honest, avg)
+	if err != nil {
+		return nil, err
+	}
+	threshold, err := a.bound(honest)
+	if err != nil {
+		return nil, err
+	}
+
+	feasible := func(gamma float64) (bool, error) {
+		gm := tensor.Clone(avg)
+		if err := tensor.Axpy(gm, gamma, dir); err != nil {
+			return false, err
+		}
+		v, err := a.measure(gm, honest)
+		if err != nil {
+			return false, err
+		}
+		return v <= threshold, nil
+	}
+
+	ok, err := feasible(0)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, errors.New("attack: min-max/min-sum constraint infeasible at γ=0")
+	}
+	// Doubling phase: find an infeasible upper bound.
+	lo, hi := 0.0, 1.0
+	for i := 0; i < 60; i++ {
+		ok, err := feasible(hi)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		lo, hi = hi, hi*2
+	}
+	// Bisection phase.
+	for i := 0; i < 40; i++ {
+		mid := 0.5 * (lo + hi)
+		ok, err := feasible(mid)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	gm := tensor.Clone(avg)
+	if err := tensor.Axpy(gm, lo, dir); err != nil {
+		return nil, err
+	}
+	out := make([][]float64, ctx.NumByz())
+	for i := range out {
+		out[i] = tensor.Clone(gm)
+	}
+	return out, nil
+}
+
+func (a *minMaxSum) direction(honest [][]float64, avg []float64) ([]float64, error) {
+	switch a.perturb {
+	case InverseUnit:
+		dir := tensor.Clone(avg)
+		n := tensor.Norm(dir)
+		if n == 0 {
+			return nil, errors.New("attack: zero mean gradient, inverse-unit undefined")
+		}
+		tensor.ScaleInPlace(dir, -1/n)
+		return dir, nil
+	case InverseSign:
+		dir := tensor.Sign(avg)
+		tensor.ScaleInPlace(dir, -1)
+		return dir, nil
+	default: // InverseStd
+		_, std, err := stats.CoordinateMeanStd(honest)
+		if err != nil {
+			return nil, err
+		}
+		tensor.ScaleInPlace(std, -1)
+		return std, nil
+	}
+}
+
+// MinMax keeps the malicious gradient within the maximum pairwise distance
+// of the honest gradients (Eq. 14): max_i ||gm − g_i|| ≤ max_{i,j} ||g_i − g_j||.
+type MinMax struct {
+	engine minMaxSum
+}
+
+var _ Attack = (*MinMax)(nil)
+
+// NewMinMax returns the Min-Max attack with the paper's default
+// inverse-std perturbation.
+func NewMinMax() *MinMax { return NewMinMaxWithPerturbation(InverseStd) }
+
+// NewMinMaxWithPerturbation selects the perturbation direction.
+func NewMinMaxWithPerturbation(p Perturbation) *MinMax {
+	m := &MinMax{}
+	m.engine = minMaxSum{
+		perturb: p,
+		bound: func(honest [][]float64) (float64, error) {
+			var maxPair float64
+			for i := 0; i < len(honest); i++ {
+				for j := i + 1; j < len(honest); j++ {
+					d2, err := tensor.SquaredDistance(honest[i], honest[j])
+					if err != nil {
+						return 0, err
+					}
+					if d2 > maxPair {
+						maxPair = d2
+					}
+				}
+			}
+			return maxPair, nil
+		},
+		measure: func(gm []float64, honest [][]float64) (float64, error) {
+			var maxToGm float64
+			for _, g := range honest {
+				d2, err := tensor.SquaredDistance(gm, g)
+				if err != nil {
+					return 0, err
+				}
+				if d2 > maxToGm {
+					maxToGm = d2
+				}
+			}
+			return maxToGm, nil
+		},
+	}
+	return m
+}
+
+// Name implements Attack.
+func (*MinMax) Name() string { return "Min-Max" }
+
+// Craft implements Attack.
+func (m *MinMax) Craft(ctx *Context) ([][]float64, error) { return m.engine.Craft(ctx) }
+
+// MinSum keeps the malicious gradient's total squared distance to the
+// honest gradients within the worst honest gradient's total (Eq. 15):
+// Σ_i ||gm − g_i||² ≤ max_i Σ_j ||g_i − g_j||².
+type MinSum struct {
+	engine minMaxSum
+}
+
+var _ Attack = (*MinSum)(nil)
+
+// NewMinSum returns the Min-Sum attack with the paper's default
+// inverse-std perturbation.
+func NewMinSum() *MinSum { return NewMinSumWithPerturbation(InverseStd) }
+
+// NewMinSumWithPerturbation selects the perturbation direction.
+func NewMinSumWithPerturbation(p Perturbation) *MinSum {
+	m := &MinSum{}
+	m.engine = minMaxSum{
+		perturb: p,
+		bound: func(honest [][]float64) (float64, error) {
+			var maxTotal float64
+			for i := range honest {
+				var total float64
+				for j := range honest {
+					d2, err := tensor.SquaredDistance(honest[i], honest[j])
+					if err != nil {
+						return 0, err
+					}
+					total += d2
+				}
+				if total > maxTotal {
+					maxTotal = total
+				}
+			}
+			return maxTotal, nil
+		},
+		measure: func(gm []float64, honest [][]float64) (float64, error) {
+			var gmTotal float64
+			for _, g := range honest {
+				d2, err := tensor.SquaredDistance(gm, g)
+				if err != nil {
+					return 0, err
+				}
+				gmTotal += d2
+			}
+			return gmTotal, nil
+		},
+	}
+	return m
+}
+
+// Name implements Attack.
+func (*MinSum) Name() string { return "Min-Sum" }
+
+// Craft implements Attack.
+func (m *MinSum) Craft(ctx *Context) ([][]float64, error) { return m.engine.Craft(ctx) }

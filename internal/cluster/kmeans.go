@@ -1,0 +1,177 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/signguard/signguard/internal/tensor"
+)
+
+// KMeans is Lloyd's algorithm with k-means++ initialization. The paper notes
+// that a 2-cluster KMeans suffices for the SignGuard filter when all
+// malicious clients send an identical attack vector; Mean-Shift is preferred
+// in general because it adapts the number of clusters.
+type KMeans struct {
+	// K is the number of clusters (required, >= 1).
+	K int
+	// MaxIter bounds the Lloyd iterations; defaults to 100.
+	MaxIter int
+	// Tol is the total centroid-movement threshold for convergence.
+	Tol float64
+	// Restarts is the number of k-means++ restarts; the run with the
+	// lowest inertia wins. Defaults to 3.
+	Restarts int
+}
+
+// NewKMeans returns a KMeans clusterer with k clusters and default settings.
+func NewKMeans(k int) *KMeans {
+	return &KMeans{K: k, MaxIter: 100, Tol: 1e-6, Restarts: 3}
+}
+
+// Cluster partitions the points into K clusters. The rng drives the
+// k-means++ seeding; pass a seeded source for deterministic results.
+func (km *KMeans) Cluster(rng *rand.Rand, points [][]float64) (*Result, error) {
+	n := len(points)
+	if n == 0 {
+		return nil, ErrNoPoints
+	}
+	if km.K < 1 {
+		return nil, fmt.Errorf("cluster: KMeans requires K >= 1, got %d", km.K)
+	}
+	k := km.K
+	if k > n {
+		k = n
+	}
+	d := len(points[0])
+	for i, p := range points {
+		if len(p) != d {
+			return nil, fmt.Errorf("cluster: point %d has %d dims, want %d", i, len(p), d)
+		}
+	}
+	maxIter := km.MaxIter
+	if maxIter <= 0 {
+		maxIter = 100
+	}
+	restarts := km.Restarts
+	if restarts <= 0 {
+		restarts = 1
+	}
+
+	var best *Result
+	bestInertia := math.Inf(1)
+	for r := 0; r < restarts; r++ {
+		res, inertia := km.run(rng, points, k, maxIter)
+		if inertia < bestInertia {
+			best, bestInertia = res, inertia
+		}
+	}
+	return best, nil
+}
+
+func (km *KMeans) run(rng *rand.Rand, points [][]float64, k, maxIter int) (*Result, float64) {
+	centers := seedPlusPlus(rng, points, k)
+	labels := make([]int, len(points))
+	tol := km.Tol
+	if tol <= 0 {
+		tol = 1e-6
+	}
+	for it := 0; it < maxIter; it++ {
+		// Assignment step.
+		for i, p := range points {
+			labels[i] = nearestCenter(p, centers)
+		}
+		// Update step.
+		moved := updateCenters(points, labels, centers)
+		if moved < tol {
+			break
+		}
+	}
+	sizes := make([]int, k)
+	var inertia float64
+	for i, p := range points {
+		sizes[labels[i]]++
+		d2, _ := tensor.SquaredDistance(p, centers[labels[i]])
+		inertia += d2
+	}
+	return &Result{Labels: labels, Centers: centers, Sizes: sizes}, inertia
+}
+
+// seedPlusPlus implements k-means++ seeding: the first center is uniform,
+// each subsequent center is drawn proportionally to the squared distance to
+// the nearest already-chosen center.
+func seedPlusPlus(rng *rand.Rand, points [][]float64, k int) [][]float64 {
+	centers := make([][]float64, 0, k)
+	centers = append(centers, tensor.Clone(points[rng.Intn(len(points))]))
+	d2 := make([]float64, len(points))
+	for len(centers) < k {
+		var total float64
+		for i, p := range points {
+			dist2, _ := tensor.SquaredDistance(p, centers[len(centers)-1])
+			if len(centers) == 1 || dist2 < d2[i] {
+				d2[i] = dist2
+			}
+			total += d2[i]
+		}
+		var next int
+		if total <= 0 {
+			// All remaining points coincide with a center; pick uniformly.
+			next = rng.Intn(len(points))
+		} else {
+			target := rng.Float64() * total
+			var acc float64
+			for i, w := range d2 {
+				acc += w
+				if acc >= target {
+					next = i
+					break
+				}
+			}
+		}
+		centers = append(centers, tensor.Clone(points[next]))
+	}
+	return centers
+}
+
+func nearestCenter(p []float64, centers [][]float64) int {
+	best, bestD := 0, math.Inf(1)
+	for c, ctr := range centers {
+		d2, _ := tensor.SquaredDistance(p, ctr)
+		if d2 < bestD {
+			best, bestD = c, d2
+		}
+	}
+	return best
+}
+
+// updateCenters recomputes each centroid as the mean of its members and
+// returns the total distance moved. Empty clusters keep their old center.
+func updateCenters(points [][]float64, labels []int, centers [][]float64) float64 {
+	k := len(centers)
+	d := len(centers[0])
+	sums := make([][]float64, k)
+	counts := make([]int, k)
+	for c := range sums {
+		sums[c] = make([]float64, d)
+	}
+	for i, p := range points {
+		c := labels[i]
+		counts[c]++
+		for j, v := range p {
+			sums[c][j] += v
+		}
+	}
+	var moved float64
+	for c := range centers {
+		if counts[c] == 0 {
+			continue
+		}
+		for j := range sums[c] {
+			sums[c][j] /= float64(counts[c])
+		}
+		dist, _ := tensor.Distance(sums[c], centers[c])
+		moved += dist
+		copy(centers[c], sums[c])
+	}
+	return moved
+}

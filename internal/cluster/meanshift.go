@@ -1,0 +1,269 @@
+// Package cluster provides the unsupervised clustering algorithms used by
+// the SignGuard sign-based filter: Mean-Shift (the paper's default, with an
+// adaptive number of clusters) and KMeans (sufficient when all malicious
+// clients send an identical attack vector), plus small utilities for
+// selecting the majority cluster.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/signguard/signguard/internal/stats"
+	"github.com/signguard/signguard/internal/tensor"
+)
+
+// ErrNoPoints is returned when clustering is requested over an empty set.
+var ErrNoPoints = errors.New("cluster: no points")
+
+// Kernel selects the Mean-Shift kernel profile.
+type Kernel int
+
+const (
+	// FlatKernel weights every neighbour within the bandwidth equally.
+	FlatKernel Kernel = iota + 1
+	// GaussianKernel weights neighbours by exp(-||x-y||²/(2h²)).
+	GaussianKernel
+)
+
+func (k Kernel) String() string {
+	switch k {
+	case FlatKernel:
+		return "flat"
+	case GaussianKernel:
+		return "gaussian"
+	default:
+		return fmt.Sprintf("Kernel(%d)", int(k))
+	}
+}
+
+// MeanShift is a configurable Mean-Shift clusterer. The zero value is not
+// usable; construct with NewMeanShift.
+type MeanShift struct {
+	// Bandwidth is the kernel radius h. If <= 0 it is estimated per call
+	// as a quantile of the pairwise distances (see EstimateBandwidth).
+	Bandwidth float64
+	// Kernel selects the kernel profile; defaults to FlatKernel.
+	Kernel Kernel
+	// MaxIter bounds the shift iterations per seed point.
+	MaxIter int
+	// Tol is the movement threshold below which a point is converged.
+	Tol float64
+	// MergeRadiusFactor scales the bandwidth to decide when two converged
+	// modes are the same cluster.
+	MergeRadiusFactor float64
+}
+
+// NewMeanShift returns a Mean-Shift clusterer with the given bandwidth
+// (<= 0 enables automatic estimation) and sensible defaults.
+func NewMeanShift(bandwidth float64) *MeanShift {
+	return &MeanShift{
+		Bandwidth:         bandwidth,
+		Kernel:            FlatKernel,
+		MaxIter:           100,
+		Tol:               1e-4,
+		MergeRadiusFactor: 0.5,
+	}
+}
+
+// Result is the outcome of a clustering run.
+type Result struct {
+	// Labels assigns each input point a cluster id in [0, len(Centers)).
+	Labels []int
+	// Centers holds one representative (mode or centroid) per cluster.
+	Centers [][]float64
+	// Sizes[c] is the number of points with label c.
+	Sizes []int
+}
+
+// Largest returns the id of the cluster with the most members, breaking
+// ties toward the smaller id (deterministic).
+func (r *Result) Largest() int {
+	best, bestSize := -1, -1
+	for c, s := range r.Sizes {
+		if s > bestSize {
+			best, bestSize = c, s
+		}
+	}
+	return best
+}
+
+// Members returns the indices of the points assigned to cluster c.
+func (r *Result) Members(c int) []int {
+	var out []int
+	for i, l := range r.Labels {
+		if l == c {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// EstimateBandwidth returns a data-driven bandwidth: the median non-zero
+// pairwise distance between points, with a floor to keep the kernel
+// non-degenerate when many points coincide.
+func EstimateBandwidth(points [][]float64) (float64, error) {
+	if len(points) == 0 {
+		return 0, ErrNoPoints
+	}
+	dists, err := stats.PairwiseDistances(points)
+	if err != nil {
+		return 0, err
+	}
+	var flat []float64
+	for i := range dists {
+		for j := i + 1; j < len(dists); j++ {
+			if d := dists[i][j]; d > 0 {
+				flat = append(flat, d)
+			}
+		}
+	}
+	if len(flat) == 0 {
+		// All points identical: any positive bandwidth yields one cluster.
+		return 1e-3, nil
+	}
+	med, err := stats.Median(flat)
+	if err != nil {
+		return 0, err
+	}
+	if med < 1e-8 {
+		med = 1e-8
+	}
+	return med, nil
+}
+
+// Cluster runs Mean-Shift over the points and groups the converged modes.
+func (ms *MeanShift) Cluster(points [][]float64) (*Result, error) {
+	n := len(points)
+	if n == 0 {
+		return nil, ErrNoPoints
+	}
+	d := len(points[0])
+	for i, p := range points {
+		if len(p) != d {
+			return nil, fmt.Errorf("cluster: point %d has %d dims, want %d", i, len(p), d)
+		}
+	}
+	h := ms.Bandwidth
+	if h <= 0 {
+		var err error
+		h, err = EstimateBandwidth(points)
+		if err != nil {
+			return nil, err
+		}
+	}
+	kernel := ms.Kernel
+	if kernel == 0 {
+		kernel = FlatKernel
+	}
+	maxIter := ms.MaxIter
+	if maxIter <= 0 {
+		maxIter = 100
+	}
+	tol := ms.Tol
+	if tol <= 0 {
+		tol = 1e-4
+	}
+
+	modes := make([][]float64, n)
+	for i := range points {
+		modes[i] = ms.shift(points, points[i], h, kernel, maxIter, tol)
+	}
+
+	mergeRadius := h * ms.MergeRadiusFactor
+	if mergeRadius <= 0 {
+		mergeRadius = h * 0.5
+	}
+	centers, labels := mergeModes(modes, mergeRadius)
+	sizes := make([]int, len(centers))
+	for _, l := range labels {
+		sizes[l]++
+	}
+	return &Result{Labels: labels, Centers: centers, Sizes: sizes}, nil
+}
+
+// shift performs the mean-shift ascent for one seed point.
+func (ms *MeanShift) shift(points [][]float64, seed []float64, h float64, kernel Kernel, maxIter int, tol float64) []float64 {
+	x := tensor.Clone(seed)
+	next := make([]float64, len(x))
+	for it := 0; it < maxIter; it++ {
+		tensor.Fill(next, 0)
+		var total float64
+		for _, p := range points {
+			d2, _ := tensor.SquaredDistance(x, p)
+			var w float64
+			switch kernel {
+			case GaussianKernel:
+				w = math.Exp(-d2 / (2 * h * h))
+			default: // FlatKernel
+				if d2 <= h*h {
+					w = 1
+				}
+			}
+			if w == 0 {
+				continue
+			}
+			total += w
+			for j, v := range p {
+				next[j] += w * v
+			}
+		}
+		if total == 0 {
+			// No neighbours within the bandwidth (flat kernel, isolated
+			// point); the point itself is its mode.
+			return x
+		}
+		for j := range next {
+			next[j] /= total
+		}
+		move, _ := tensor.Distance(next, x)
+		copy(x, next)
+		if move < tol {
+			break
+		}
+	}
+	return x
+}
+
+// mergeModes groups converged modes lying within radius of each other and
+// returns the cluster centers along with a label per input mode. Greedy,
+// first-come ordering keeps the procedure deterministic.
+func mergeModes(modes [][]float64, radius float64) (centers [][]float64, labels []int) {
+	labels = make([]int, len(modes))
+	for i, m := range modes {
+		assigned := -1
+		for c, ctr := range centers {
+			if d, _ := tensor.Distance(m, ctr); d <= radius {
+				assigned = c
+				break
+			}
+		}
+		if assigned == -1 {
+			centers = append(centers, tensor.Clone(m))
+			assigned = len(centers) - 1
+		}
+		labels[i] = assigned
+	}
+	// Refine centers to the mean of their members for stability.
+	counts := make([]int, len(centers))
+	sums := make([][]float64, len(centers))
+	for c := range centers {
+		sums[c] = make([]float64, len(centers[c]))
+	}
+	for i, l := range labels {
+		counts[l]++
+		for j, v := range modes[i] {
+			sums[l][j] += v
+		}
+	}
+	for c := range centers {
+		if counts[c] == 0 {
+			continue
+		}
+		for j := range sums[c] {
+			centers[c][j] = sums[c][j] / float64(counts[c])
+		}
+	}
+	return centers, labels
+}

@@ -1,0 +1,60 @@
+package core_test
+
+import (
+	"fmt"
+
+	"github.com/signguard/signguard/internal/core"
+	"github.com/signguard/signguard/internal/tensor"
+)
+
+// ExampleSignGuard_Aggregate shows one SignGuard round: forty benign
+// gradients plus ten colluding LIE-style gradients arrive; the filter
+// keeps the benign ones and clips-and-averages them.
+func ExampleSignGuard_Aggregate() {
+	rng := tensor.NewRNG(7)
+	const d = 200
+
+	// Benign gradients: shared signal + per-client noise.
+	signal := tensor.RandNormal(rng, d, 0, 1)
+	grads := make([][]float64, 0, 50)
+	for i := 0; i < 40; i++ {
+		g := tensor.Clone(signal)
+		for j := range g {
+			g[j] += rng.NormFloat64()
+		}
+		grads = append(grads, g)
+	}
+	// Malicious cohort: mean − 1.5·std per coordinate (a strong LIE).
+	mean, std := make([]float64, d), make([]float64, d)
+	for j := 0; j < d; j++ {
+		for _, g := range grads {
+			mean[j] += g[j] / 40
+		}
+		for _, g := range grads {
+			dev := g[j] - mean[j]
+			std[j] += dev * dev / 40
+		}
+	}
+	for i := 0; i < 10; i++ {
+		gm := make([]float64, d)
+		for j := range gm {
+			gm[j] = mean[j] - 1.5*tensor.Norm([]float64{std[j]})
+		}
+		grads = append(grads, gm)
+	}
+
+	sg := core.NewPlain(1)
+	res, err := sg.Aggregate(grads)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	var malicious int
+	for _, idx := range res.Selected {
+		if idx >= 40 {
+			malicious++
+		}
+	}
+	fmt.Printf("selected %d gradients, %d malicious\n", len(res.Selected), malicious)
+	// Output: selected 40 gradients, 0 malicious
+}

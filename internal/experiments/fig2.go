@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/signguard/signguard/internal/attack"
+	"github.com/signguard/signguard/internal/fl"
+	"github.com/signguard/signguard/internal/stats"
+	"github.com/signguard/signguard/internal/tensor"
+)
+
+// Fig2Series is one dataset's sign-statistics traces: per evaluation round,
+// the (pos, zero, neg) proportions of the average honest gradient and of a
+// virtual gradient crafted by the LIE attack from the same round's honest
+// gradients — the reproduction of the paper's Fig. 2.
+type Fig2Series struct {
+	Dataset string
+	Rounds  []int
+	Honest  []stats.SignStats
+	LIE     []stats.SignStats
+}
+
+// Fig2 trains the MNIST-analog CNN and the CIFAR-analog model with no
+// attack and records the sign statistics every sampleEvery rounds.
+func Fig2(p Params, sampleEvery int, log Reporter) ([]Fig2Series, []*Table, error) {
+	if sampleEvery <= 0 {
+		sampleEvery = 1
+	}
+	keys := []string{"mnist", "cifar"}
+	series := make([]Fig2Series, 0, len(keys))
+	tables := make([]*Table, 0, len(keys))
+	for _, key := range keys {
+		ds, err := DatasetByKey(key)
+		if err != nil {
+			return nil, nil, err
+		}
+		dataset, err := LoadDataset(ds, p)
+		if err != nil {
+			return nil, nil, err
+		}
+		s := Fig2Series{Dataset: ds.Title}
+		lie := attack.NewLIE(0.3)
+		hook := func(st *fl.RoundState) {
+			if st.Round%sampleEvery != 0 {
+				return
+			}
+			avg, err := tensor.Mean(st.Honest)
+			if err != nil {
+				return
+			}
+			honestSS, err := stats.ComputeSignStats(avg)
+			if err != nil {
+				return
+			}
+			gm, err := lie.CraftVector(st.Honest, p.Clients, p.NumByz())
+			if err != nil {
+				return
+			}
+			lieSS, err := stats.ComputeSignStats(gm)
+			if err != nil {
+				return
+			}
+			s.Rounds = append(s.Rounds, st.Round)
+			s.Honest = append(s.Honest, honestSS)
+			s.LIE = append(s.LIE, lieSS)
+		}
+
+		rule, err := RuleByName("Mean")
+		if err != nil {
+			return nil, nil, err
+		}
+		att, err := AttackByName("NoAttack")
+		if err != nil {
+			return nil, nil, err
+		}
+		opt := DefaultCellOptions()
+		opt.RoundHook = hook
+		// Clean training: no Byzantine clients at all (matches the paper's
+		// Fig. 2 protocol of training "under no attacks").
+		opt.OverrideNumByz = 0
+		if _, err := RunCell(dataset, ds, rule, att, p, opt); err != nil {
+			return nil, nil, err
+		}
+		log.printf("fig2[%s] recorded %d samples", key, len(s.Rounds))
+		series = append(series, s)
+		tables = append(tables, s.Table())
+	}
+	return series, tables, nil
+}
+
+// Table renders the series in the paper's reporting form.
+func (s *Fig2Series) Table() *Table {
+	t := &Table{Title: fmt.Sprintf("Fig. 2 — sign statistics over training (%s)", s.Dataset)}
+	t.Header = []string{"Round", "Honest pos", "Honest zero", "Honest neg", "LIE pos", "LIE zero", "LIE neg"}
+	for i, r := range s.Rounds {
+		t.AddRow(
+			fmt.Sprintf("%d", r),
+			fmtRate(s.Honest[i].Pos), fmtRate(s.Honest[i].Zero), fmtRate(s.Honest[i].Neg),
+			fmtRate(s.LIE[i].Pos), fmtRate(s.LIE[i].Zero), fmtRate(s.LIE[i].Neg),
+		)
+	}
+	return t
+}

@@ -1,0 +1,80 @@
+package experiments
+
+import "fmt"
+
+// Fig4 reproduces "Fig. 4: accuracy drop comparison under various attacks
+// and different percentage of Byzantine clients": for the Fashion- and
+// CIFAR-analogs, the attack impact (Definition 3 — accuracy drop relative
+// to the no-attack/no-defense baseline) of five defenses under five strong
+// attacks as the Byzantine fraction sweeps 10–40%.
+func Fig4(p Params, log Reporter) ([]*Table, error) {
+	fractions := []float64{0.1, 0.2, 0.3, 0.4}
+	defenses, err := SelectRules("Median", "TrMean", "Multi-Krum", "DnC", "SignGuard-Sim")
+	if err != nil {
+		return nil, err
+	}
+	attacks, err := SelectAttacks("ByzMean", "Sign-flip", "LIE", "Min-Max", "Min-Sum")
+	if err != nil {
+		return nil, err
+	}
+	noAttack, err := AttackByName("NoAttack")
+	if err != nil {
+		return nil, err
+	}
+	meanRule, err := RuleByName("Mean")
+	if err != nil {
+		return nil, err
+	}
+
+	var tables []*Table
+	for _, key := range []string{"fashion", "cifar"} {
+		ds, err := DatasetByKey(key)
+		if err != nil {
+			return nil, err
+		}
+		dataset, err := LoadDataset(ds, p)
+		if err != nil {
+			return nil, err
+		}
+
+		// Definition 3 baseline: no attack, no defense (plain Mean).
+		opt := DefaultCellOptions()
+		opt.OverrideNumByz = 0
+		baseRes, err := RunCell(dataset, ds, meanRule, noAttack, p, opt)
+		if err != nil {
+			return nil, err
+		}
+		baseline := baseRes.BestAccuracy
+		log.printf("fig4[%s] baseline (no attack, no defense) = %.2f", key, baseline)
+
+		t := &Table{Title: fmt.Sprintf("Fig. 4 — attack impact (%%) vs Byzantine fraction, %s (baseline %.2f%%)", ds.Title, baseline)}
+		t.Header = []string{"Defense", "Attack"}
+		for _, f := range fractions {
+			t.Header = append(t.Header, fmt.Sprintf("%d%%", int(f*100)))
+		}
+
+		for _, def := range defenses {
+			for _, att := range attacks {
+				row := []string{def.Name, att.Name}
+				for _, frac := range fractions {
+					opt := DefaultCellOptions()
+					opt.OverrideNumByz = int(frac * float64(p.Clients))
+					res, err := RunCell(dataset, ds, def, att, p, opt)
+					if err != nil {
+						return nil, err
+					}
+					impact := baseline - res.BestAccuracy
+					if impact < 0 {
+						impact = 0
+					}
+					row = append(row, fmtAcc(impact))
+					log.printf("fig4[%s] %s × %s @ %d%% → impact %.2f",
+						key, def.Name, att.Name, int(frac*100), impact)
+				}
+				t.AddRow(row...)
+			}
+		}
+		tables = append(tables, t)
+	}
+	return tables, nil
+}

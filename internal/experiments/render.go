@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Reporter receives progress lines from long sweeps; a nil Reporter is
+// silently ignored.
+type Reporter func(format string, args ...any)
+
+func (r Reporter) printf(format string, args ...any) {
+	if r != nil {
+		r(format, args...)
+	}
+}
+
+// Table is a rendered experiment result: the rows/series the paper reports.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a row of cells.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Markdown writes the table as GitHub-flavoured markdown.
+func (t *Table) Markdown(w io.Writer) error {
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "### %s\n\n", t.Title); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(t.Header, " | ")); err != nil {
+		return err
+	}
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(sep, " | ")); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(row, " | ")); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// TSV writes the table as tab-separated values (header first).
+func (t *Table) TSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, strings.Join(t.Header, "\t")); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintln(w, strings.Join(row, "\t")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fmtAcc formats an accuracy percentage like the paper's tables.
+func fmtAcc(v float64) string {
+	return strconv.FormatFloat(v, 'f', 2, 64)
+}
+
+// fmtRate formats a selection rate like the paper's Table II.
+func fmtRate(v float64) string {
+	return strconv.FormatFloat(v, 'f', 4, 64)
+}

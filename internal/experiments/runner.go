@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/signguard/signguard/internal/attack"
+	"github.com/signguard/signguard/internal/data"
+	"github.com/signguard/signguard/internal/fl"
+)
+
+// CellOptions customizes a single attack × defense run beyond the scale
+// defaults.
+type CellOptions struct {
+	// NonIID, when non-nil, uses the paper's non-IID partition.
+	NonIID *fl.NonIID
+	// OverrideAttack substitutes a pre-built attack (used for time-varying
+	// and ablation attacks that are not in the standard list).
+	OverrideAttack attack.Attack
+	// OverrideNumByz, when >= 0, replaces the Byzantine count derived from
+	// Params.ByzFraction (used by the Fig. 4 fraction sweep).
+	OverrideNumByz int
+	// RoundHook observes every round.
+	RoundHook func(*fl.RoundState)
+}
+
+// DefaultCellOptions returns the zero customization (OverrideNumByz
+// disabled).
+func DefaultCellOptions() CellOptions { return CellOptions{OverrideNumByz: -1} }
+
+// RunCell executes one (dataset, rule, attack) experiment cell: it builds a
+// fresh rule and attack, runs the configured number of rounds, and returns
+// the run result.
+func RunCell(dataset *data.Dataset, ds DatasetSpec, rule RuleSpec, att AttackSpec, p Params, opt CellOptions) (*fl.RunResult, error) {
+	numByz := p.NumByz()
+	if opt.OverrideNumByz >= 0 {
+		numByz = opt.OverrideNumByz
+	}
+	r, err := rule.New(p.Clients, numByz, p.Seed+11)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: building rule %s: %w", rule.Name, err)
+	}
+	a := opt.OverrideAttack
+	if a == nil {
+		a = att.New(p.Seed + 13)
+	}
+	sim, err := fl.New(fl.Config{
+		Dataset:     dataset,
+		NewModel:    ds.NewModel,
+		Rule:        r,
+		Attack:      a,
+		Clients:     p.Clients,
+		NumByz:      numByz,
+		Rounds:      p.Rounds,
+		BatchSize:   p.BatchSize,
+		LR:          ds.LR,
+		Momentum:    0.9,
+		WeightDecay: 5e-4,
+		EvalEvery:   p.EvalEvery,
+		EvalSamples: p.EvalSamples,
+		NonIID:      opt.NonIID,
+		Seed:        p.Seed,
+		RoundHook:   opt.RoundHook,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s/%s/%s: %w", ds.Key, rule.Name, att.Name, err)
+	}
+	res, err := sim.Run()
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s/%s/%s: %w", ds.Key, rule.Name, att.Name, err)
+	}
+	return res, nil
+}
+
+// LoadDataset builds the dataset for a spec at the given params.
+func LoadDataset(ds DatasetSpec, p Params) (*data.Dataset, error) {
+	dataset, err := ds.Load(p.Seed+7, p.TrainSize, p.TestSize)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: loading %s: %w", ds.Key, err)
+	}
+	return dataset, nil
+}

@@ -1,0 +1,172 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseScale(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Scale
+		ok   bool
+	}{
+		{"bench", ScaleBench, true},
+		{"standard", ScaleStandard, true},
+		{"full", ScaleFull, true},
+		{"huge", 0, false},
+	} {
+		got, err := ParseScale(tc.in)
+		if tc.ok && (err != nil || got != tc.want) {
+			t.Errorf("ParseScale(%q) = %v, %v", tc.in, got, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("ParseScale(%q) accepted", tc.in)
+		}
+	}
+	if ScaleBench.String() != "bench" || Scale(9).String() == "" {
+		t.Error("Scale.String")
+	}
+}
+
+func TestDefaultParams(t *testing.T) {
+	for _, s := range []Scale{ScaleBench, ScaleStandard, ScaleFull} {
+		p := DefaultParams(s)
+		if p.Clients <= 0 || p.Rounds <= 0 || p.BatchSize <= 0 || p.TrainSize <= 0 {
+			t.Errorf("%v params invalid: %+v", s, p)
+		}
+		if p.NumByz() != int(0.2*float64(p.Clients)) {
+			t.Errorf("%v NumByz = %d", s, p.NumByz())
+		}
+	}
+	if DefaultParams(ScaleFull).Rounds <= DefaultParams(ScaleBench).Rounds {
+		t.Error("full scale should train longer than bench scale")
+	}
+}
+
+func TestSpecLookups(t *testing.T) {
+	if len(Datasets()) != 4 {
+		t.Fatalf("%d datasets", len(Datasets()))
+	}
+	for _, key := range []string{"mnist", "fashion", "cifar", "agnews"} {
+		ds, err := DatasetByKey(key)
+		if err != nil || ds.Key != key {
+			t.Errorf("DatasetByKey(%q) = %+v, %v", key, ds, err)
+		}
+	}
+	if _, err := DatasetByKey("imagenet"); err == nil {
+		t.Error("accepted unknown dataset")
+	}
+
+	rules := Rules()
+	if len(rules) != 10 {
+		t.Fatalf("%d rules, want 10 (Table I rows)", len(rules))
+	}
+	if rules[0].Name != "Mean" || rules[len(rules)-1].Name != "SignGuard-Dist" {
+		t.Errorf("rule order: %s ... %s", rules[0].Name, rules[len(rules)-1].Name)
+	}
+	if _, err := RuleByName("nope"); err == nil {
+		t.Error("accepted unknown rule")
+	}
+
+	attacks := Attacks()
+	if len(attacks) != 9 {
+		t.Fatalf("%d attacks, want 9 (Table I columns)", len(attacks))
+	}
+	if attacks[0].Name != "NoAttack" {
+		t.Errorf("first attack = %s", attacks[0].Name)
+	}
+	if _, err := AttackByName("nope"); err == nil {
+		t.Error("accepted unknown attack")
+	}
+	if _, err := SelectAttacks("LIE", "nope"); err == nil {
+		t.Error("SelectAttacks accepted unknown name")
+	}
+	if sel, err := SelectRules("DnC", "Mean"); err != nil || len(sel) != 2 || sel[0].Name != "DnC" {
+		t.Errorf("SelectRules = %v, %v", sel, err)
+	}
+}
+
+func TestRuleFactoriesBuild(t *testing.T) {
+	for _, r := range Rules() {
+		rule, err := r.New(50, 10, 1)
+		if err != nil {
+			t.Errorf("building %s: %v", r.Name, err)
+			continue
+		}
+		if rule.Name() == "" {
+			t.Errorf("%s produced empty rule name", r.Name)
+		}
+	}
+	// Bulyan's factory must cap f when the fraction is too high for
+	// n >= 4f+2.
+	spec, err := RuleByName("Bulyan")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := spec.New(50, 20, 1); err != nil {
+		t.Errorf("Bulyan factory with 40%% Byzantine: %v", err)
+	}
+}
+
+func TestAttackFactoriesBuild(t *testing.T) {
+	for _, a := range Attacks() {
+		att := a.New(1)
+		if att == nil || att.Name() == "" {
+			t.Errorf("attack factory %s broken", a.Name)
+		}
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := &Table{Title: "T", Header: []string{"a", "b"}}
+	tbl.AddRow("1", "2")
+	var md strings.Builder
+	if err := tbl.Markdown(&md); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(md.String(), "| a | b |") || !strings.Contains(md.String(), "### T") {
+		t.Errorf("markdown = %q", md.String())
+	}
+	var tsv strings.Builder
+	if err := tbl.TSV(&tsv); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tsv.String(), "a\tb") || !strings.Contains(tsv.String(), "1\t2") {
+		t.Errorf("tsv = %q", tsv.String())
+	}
+}
+
+// TestRunCellSmoke runs one tiny cell end to end through the harness.
+func TestRunCellSmoke(t *testing.T) {
+	p := Params{
+		Clients: 8, ByzFraction: 0.25, Rounds: 6, BatchSize: 4,
+		EvalEvery: 3, EvalSamples: 50, TrainSize: 200, TestSize: 80, Seed: 1,
+	}
+	ds, err := DatasetByKey("mnist")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dataset, err := LoadDataset(ds, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rule, err := RuleByName("SignGuard")
+	if err != nil {
+		t.Fatal(err)
+	}
+	att, err := AttackByName("LIE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunCell(dataset, ds, rule, att, p, DefaultCellOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestAccuracy < 0 || res.BestAccuracy > 100 {
+		t.Errorf("accuracy %v out of range", res.BestAccuracy)
+	}
+	if _, _, ok := res.SelectionRates(); !ok {
+		t.Error("SignGuard cell must report selection rates")
+	}
+}

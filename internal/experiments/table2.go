@@ -1,0 +1,50 @@
+package experiments
+
+import "fmt"
+
+// Table2 reproduces "Table II: selected rate of honest and malicious
+// gradients" — the average fraction of honest (H) and malicious (M)
+// gradients that each SignGuard variant admitted into the trusted set
+// during CIFAR-analog training, under the five strong attacks.
+func Table2(p Params, log Reporter) (*Table, error) {
+	ds, err := DatasetByKey("cifar")
+	if err != nil {
+		return nil, err
+	}
+	dataset, err := LoadDataset(ds, p)
+	if err != nil {
+		return nil, err
+	}
+	variants, err := SelectRules("SignGuard", "SignGuard-Sim", "SignGuard-Dist")
+	if err != nil {
+		return nil, err
+	}
+	attacks, err := SelectAttacks("ByzMean", "Sign-flip", "LIE", "Min-Max", "Min-Sum")
+	if err != nil {
+		return nil, err
+	}
+
+	t := &Table{Title: "Table II — selected rate of honest (H) and malicious (M) gradients"}
+	t.Header = []string{"Attack"}
+	for _, v := range variants {
+		t.Header = append(t.Header, v.Name+" H", v.Name+" M")
+	}
+
+	for _, att := range attacks {
+		row := []string{att.Name}
+		for _, v := range variants {
+			res, err := RunCell(dataset, ds, v, att, p, DefaultCellOptions())
+			if err != nil {
+				return nil, err
+			}
+			h, m, ok := res.SelectionRates()
+			if !ok {
+				return nil, fmt.Errorf("experiments: %s reported no selection under %s", v.Name, att.Name)
+			}
+			row = append(row, fmtRate(h), fmtRate(m))
+			log.printf("table2 %s × %s → H=%.4f M=%.4f", v.Name, att.Name, h, m)
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}

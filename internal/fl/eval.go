@@ -1,0 +1,86 @@
+package fl
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/signguard/signguard/internal/data"
+	"github.com/signguard/signguard/internal/nn"
+	"github.com/signguard/signguard/internal/tensor"
+)
+
+// BatchInput converts a slice of examples into the model-facing batch
+// representation (dense matrix or token sequences) plus the label vector.
+func BatchInput(ds *data.Dataset, batch []data.Example) (nn.Input, []int, error) {
+	if len(batch) == 0 {
+		return nn.Input{}, nil, errors.New("fl: empty batch")
+	}
+	labels := make([]int, len(batch))
+	if ds.IsText() {
+		tokens := make([][]int, len(batch))
+		for i, e := range batch {
+			if e.Tokens == nil {
+				return nn.Input{}, nil, fmt.Errorf("fl: example %d has no tokens in text dataset %s", i, ds.Name)
+			}
+			tokens[i] = e.Tokens
+			labels[i] = e.Label
+		}
+		return nn.Input{Tokens: tokens}, labels, nil
+	}
+	d := ds.FeatureDim()
+	m := tensor.NewMatrix(len(batch), d)
+	for i, e := range batch {
+		if len(e.Features) != d {
+			return nn.Input{}, nil, fmt.Errorf("fl: example %d has %d features, want %d", i, len(e.Features), d)
+		}
+		copy(m.Row(i), e.Features)
+		labels[i] = e.Label
+	}
+	return nn.Input{Dense: m}, labels, nil
+}
+
+// Evaluate returns the accuracy (in percent) of the model over the given
+// examples, processed in chunks.
+func Evaluate(model nn.Classifier, ds *data.Dataset, examples []data.Example) (float64, error) {
+	if len(examples) == 0 {
+		return 0, errors.New("fl: no evaluation examples")
+	}
+	const chunk = 256
+	var correct int
+	for lo := 0; lo < len(examples); lo += chunk {
+		hi := lo + chunk
+		if hi > len(examples) {
+			hi = len(examples)
+		}
+		in, labels, err := BatchInput(ds, examples[lo:hi])
+		if err != nil {
+			return 0, err
+		}
+		preds, err := model.Predict(in)
+		if err != nil {
+			return 0, err
+		}
+		for i, p := range preds {
+			if p == labels[i] {
+				correct++
+			}
+		}
+	}
+	return 100 * float64(correct) / float64(len(examples)), nil
+}
+
+// EvaluateSample evaluates on at most limit examples drawn deterministically
+// from the given seed (limit <= 0 evaluates everything). Sub-sampling keeps
+// the dense evaluation grid of the experiment sweeps affordable.
+func EvaluateSample(model nn.Classifier, ds *data.Dataset, examples []data.Example, limit int, seed int64) (float64, error) {
+	if limit <= 0 || limit >= len(examples) {
+		return Evaluate(model, ds, examples)
+	}
+	rng := tensor.NewRNG(seed)
+	idx := tensor.SampleIndices(rng, len(examples), limit)
+	sub, err := data.Subset(examples, idx)
+	if err != nil {
+		return 0, err
+	}
+	return Evaluate(model, ds, sub)
+}

@@ -1,0 +1,364 @@
+// Package fl is the federated-learning engine of the reproduction: a
+// deterministic in-process simulation of the paper's system — one parameter
+// server, n clients (a β-fraction Byzantine and controlled by an omniscient
+// adversary), synchronous full-participation rounds (Algorithm 1), robust
+// gradient aggregation, and server-side momentum SGD.
+//
+// The engine is the substrate under every table and figure: it exposes the
+// per-round gradients, filtering decisions, and accuracy traces the
+// experiments record.
+package fl
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/signguard/signguard/internal/aggregate"
+	"github.com/signguard/signguard/internal/attack"
+	"github.com/signguard/signguard/internal/data"
+	"github.com/signguard/signguard/internal/nn"
+	"github.com/signguard/signguard/internal/tensor"
+)
+
+// NonIID configures the paper's synthetic non-IID partition: an S-fraction
+// of the data is spread IID, the rest is sorted by label and dealt out as
+// ShardsPerClient shards per client.
+type NonIID struct {
+	S               float64
+	ShardsPerClient int
+}
+
+// RoundState is passed to the optional per-round hook: everything observed
+// and decided in one aggregation round.
+type RoundState struct {
+	Round int
+	// Grads holds all submitted gradients in server arrival order.
+	Grads [][]float64
+	// ByzMask marks which arrival positions carry malicious gradients.
+	ByzMask []bool
+	// Honest holds the honest gradients of the benign clients only.
+	Honest [][]float64
+	// Result is the aggregation outcome of the round.
+	Result *aggregate.Result
+}
+
+// Config describes one simulated training run.
+type Config struct {
+	// Dataset supplies the train/test split (required).
+	Dataset *data.Dataset
+	// NewModel constructs the global model (required). It is called once
+	// with a seeded RNG.
+	NewModel func(rng *rand.Rand) (nn.Classifier, error)
+	// Rule is the gradient aggregation rule under test (required).
+	Rule aggregate.Rule
+	// Attack is the adversary's strategy; nil or attack.None means no
+	// attack.
+	Attack attack.Attack
+
+	// Clients is the total client count n (paper default 50).
+	Clients int
+	// NumByz is the number of Byzantine clients m (n ≥ 2m+1 expected).
+	NumByz int
+	// Rounds is the number of synchronous aggregation rounds T.
+	Rounds int
+	// BatchSize is the per-client mini-batch size.
+	BatchSize int
+
+	// LR / Momentum / WeightDecay configure the server-side SGD step
+	// (paper defaults: momentum 0.9, weight decay 5e-4).
+	LR          float64
+	Momentum    float64
+	WeightDecay float64
+
+	// EvalEvery evaluates test accuracy every k rounds (default: 10).
+	// The final round is always evaluated.
+	EvalEvery int
+	// EvalSamples caps the test examples used per evaluation (0 = all).
+	EvalSamples int
+
+	// NonIID, when non-nil, uses the paper's non-IID partition.
+	NonIID *NonIID
+
+	// Seed drives every random choice of the run (model init, partition,
+	// batching, attack randomness).
+	Seed int64
+
+	// RoundHook, when non-nil, observes every round (used by the Fig. 2
+	// sign-statistics experiment and by tests).
+	RoundHook func(*RoundState)
+}
+
+func (c *Config) validate() error {
+	switch {
+	case c.Dataset == nil:
+		return errors.New("fl: Config.Dataset is required")
+	case c.NewModel == nil:
+		return errors.New("fl: Config.NewModel is required")
+	case c.Rule == nil:
+		return errors.New("fl: Config.Rule is required")
+	case c.Clients <= 0:
+		return fmt.Errorf("fl: %d clients invalid", c.Clients)
+	case c.NumByz < 0 || c.NumByz >= c.Clients:
+		return fmt.Errorf("fl: %d Byzantine of %d clients invalid", c.NumByz, c.Clients)
+	case c.Rounds <= 0:
+		return fmt.Errorf("fl: %d rounds invalid", c.Rounds)
+	case c.BatchSize <= 0:
+		return fmt.Errorf("fl: batch size %d invalid", c.BatchSize)
+	case c.LR <= 0:
+		return fmt.Errorf("fl: learning rate %v invalid", c.LR)
+	}
+	return nil
+}
+
+// client is one simulated participant.
+type client struct {
+	id        int
+	byzantine bool
+	sampler   *data.Sampler
+}
+
+// Simulation is a configured, ready-to-run federated training session.
+type Simulation struct {
+	cfg     Config
+	model   nn.Classifier
+	clients []*client
+	opt     *nn.SGD
+	attack  attack.Attack
+	attRng  *rand.Rand
+	permRng *rand.Rand
+	global  []float64
+}
+
+// New prepares a simulation: builds the model, partitions the data and
+// provisions the clients (poisoning Byzantine local data when the attack
+// is a data poisoner).
+func New(cfg Config) (*Simulation, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.EvalEvery <= 0 {
+		cfg.EvalEvery = 10
+	}
+	att := cfg.Attack
+	if att == nil {
+		att = attack.NewNone()
+	}
+
+	modelRng := tensor.NewRNG(cfg.Seed + 1)
+	partRng := tensor.NewRNG(cfg.Seed + 2)
+	attRng := tensor.NewRNG(cfg.Seed + 3)
+	permRng := tensor.NewRNG(cfg.Seed + 4)
+
+	model, err := cfg.NewModel(modelRng)
+	if err != nil {
+		return nil, fmt.Errorf("fl: building model: %w", err)
+	}
+
+	var parts [][]int
+	if cfg.NonIID != nil {
+		shards := cfg.NonIID.ShardsPerClient
+		if shards <= 0 {
+			shards = 2
+		}
+		parts, err = data.PartitionNonIID(partRng, cfg.Dataset.Train, cfg.Clients, cfg.NonIID.S, shards)
+	} else {
+		parts, err = data.PartitionIID(partRng, len(cfg.Dataset.Train), cfg.Clients)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("fl: partitioning: %w", err)
+	}
+
+	poisoner, _ := att.(attack.DataPoisoner)
+	clients := make([]*client, cfg.Clients)
+	for i := range clients {
+		local, err := data.Subset(cfg.Dataset.Train, parts[i])
+		if err != nil {
+			return nil, err
+		}
+		byz := i < cfg.NumByz
+		if byz && poisoner != nil {
+			local, err = poisoner.PoisonData(local, cfg.Dataset.Classes)
+			if err != nil {
+				return nil, fmt.Errorf("fl: poisoning client %d: %w", i, err)
+			}
+		}
+		sampler, err := data.NewSampler(tensor.NewRNG(cfg.Seed+100+int64(i)), local)
+		if err != nil {
+			return nil, fmt.Errorf("fl: client %d: %w", i, err)
+		}
+		clients[i] = &client{id: i, byzantine: byz, sampler: sampler}
+	}
+
+	return &Simulation{
+		cfg:     cfg,
+		model:   model,
+		clients: clients,
+		opt:     nn.NewSGD(cfg.LR, cfg.Momentum, cfg.WeightDecay),
+		attack:  att,
+		attRng:  attRng,
+		permRng: permRng,
+		global:  model.ParamVector(),
+	}, nil
+}
+
+// Model returns the global model (parameters reflect the latest round).
+func (s *Simulation) Model() nn.Classifier { return s.model }
+
+// localGradient computes one client's honest stochastic gradient at the
+// current global parameters.
+func (s *Simulation) localGradient(c *client) ([]float64, float64, error) {
+	batch := c.sampler.Batch(s.cfg.BatchSize)
+	in, labels, err := BatchInput(s.cfg.Dataset, batch)
+	if err != nil {
+		return nil, 0, err
+	}
+	s.model.ZeroGrad()
+	loss, _, err := s.model.LossAndGrad(in, labels)
+	if err != nil {
+		return nil, 0, fmt.Errorf("fl: client %d gradient: %w", c.id, err)
+	}
+	return s.model.GradVector(), loss, nil
+}
+
+// Step executes one synchronous round: local gradients, attack crafting,
+// robust aggregation and the server SGD update. It returns the round
+// metrics.
+func (s *Simulation) Step(round int) (*RoundMetrics, error) {
+	if err := s.model.SetParamVector(s.global); err != nil {
+		return nil, err
+	}
+
+	var benign, byzOwn [][]float64
+	var lossSum float64
+	var lossCnt int
+	for _, c := range s.clients {
+		g, loss, err := s.localGradient(c)
+		if err != nil {
+			return nil, err
+		}
+		if !gradientHealthy(g) {
+			// The model has left the numerically usable range (a successful
+			// destructive attack in an earlier round). Detect it before the
+			// adversary — whose distance computations would overflow or
+			// propagate NaNs — sees it.
+			return nil, fmt.Errorf("%w: unusable gradient from client %d in round %d",
+				ErrDiverged, c.id, round)
+		}
+		if c.byzantine {
+			byzOwn = append(byzOwn, g)
+		} else {
+			benign = append(benign, g)
+			lossSum += loss
+			lossCnt++
+		}
+	}
+
+	var malicious [][]float64
+	if len(byzOwn) > 0 {
+		ctx := &attack.Context{Benign: benign, ByzOwn: byzOwn, Rng: s.attRng}
+		var err error
+		malicious, err = s.attack.Craft(ctx)
+		if err != nil {
+			return nil, fmt.Errorf("fl: attack %s: %w", s.attack.Name(), err)
+		}
+		if len(malicious) != len(byzOwn) {
+			return nil, fmt.Errorf("fl: attack %s produced %d gradients, want %d",
+				s.attack.Name(), len(malicious), len(byzOwn))
+		}
+	}
+
+	// Submit in a fresh random arrival order each round: gradients are
+	// anonymous at the server (threat-model assumption), so no rule may
+	// exploit positions.
+	n := len(benign) + len(malicious)
+	grads := make([][]float64, n)
+	byzMask := make([]bool, n)
+	perm := s.permRng.Perm(n)
+	for i, g := range benign {
+		grads[perm[i]] = g
+	}
+	for i, g := range malicious {
+		pos := perm[len(benign)+i]
+		grads[pos] = g
+		byzMask[pos] = true
+	}
+
+	for _, g := range grads {
+		if !gradientHealthy(g) {
+			// The attack itself overflowed (honest inputs were usable).
+			return nil, fmt.Errorf("%w: unusable submitted gradient in round %d", ErrDiverged, round)
+		}
+	}
+	res, err := s.cfg.Rule.Aggregate(grads)
+	if err != nil {
+		return nil, fmt.Errorf("fl: rule %s: %w", s.cfg.Rule.Name(), err)
+	}
+	if !tensor.AllFinite(res.Gradient) {
+		return nil, fmt.Errorf("%w: rule %s produced a non-finite aggregate in round %d",
+			ErrDiverged, s.cfg.Rule.Name(), round)
+	}
+	if err := s.opt.Step(s.global, res.Gradient); err != nil {
+		return nil, err
+	}
+
+	if s.cfg.RoundHook != nil {
+		s.cfg.RoundHook(&RoundState{
+			Round:   round,
+			Grads:   grads,
+			ByzMask: byzMask,
+			Honest:  benign,
+			Result:  res,
+		})
+	}
+
+	m := &RoundMetrics{Round: round, TrainLoss: lossSum / float64(max(lossCnt, 1))}
+	m.countSelection(res.Selected, byzMask)
+	return m, nil
+}
+
+// ErrDiverged marks a training run whose model left the finite range —
+// the intended outcome of a successful destructive attack. Run treats it
+// as a terminal training state, not a harness failure.
+var ErrDiverged = errors.New("fl: training diverged")
+
+// gradientHealthy reports whether a gradient is usable by the attacks and
+// aggregation rules downstream: every entry finite AND the norm small
+// enough that squared pairwise distances cannot overflow float64.
+func gradientHealthy(g []float64) bool {
+	const maxNorm = 1e140 // (2·maxNorm)² is still far below math.MaxFloat64
+	n := tensor.Norm(g)
+	return !math.IsNaN(n) && n <= maxNorm
+}
+
+// Run executes the configured number of rounds and returns the aggregated
+// result (accuracy trace, best accuracy, selection rates). A run whose
+// model diverges (ErrDiverged) stops early with Diverged set and keeps the
+// metrics collected so far: a destroyed model is a result, not an error.
+func (s *Simulation) Run() (*RunResult, error) {
+	result := &RunResult{RuleName: s.cfg.Rule.Name(), AttackName: s.attack.Name()}
+	for t := 0; t < s.cfg.Rounds; t++ {
+		m, err := s.Step(t)
+		if errors.Is(err, ErrDiverged) {
+			result.Diverged = true
+			return result, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		if (t+1)%s.cfg.EvalEvery == 0 || t == s.cfg.Rounds-1 {
+			if err := s.model.SetParamVector(s.global); err != nil {
+				return nil, err
+			}
+			acc, err := EvaluateSample(s.model, s.cfg.Dataset, s.cfg.Dataset.Test, s.cfg.EvalSamples, s.cfg.Seed+int64(t))
+			if err != nil {
+				return nil, err
+			}
+			m.TestAccuracy = acc
+			m.Evaluated = true
+		}
+		result.Add(m)
+	}
+	return result, nil
+}

@@ -1,0 +1,340 @@
+package fl
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/signguard/signguard/internal/aggregate"
+	"github.com/signguard/signguard/internal/attack"
+	"github.com/signguard/signguard/internal/core"
+	"github.com/signguard/signguard/internal/data"
+	"github.com/signguard/signguard/internal/nn"
+	"github.com/signguard/signguard/internal/tensor"
+)
+
+// tinyDataset returns a small, easy image dataset for fast engine tests.
+func tinyDataset(t *testing.T) *data.Dataset {
+	t.Helper()
+	ds, err := data.GenerateSynthImage(data.SynthImageConfig{
+		Name: "tiny", Classes: 4, C: 1, H: 4, W: 4, Train: 400, Test: 120,
+		Margin: 4, NoiseStd: 0.4, SmoothPass: 1, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func tinyModel(rng *rand.Rand) (nn.Classifier, error) {
+	return nn.NewMLP(rng, 16, 12, 4)
+}
+
+func baseConfig(ds *data.Dataset) Config {
+	return Config{
+		Dataset: ds, NewModel: tinyModel, Rule: aggregate.NewMean(),
+		Clients: 10, NumByz: 0, Rounds: 30, BatchSize: 8,
+		LR: 0.1, Momentum: 0.9, WeightDecay: 5e-4,
+		EvalEvery: 10, Seed: 42,
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	ds := tinyDataset(t)
+	good := baseConfig(ds)
+	mods := []func(*Config){
+		func(c *Config) { c.Dataset = nil },
+		func(c *Config) { c.NewModel = nil },
+		func(c *Config) { c.Rule = nil },
+		func(c *Config) { c.Clients = 0 },
+		func(c *Config) { c.NumByz = -1 },
+		func(c *Config) { c.NumByz = c.Clients },
+		func(c *Config) { c.Rounds = 0 },
+		func(c *Config) { c.BatchSize = 0 },
+		func(c *Config) { c.LR = 0 },
+	}
+	for i, mod := range mods {
+		cfg := good
+		mod(&cfg)
+		if _, err := New(cfg); err == nil {
+			t.Errorf("config mutation %d accepted", i)
+		}
+	}
+	if _, err := New(good); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+}
+
+func TestCleanTrainingConverges(t *testing.T) {
+	sim, err := New(baseConfig(tinyDataset(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestAccuracy < 90 {
+		t.Errorf("clean training reached only %.1f%%", res.BestAccuracy)
+	}
+	if res.RuleName != "Mean" || res.AttackName != "NoAttack" {
+		t.Errorf("names: %s / %s", res.RuleName, res.AttackName)
+	}
+	if len(res.History) != 30 {
+		t.Errorf("history has %d rounds", len(res.History))
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	run := func() *RunResult {
+		cfg := baseConfig(tinyDataset(t))
+		cfg.NumByz = 2
+		cfg.Attack = attack.NewLIE(0.3)
+		cfg.Rule = core.NewPlain(7)
+		sim, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.BestAccuracy != b.BestAccuracy || a.FinalAccuracy != b.FinalAccuracy {
+		t.Errorf("identical seeds diverged: %v/%v vs %v/%v",
+			a.BestAccuracy, a.FinalAccuracy, b.BestAccuracy, b.FinalAccuracy)
+	}
+	for i := range a.History {
+		if a.History[i].TrainLoss != b.History[i].TrainLoss {
+			t.Fatalf("round %d loss differs", i)
+		}
+	}
+}
+
+func TestSignFlipHurtsMeanButNotSignGuard(t *testing.T) {
+	base := func(rule aggregate.Rule) float64 {
+		cfg := baseConfig(tinyDataset(t))
+		cfg.NumByz = 3
+		cfg.Attack = attack.NewReverse(5)
+		cfg.Rule = rule
+		cfg.Rounds = 40
+		sim, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.FinalAccuracy
+	}
+	mean := base(aggregate.NewMean())
+	guarded := base(core.NewPlain(5))
+	if guarded < mean+10 {
+		t.Errorf("SignGuard (%.1f) should clearly beat Mean (%.1f) under a scaled reverse attack", guarded, mean)
+	}
+}
+
+func TestLabelFlipPoisonsByzantineClients(t *testing.T) {
+	ds := tinyDataset(t)
+	cfg := baseConfig(ds)
+	cfg.NumByz = 3
+	cfg.Attack = attack.NewLabelFlip()
+	var diverged bool
+	cfg.RoundHook = func(st *RoundState) {
+		// The label-flipped clients' gradients should differ from honest
+		// ones; verify at least that malicious gradient positions exist.
+		for i, b := range st.ByzMask {
+			if b && tensor.Norm(st.Grads[i]) > 0 {
+				diverged = true
+			}
+		}
+	}
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !diverged {
+		t.Error("label-flip produced no malicious gradients")
+	}
+}
+
+func TestSelectionAccounting(t *testing.T) {
+	cfg := baseConfig(tinyDataset(t))
+	cfg.NumByz = 2
+	cfg.Attack = attack.NewRandom()
+	cfg.Rule = core.NewPlain(3)
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, m, ok := res.SelectionRates()
+	if !ok {
+		t.Fatal("SignGuard must report selection rates")
+	}
+	if h <= 0 || h > 1 {
+		t.Errorf("honest rate %v out of range", h)
+	}
+	if m > 0.2 {
+		t.Errorf("random attack selected at rate %v, want near 0", m)
+	}
+}
+
+func TestCoordinateRuleReportsNoSelection(t *testing.T) {
+	cfg := baseConfig(tinyDataset(t))
+	cfg.Rule = aggregate.NewMedian()
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := res.SelectionRates(); ok {
+		t.Error("Median should not report selection rates")
+	}
+}
+
+func TestNonIIDTraining(t *testing.T) {
+	cfg := baseConfig(tinyDataset(t))
+	cfg.NonIID = &NonIID{S: 0.3, ShardsPerClient: 2}
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestAccuracy < 70 {
+		t.Errorf("non-IID clean training reached only %.1f%%", res.BestAccuracy)
+	}
+}
+
+func TestRoundHookObservesRounds(t *testing.T) {
+	cfg := baseConfig(tinyDataset(t))
+	cfg.NumByz = 2
+	cfg.Attack = attack.NewSignFlip()
+	var rounds, malicious int
+	cfg.RoundHook = func(st *RoundState) {
+		rounds++
+		if len(st.Grads) != cfg.Clients {
+			t.Errorf("round %d saw %d gradients", st.Round, len(st.Grads))
+		}
+		for _, b := range st.ByzMask {
+			if b {
+				malicious++
+			}
+		}
+		if len(st.Honest) != cfg.Clients-cfg.NumByz {
+			t.Errorf("round %d has %d honest grads", st.Round, len(st.Honest))
+		}
+		if st.Result == nil {
+			t.Error("nil result in hook")
+		}
+	}
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if rounds != cfg.Rounds {
+		t.Errorf("hook saw %d rounds, want %d", rounds, cfg.Rounds)
+	}
+	if malicious != cfg.Rounds*cfg.NumByz {
+		t.Errorf("hook saw %d malicious slots, want %d", malicious, cfg.Rounds*cfg.NumByz)
+	}
+}
+
+func TestBatchInputDense(t *testing.T) {
+	ds := tinyDataset(t)
+	in, labels, err := BatchInput(ds, ds.Train[:5])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Dense == nil || in.Dense.Rows != 5 || in.Dense.Cols != 16 {
+		t.Errorf("dense batch shape wrong")
+	}
+	if len(labels) != 5 {
+		t.Errorf("labels = %v", labels)
+	}
+	if _, _, err := BatchInput(ds, nil); err == nil {
+		t.Error("accepted empty batch")
+	}
+}
+
+func TestBatchInputText(t *testing.T) {
+	ds, err := data.AGNewsLike(3, 50, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, labels, err := BatchInput(ds, ds.Train[:4])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Tokens == nil || len(in.Tokens) != 4 || len(labels) != 4 {
+		t.Error("text batch wrong")
+	}
+}
+
+func TestEvaluateSample(t *testing.T) {
+	ds := tinyDataset(t)
+	model, err := tinyModel(tensor.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Evaluate(model, ds, ds.Test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full < 0 || full > 100 {
+		t.Errorf("accuracy %v out of range", full)
+	}
+	sub, err := EvaluateSample(model, ds, ds.Test, 30, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub < 0 || sub > 100 {
+		t.Errorf("sampled accuracy %v out of range", sub)
+	}
+	all, err := EvaluateSample(model, ds, ds.Test, 0, 7)
+	if err != nil || all != full {
+		t.Errorf("limit=0 should evaluate everything: %v vs %v (%v)", all, full, err)
+	}
+}
+
+func TestDivergedRunEndsGracefully(t *testing.T) {
+	cfg := baseConfig(tinyDataset(t))
+	cfg.NumByz = 3
+	// An absurdly scaled reverse attack against an undefended mean drives
+	// the parameters out of the finite range within a few rounds.
+	cfg.Attack = attack.NewReverse(1e12)
+	cfg.Rule = aggregate.NewMean()
+	cfg.LR = 1
+	cfg.Rounds = 50
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatalf("diverged run should not error: %v", err)
+	}
+	if !res.Diverged {
+		t.Error("run should be marked Diverged")
+	}
+	if len(res.History) >= cfg.Rounds {
+		t.Errorf("diverged run recorded %d rounds, expected early stop", len(res.History))
+	}
+}

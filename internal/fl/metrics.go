@@ -1,0 +1,108 @@
+package fl
+
+// RoundMetrics records what happened in one aggregation round.
+type RoundMetrics struct {
+	Round     int
+	TrainLoss float64
+	// TestAccuracy is valid only when Evaluated is true.
+	TestAccuracy float64
+	Evaluated    bool
+
+	// Selection accounting against the ground-truth Byzantine mask. A
+	// value of -1 for the counts means the rule did not report a selection
+	// (coordinate-wise rules).
+	SelectedHonest int
+	SelectedByz    int
+	TotalHonest    int
+	TotalByz       int
+	HasSelection   bool
+}
+
+// countSelection fills the selection counters from a rule's selected set
+// and the ground-truth mask of malicious arrival positions.
+func (m *RoundMetrics) countSelection(selected []int, byzMask []bool) {
+	for _, b := range byzMask {
+		if b {
+			m.TotalByz++
+		} else {
+			m.TotalHonest++
+		}
+	}
+	if selected == nil {
+		m.SelectedHonest, m.SelectedByz = -1, -1
+		return
+	}
+	m.HasSelection = true
+	for _, i := range selected {
+		if i >= 0 && i < len(byzMask) && byzMask[i] {
+			m.SelectedByz++
+		} else {
+			m.SelectedHonest++
+		}
+	}
+}
+
+// RunResult aggregates the metrics of a full training run.
+type RunResult struct {
+	RuleName   string
+	AttackName string
+
+	History []RoundMetrics
+
+	// BestAccuracy is the best test accuracy observed at any evaluation
+	// point — the quantity the paper's Table I reports.
+	BestAccuracy float64
+	// FinalAccuracy is the accuracy at the last evaluation.
+	FinalAccuracy float64
+	// Diverged records that the run ended early because the model left
+	// the finite range (a fully successful destructive attack).
+	Diverged bool
+
+	selHonest, selByz     int
+	totalHonest, totalByz int
+	selRounds             int
+}
+
+// Add appends one round's metrics and updates the summaries.
+func (r *RunResult) Add(m *RoundMetrics) {
+	r.History = append(r.History, *m)
+	if m.Evaluated {
+		if m.TestAccuracy > r.BestAccuracy {
+			r.BestAccuracy = m.TestAccuracy
+		}
+		r.FinalAccuracy = m.TestAccuracy
+	}
+	if m.HasSelection {
+		r.selHonest += m.SelectedHonest
+		r.selByz += m.SelectedByz
+		r.totalHonest += m.TotalHonest
+		r.totalByz += m.TotalByz
+		r.selRounds++
+	}
+}
+
+// SelectionRates returns the average fraction of honest and malicious
+// gradients the rule selected across the run — the paper's Table II
+// quantities. ok is false when the rule never reported a selection.
+func (r *RunResult) SelectionRates() (honest, malicious float64, ok bool) {
+	if r.selRounds == 0 || r.totalHonest == 0 {
+		return 0, 0, false
+	}
+	honest = float64(r.selHonest) / float64(r.totalHonest)
+	if r.totalByz > 0 {
+		malicious = float64(r.selByz) / float64(r.totalByz)
+	}
+	return honest, malicious, true
+}
+
+// AccuracyTrace returns the (round, accuracy) pairs of the evaluated
+// rounds — the curves plotted in Fig. 5.
+func (r *RunResult) AccuracyTrace() (rounds []int, accs []float64) {
+	for _, m := range r.History {
+		if m.Evaluated {
+			rounds = append(rounds, m.Round)
+			accs = append(accs, m.TestAccuracy)
+		}
+	}
+	return rounds, accs
+}

@@ -1,0 +1,72 @@
+package fl
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCountSelection(t *testing.T) {
+	m := &RoundMetrics{}
+	byzMask := []bool{false, true, false, true, false}
+	m.countSelection([]int{0, 2, 3}, byzMask)
+	if !m.HasSelection {
+		t.Fatal("HasSelection false")
+	}
+	if m.SelectedHonest != 2 || m.SelectedByz != 1 {
+		t.Errorf("selected H=%d M=%d", m.SelectedHonest, m.SelectedByz)
+	}
+	if m.TotalHonest != 3 || m.TotalByz != 2 {
+		t.Errorf("totals H=%d M=%d", m.TotalHonest, m.TotalByz)
+	}
+}
+
+func TestCountSelectionNil(t *testing.T) {
+	m := &RoundMetrics{}
+	m.countSelection(nil, []bool{false, true})
+	if m.HasSelection {
+		t.Error("nil selection should not count")
+	}
+	if m.SelectedHonest != -1 || m.SelectedByz != -1 {
+		t.Errorf("sentinels = %d/%d", m.SelectedHonest, m.SelectedByz)
+	}
+}
+
+func TestRunResultSummaries(t *testing.T) {
+	r := &RunResult{}
+	r.Add(&RoundMetrics{Round: 0, Evaluated: true, TestAccuracy: 50})
+	r.Add(&RoundMetrics{Round: 1})
+	r.Add(&RoundMetrics{Round: 2, Evaluated: true, TestAccuracy: 80})
+	r.Add(&RoundMetrics{Round: 3, Evaluated: true, TestAccuracy: 70})
+	if r.BestAccuracy != 80 {
+		t.Errorf("best = %v", r.BestAccuracy)
+	}
+	if r.FinalAccuracy != 70 {
+		t.Errorf("final = %v", r.FinalAccuracy)
+	}
+	rounds, accs := r.AccuracyTrace()
+	if len(rounds) != 3 || rounds[1] != 2 || accs[2] != 70 {
+		t.Errorf("trace = %v / %v", rounds, accs)
+	}
+}
+
+func TestSelectionRatesAveraging(t *testing.T) {
+	r := &RunResult{}
+	a := &RoundMetrics{}
+	a.countSelection([]int{0, 1}, []bool{false, false, true, true})
+	r.Add(a)
+	b := &RoundMetrics{}
+	b.countSelection([]int{0, 2}, []bool{false, false, true, true})
+	r.Add(b)
+	h, m, ok := r.SelectionRates()
+	if !ok {
+		t.Fatal("no rates")
+	}
+	// Honest: selected 2 of 2, then 1 of 2 → 3/4. Malicious: 0/2 then 1/2 → 1/4.
+	if math.Abs(h-0.75) > 1e-12 || math.Abs(m-0.25) > 1e-12 {
+		t.Errorf("rates H=%v M=%v", h, m)
+	}
+	empty := &RunResult{}
+	if _, _, ok := empty.SelectionRates(); ok {
+		t.Error("empty result reported rates")
+	}
+}

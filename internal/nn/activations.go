@@ -1,0 +1,90 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/signguard/signguard/internal/tensor"
+)
+
+// ReLU applies max(0, x) element-wise.
+type ReLU struct {
+	lastInput *tensor.Matrix
+}
+
+var _ Layer = (*ReLU)(nil)
+
+// NewReLU returns a ReLU activation layer.
+func NewReLU() *ReLU { return &ReLU{} }
+
+// Forward applies the rectifier.
+func (r *ReLU) Forward(x *tensor.Matrix) (*tensor.Matrix, error) {
+	r.lastInput = x
+	out := tensor.NewMatrix(x.Rows, x.Cols)
+	for i, v := range x.Data {
+		if v > 0 {
+			out.Data[i] = v
+		}
+	}
+	return out, nil
+}
+
+// Backward gates the incoming gradient by the activation mask.
+func (r *ReLU) Backward(grad *tensor.Matrix) (*tensor.Matrix, error) {
+	if r.lastInput == nil {
+		return nil, fmt.Errorf("nn: ReLU.Backward before Forward")
+	}
+	if grad.Rows != r.lastInput.Rows || grad.Cols != r.lastInput.Cols {
+		return nil, fmt.Errorf("%w: ReLU.Backward got (%d,%d), want (%d,%d)",
+			ErrShape, grad.Rows, grad.Cols, r.lastInput.Rows, r.lastInput.Cols)
+	}
+	dx := tensor.NewMatrix(grad.Rows, grad.Cols)
+	for i, v := range r.lastInput.Data {
+		if v > 0 {
+			dx.Data[i] = grad.Data[i]
+		}
+	}
+	return dx, nil
+}
+
+// Params returns nil: activations are parameter-free.
+func (r *ReLU) Params() []*Param { return nil }
+
+// Tanh applies the hyperbolic tangent element-wise.
+type Tanh struct {
+	lastOutput *tensor.Matrix
+}
+
+var _ Layer = (*Tanh)(nil)
+
+// NewTanh returns a Tanh activation layer.
+func NewTanh() *Tanh { return &Tanh{} }
+
+// Forward applies tanh.
+func (t *Tanh) Forward(x *tensor.Matrix) (*tensor.Matrix, error) {
+	out := tensor.NewMatrix(x.Rows, x.Cols)
+	for i, v := range x.Data {
+		out.Data[i] = math.Tanh(v)
+	}
+	t.lastOutput = out
+	return out, nil
+}
+
+// Backward multiplies the incoming gradient by 1 - tanh².
+func (t *Tanh) Backward(grad *tensor.Matrix) (*tensor.Matrix, error) {
+	if t.lastOutput == nil {
+		return nil, fmt.Errorf("nn: Tanh.Backward before Forward")
+	}
+	if grad.Rows != t.lastOutput.Rows || grad.Cols != t.lastOutput.Cols {
+		return nil, fmt.Errorf("%w: Tanh.Backward got (%d,%d), want (%d,%d)",
+			ErrShape, grad.Rows, grad.Cols, t.lastOutput.Rows, t.lastOutput.Cols)
+	}
+	dx := tensor.NewMatrix(grad.Rows, grad.Cols)
+	for i, y := range t.lastOutput.Data {
+		dx.Data[i] = grad.Data[i] * (1 - y*y)
+	}
+	return dx, nil
+}
+
+// Params returns nil: activations are parameter-free.
+func (t *Tanh) Params() []*Param { return nil }

@@ -1,0 +1,274 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/signguard/signguard/internal/tensor"
+)
+
+// Conv2D is a 2-D convolution over CHW-flattened batch rows, implemented
+// with im2col. Stride is fixed at 1; Pad controls zero padding.
+type Conv2D struct {
+	InC, InH, InW int // input shape per sample
+	OutC          int // number of filters
+	K             int // square kernel size
+	Pad           int // zero padding on each side
+
+	OutH, OutW int
+
+	weight *Param // OutC x (InC*K*K), row-major
+	bias   *Param // OutC
+
+	lastInput *tensor.Matrix
+	lastCols  []*tensor.Matrix // per-sample im2col buffers from Forward
+}
+
+var _ Layer = (*Conv2D)(nil)
+
+// NewConv2D builds a stride-1 convolution layer with He-uniform init.
+func NewConv2D(rng *rand.Rand, inC, inH, inW, outC, k, pad int) (*Conv2D, error) {
+	outH := inH + 2*pad - k + 1
+	outW := inW + 2*pad - k + 1
+	if outH <= 0 || outW <= 0 {
+		return nil, fmt.Errorf("%w: Conv2D output %dx%d non-positive", ErrShape, outH, outW)
+	}
+	c := &Conv2D{
+		InC: inC, InH: inH, InW: inW,
+		OutC: outC, K: k, Pad: pad,
+		OutH: outH, OutW: outW,
+		weight: newParam(fmt.Sprintf("conv%dx%dx%d.weight", outC, inC, k), outC*inC*k*k),
+		bias:   newParam(fmt.Sprintf("conv%dx%dx%d.bias", outC, inC, k), outC),
+	}
+	fanIn := float64(inC * k * k)
+	bound := math.Sqrt(6.0 / fanIn)
+	for i := range c.weight.W {
+		c.weight.W[i] = (2*rng.Float64() - 1) * bound
+	}
+	return c, nil
+}
+
+// OutputSize returns the flattened per-sample output length OutC*OutH*OutW.
+func (c *Conv2D) OutputSize() int { return c.OutC * c.OutH * c.OutW }
+
+// im2col unrolls one CHW sample into a (InC*K*K) x (OutH*OutW) matrix.
+func (c *Conv2D) im2col(sample []float64) *tensor.Matrix {
+	cols := tensor.NewMatrix(c.InC*c.K*c.K, c.OutH*c.OutW)
+	for ch := 0; ch < c.InC; ch++ {
+		chOff := ch * c.InH * c.InW
+		for ki := 0; ki < c.K; ki++ {
+			for kj := 0; kj < c.K; kj++ {
+				rowIdx := (ch*c.K+ki)*c.K + kj
+				row := cols.Row(rowIdx)
+				for oi := 0; oi < c.OutH; oi++ {
+					si := oi - c.Pad + ki
+					if si < 0 || si >= c.InH {
+						continue
+					}
+					for oj := 0; oj < c.OutW; oj++ {
+						sj := oj - c.Pad + kj
+						if sj < 0 || sj >= c.InW {
+							continue
+						}
+						row[oi*c.OutW+oj] = sample[chOff+si*c.InW+sj]
+					}
+				}
+			}
+		}
+	}
+	return cols
+}
+
+// col2im scatters a (InC*K*K) x (OutH*OutW) gradient back into a CHW sample.
+func (c *Conv2D) col2im(cols *tensor.Matrix, sample []float64) {
+	for ch := 0; ch < c.InC; ch++ {
+		chOff := ch * c.InH * c.InW
+		for ki := 0; ki < c.K; ki++ {
+			for kj := 0; kj < c.K; kj++ {
+				rowIdx := (ch*c.K+ki)*c.K + kj
+				row := cols.Row(rowIdx)
+				for oi := 0; oi < c.OutH; oi++ {
+					si := oi - c.Pad + ki
+					if si < 0 || si >= c.InH {
+						continue
+					}
+					for oj := 0; oj < c.OutW; oj++ {
+						sj := oj - c.Pad + kj
+						if sj < 0 || sj >= c.InW {
+							continue
+						}
+						sample[chOff+si*c.InW+sj] += row[oi*c.OutW+oj]
+					}
+				}
+			}
+		}
+	}
+}
+
+// Forward convolves each sample in the batch.
+func (c *Conv2D) Forward(x *tensor.Matrix) (*tensor.Matrix, error) {
+	if x.Cols != c.InC*c.InH*c.InW {
+		return nil, fmt.Errorf("%w: Conv2D expects %d inputs, got %d", ErrShape, c.InC*c.InH*c.InW, x.Cols)
+	}
+	c.lastInput = x
+	c.lastCols = make([]*tensor.Matrix, x.Rows)
+	out := tensor.NewMatrix(x.Rows, c.OutputSize())
+	spatial := c.OutH * c.OutW
+	for n := 0; n < x.Rows; n++ {
+		cols := c.im2col(x.Row(n))
+		c.lastCols[n] = cols
+		oRow := out.Row(n)
+		for oc := 0; oc < c.OutC; oc++ {
+			w := c.weight.W[oc*cols.Rows : (oc+1)*cols.Rows]
+			b := c.bias.W[oc]
+			dst := oRow[oc*spatial : (oc+1)*spatial]
+			for p := range dst {
+				dst[p] = b
+			}
+			for r, wv := range w {
+				if wv == 0 {
+					continue
+				}
+				src := cols.Row(r)
+				for p, sv := range src {
+					dst[p] += wv * sv
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// Backward accumulates filter/bias gradients and returns the input gradient.
+func (c *Conv2D) Backward(grad *tensor.Matrix) (*tensor.Matrix, error) {
+	if c.lastInput == nil {
+		return nil, fmt.Errorf("nn: Conv2D.Backward before Forward")
+	}
+	if grad.Rows != c.lastInput.Rows || grad.Cols != c.OutputSize() {
+		return nil, fmt.Errorf("%w: Conv2D.Backward got (%d,%d), want (%d,%d)",
+			ErrShape, grad.Rows, grad.Cols, c.lastInput.Rows, c.OutputSize())
+	}
+	dx := tensor.NewMatrix(c.lastInput.Rows, c.lastInput.Cols)
+	spatial := c.OutH * c.OutW
+	colRows := c.InC * c.K * c.K
+	dcols := tensor.NewMatrix(colRows, spatial)
+	for n := 0; n < grad.Rows; n++ {
+		cols := c.lastCols[n]
+		gRow := grad.Row(n)
+		for i := range dcols.Data {
+			dcols.Data[i] = 0
+		}
+		for oc := 0; oc < c.OutC; oc++ {
+			g := gRow[oc*spatial : (oc+1)*spatial]
+			// Bias gradient: sum over spatial positions.
+			var bg float64
+			for _, gv := range g {
+				bg += gv
+			}
+			c.bias.Grad[oc] += bg
+			w := c.weight.W[oc*colRows : (oc+1)*colRows]
+			gw := c.weight.Grad[oc*colRows : (oc+1)*colRows]
+			for r := 0; r < colRows; r++ {
+				src := cols.Row(r)
+				drow := dcols.Row(r)
+				var wgrad float64
+				wv := w[r]
+				for p, gv := range g {
+					wgrad += gv * src[p]
+					drow[p] += gv * wv
+				}
+				gw[r] += wgrad
+			}
+		}
+		c.col2im(dcols, dx.Row(n))
+	}
+	return dx, nil
+}
+
+// Params returns the filter weights and biases.
+func (c *Conv2D) Params() []*Param { return []*Param{c.weight, c.bias} }
+
+// MaxPool2D is a non-overlapping max pooling layer over CHW-flattened rows.
+type MaxPool2D struct {
+	C, H, W int // input shape per sample
+	Size    int // pooling window (and stride)
+
+	OutH, OutW int
+
+	lastArgmax [][]int // per sample: argmax input index per output cell
+	inRows     int
+}
+
+var _ Layer = (*MaxPool2D)(nil)
+
+// NewMaxPool2D builds a pooling layer. H and W must be divisible by size.
+func NewMaxPool2D(c, h, w, size int) (*MaxPool2D, error) {
+	if size <= 0 || h%size != 0 || w%size != 0 {
+		return nil, fmt.Errorf("%w: MaxPool2D size %d does not divide %dx%d", ErrShape, size, h, w)
+	}
+	return &MaxPool2D{C: c, H: h, W: w, Size: size, OutH: h / size, OutW: w / size}, nil
+}
+
+// OutputSize returns the flattened per-sample output length.
+func (p *MaxPool2D) OutputSize() int { return p.C * p.OutH * p.OutW }
+
+// Forward takes the max over each pooling window.
+func (p *MaxPool2D) Forward(x *tensor.Matrix) (*tensor.Matrix, error) {
+	if x.Cols != p.C*p.H*p.W {
+		return nil, fmt.Errorf("%w: MaxPool2D expects %d inputs, got %d", ErrShape, p.C*p.H*p.W, x.Cols)
+	}
+	p.inRows = x.Rows
+	p.lastArgmax = make([][]int, x.Rows)
+	out := tensor.NewMatrix(x.Rows, p.OutputSize())
+	for n := 0; n < x.Rows; n++ {
+		sample := x.Row(n)
+		oRow := out.Row(n)
+		argmax := make([]int, p.OutputSize())
+		for c := 0; c < p.C; c++ {
+			chOff := c * p.H * p.W
+			for oi := 0; oi < p.OutH; oi++ {
+				for oj := 0; oj < p.OutW; oj++ {
+					best := math.Inf(-1)
+					bestIdx := -1
+					for di := 0; di < p.Size; di++ {
+						for dj := 0; dj < p.Size; dj++ {
+							idx := chOff + (oi*p.Size+di)*p.W + (oj*p.Size + dj)
+							if v := sample[idx]; v > best {
+								best, bestIdx = v, idx
+							}
+						}
+					}
+					outIdx := (c*p.OutH+oi)*p.OutW + oj
+					oRow[outIdx] = best
+					argmax[outIdx] = bestIdx
+				}
+			}
+		}
+		p.lastArgmax[n] = argmax
+	}
+	return out, nil
+}
+
+// Backward routes each output gradient to its argmax input position.
+func (p *MaxPool2D) Backward(grad *tensor.Matrix) (*tensor.Matrix, error) {
+	if p.lastArgmax == nil {
+		return nil, fmt.Errorf("nn: MaxPool2D.Backward before Forward")
+	}
+	if grad.Rows != p.inRows || grad.Cols != p.OutputSize() {
+		return nil, fmt.Errorf("%w: MaxPool2D.Backward got (%d,%d), want (%d,%d)",
+			ErrShape, grad.Rows, grad.Cols, p.inRows, p.OutputSize())
+	}
+	dx := tensor.NewMatrix(p.inRows, p.C*p.H*p.W)
+	for n := 0; n < grad.Rows; n++ {
+		gRow := grad.Row(n)
+		dRow := dx.Row(n)
+		for outIdx, inIdx := range p.lastArgmax[n] {
+			dRow[inIdx] += gRow[outIdx]
+		}
+	}
+	return dx, nil
+}
+
+// Params returns nil: pooling is parameter-free.
+func (p *MaxPool2D) Params() []*Param { return nil }

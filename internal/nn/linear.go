@@ -1,0 +1,94 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/signguard/signguard/internal/tensor"
+)
+
+// Linear is a fully-connected layer: y = xWᵀ + b, with x an (N, In) batch,
+// W an (Out, In) weight matrix and b a length-Out bias.
+type Linear struct {
+	In, Out int
+	weight  *Param // Out*In, row-major (out, in)
+	bias    *Param // Out
+
+	lastInput *tensor.Matrix
+}
+
+var _ Layer = (*Linear)(nil)
+
+// NewLinear builds a Linear layer with He-uniform initialization, which
+// pairs well with the ReLU activations used throughout the model zoo.
+func NewLinear(rng *rand.Rand, in, out int) *Linear {
+	l := &Linear{
+		In:     in,
+		Out:    out,
+		weight: newParam(fmt.Sprintf("linear%dx%d.weight", out, in), out*in),
+		bias:   newParam(fmt.Sprintf("linear%dx%d.bias", out, in), out),
+	}
+	bound := math.Sqrt(6.0 / float64(in))
+	for i := range l.weight.W {
+		l.weight.W[i] = (2*rng.Float64() - 1) * bound
+	}
+	return l
+}
+
+// Forward computes the affine transform for a batch.
+func (l *Linear) Forward(x *tensor.Matrix) (*tensor.Matrix, error) {
+	if x.Cols != l.In {
+		return nil, fmt.Errorf("%w: Linear expects %d inputs, got %d", ErrShape, l.In, x.Cols)
+	}
+	l.lastInput = x
+	out := tensor.NewMatrix(x.Rows, l.Out)
+	for i := 0; i < x.Rows; i++ {
+		xi := x.Row(i)
+		oi := out.Row(i)
+		for o := 0; o < l.Out; o++ {
+			w := l.weight.W[o*l.In : (o+1)*l.In]
+			s := l.bias.W[o]
+			for j, xv := range xi {
+				s += w[j] * xv
+			}
+			oi[o] = s
+		}
+	}
+	return out, nil
+}
+
+// Backward accumulates dW and db and returns dX.
+func (l *Linear) Backward(grad *tensor.Matrix) (*tensor.Matrix, error) {
+	if l.lastInput == nil {
+		return nil, fmt.Errorf("nn: Linear.Backward before Forward")
+	}
+	if grad.Cols != l.Out || grad.Rows != l.lastInput.Rows {
+		return nil, fmt.Errorf("%w: Linear.Backward got (%d,%d), want (%d,%d)",
+			ErrShape, grad.Rows, grad.Cols, l.lastInput.Rows, l.Out)
+	}
+	x := l.lastInput
+	dx := tensor.NewMatrix(x.Rows, l.In)
+	for i := 0; i < x.Rows; i++ {
+		xi := x.Row(i)
+		gi := grad.Row(i)
+		di := dx.Row(i)
+		for o := 0; o < l.Out; o++ {
+			g := gi[o]
+			if g == 0 {
+				continue
+			}
+			l.bias.Grad[o] += g
+			w := l.weight.W[o*l.In : (o+1)*l.In]
+			gw := l.weight.Grad[o*l.In : (o+1)*l.In]
+			for j, xv := range xi {
+				gw[j] += g * xv
+				di[j] += g * w[j]
+			}
+		}
+	}
+	return dx, nil
+}
+
+// Params returns the weight and bias parameters.
+func (l *Linear) Params() []*Param { return []*Param{l.weight, l.bias} }

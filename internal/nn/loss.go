@@ -1,0 +1,53 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/signguard/signguard/internal/tensor"
+)
+
+// SoftmaxCrossEntropy computes the mean cross-entropy loss of a batch of
+// logits against integer labels, along with dLoss/dLogits and the number of
+// correct argmax predictions. The gradient is already divided by the batch
+// size, so downstream layers accumulate a mean gradient.
+func SoftmaxCrossEntropy(logits *tensor.Matrix, labels []int) (loss float64, grad *tensor.Matrix, correct int, err error) {
+	if logits.Rows != len(labels) {
+		return 0, nil, 0, fmt.Errorf("%w: %d logit rows vs %d labels", ErrShape, logits.Rows, len(labels))
+	}
+	if logits.Rows == 0 {
+		return 0, nil, 0, fmt.Errorf("nn: SoftmaxCrossEntropy on empty batch")
+	}
+	grad = tensor.NewMatrix(logits.Rows, logits.Cols)
+	invN := 1.0 / float64(logits.Rows)
+	for i := 0; i < logits.Rows; i++ {
+		row := logits.Row(i)
+		y := labels[i]
+		if y < 0 || y >= logits.Cols {
+			return 0, nil, 0, fmt.Errorf("%w: label %d out of [0,%d)", ErrShape, y, logits.Cols)
+		}
+		// Numerically stable log-softmax.
+		maxv := row[0]
+		for _, v := range row[1:] {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		var sum float64
+		for _, v := range row {
+			sum += math.Exp(v - maxv)
+		}
+		logZ := maxv + math.Log(sum)
+		loss += (logZ - row[y]) * invN
+		gRow := grad.Row(i)
+		for c, v := range row {
+			p := math.Exp(v - logZ)
+			gRow[c] = p * invN
+		}
+		gRow[y] -= invN
+		if Argmax(row) == y {
+			correct++
+		}
+	}
+	return loss, grad, correct, nil
+}

@@ -1,0 +1,255 @@
+package nn
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// TextRNN is a recurrent text classifier: an embedding table feeding a
+// simple tanh RNN whose hidden states are mean-pooled and projected to
+// class logits. It is the analog of the paper's TextRNN (a bi-LSTM) for the
+// AG-News task, sized to be trainable in pure Go while producing gradients
+// with the same structure: sparse embedding rows plus dense recurrent and
+// output blocks.
+type TextRNN struct {
+	Vocab, Embed, Hidden, Classes int
+
+	emb  *Param // Vocab x Embed
+	wxh  *Param // Hidden x Embed
+	whh  *Param // Hidden x Hidden
+	bh   *Param // Hidden
+	wout *Param // Classes x Hidden
+	bout *Param // Classes
+
+	params []*Param
+}
+
+var _ Classifier = (*TextRNN)(nil)
+
+// NewTextRNN builds a TextRNN with Xavier-uniform initialization.
+func NewTextRNN(rng *rand.Rand, vocab, embed, hidden, classes int) *TextRNN {
+	m := &TextRNN{
+		Vocab: vocab, Embed: embed, Hidden: hidden, Classes: classes,
+		emb:  newParam("rnn.embedding", vocab*embed),
+		wxh:  newParam("rnn.wxh", hidden*embed),
+		whh:  newParam("rnn.whh", hidden*hidden),
+		bh:   newParam("rnn.bh", hidden),
+		wout: newParam("rnn.wout", classes*hidden),
+		bout: newParam("rnn.bout", classes),
+	}
+	initUniform(rng, m.emb.W, math.Sqrt(3.0/float64(embed)))
+	initUniform(rng, m.wxh.W, math.Sqrt(6.0/float64(embed+hidden)))
+	initUniform(rng, m.whh.W, math.Sqrt(6.0/float64(2*hidden)))
+	initUniform(rng, m.wout.W, math.Sqrt(6.0/float64(hidden+classes)))
+	m.params = []*Param{m.emb, m.wxh, m.whh, m.bh, m.wout, m.bout}
+	return m
+}
+
+func initUniform(rng *rand.Rand, w []float64, bound float64) {
+	for i := range w {
+		w[i] = (2*rng.Float64() - 1) * bound
+	}
+}
+
+// NumParams returns the total number of trainable scalars.
+func (m *TextRNN) NumParams() int { return countParams(m.params) }
+
+// ParamVector returns a flat copy of all parameters.
+func (m *TextRNN) ParamVector() []float64 { return flattenParams(m.params) }
+
+// SetParamVector overwrites all parameters from a flat vector.
+func (m *TextRNN) SetParamVector(v []float64) error { return unflattenInto(m.params, v) }
+
+// GradVector returns a flat copy of all accumulated gradients.
+func (m *TextRNN) GradVector() []float64 { return flattenGrads(m.params) }
+
+// ZeroGrad clears the accumulated gradients.
+func (m *TextRNN) ZeroGrad() { zeroGrads(m.params) }
+
+// rnnTrace stores the per-step activations needed for backprop through time.
+type rnnTrace struct {
+	tokens []int
+	embeds [][]float64 // T x Embed
+	hs     [][]float64 // T x Hidden (post-tanh)
+	pooled []float64   // Hidden
+	logits []float64   // Classes
+}
+
+// forwardSample runs the RNN over one token sequence.
+func (m *TextRNN) forwardSample(tokens []int) (*rnnTrace, error) {
+	if len(tokens) == 0 {
+		return nil, errors.New("nn: TextRNN received empty token sequence")
+	}
+	tr := &rnnTrace{
+		tokens: tokens,
+		embeds: make([][]float64, len(tokens)),
+		hs:     make([][]float64, len(tokens)),
+		pooled: make([]float64, m.Hidden),
+		logits: make([]float64, m.Classes),
+	}
+	hPrev := make([]float64, m.Hidden)
+	for t, tok := range tokens {
+		if tok < 0 || tok >= m.Vocab {
+			return nil, fmt.Errorf("%w: token %d out of vocab [0,%d)", ErrShape, tok, m.Vocab)
+		}
+		e := m.emb.W[tok*m.Embed : (tok+1)*m.Embed]
+		tr.embeds[t] = e
+		h := make([]float64, m.Hidden)
+		for i := 0; i < m.Hidden; i++ {
+			a := m.bh.W[i]
+			wx := m.wxh.W[i*m.Embed : (i+1)*m.Embed]
+			for j, ev := range e {
+				a += wx[j] * ev
+			}
+			wh := m.whh.W[i*m.Hidden : (i+1)*m.Hidden]
+			for j, hv := range hPrev {
+				a += wh[j] * hv
+			}
+			h[i] = math.Tanh(a)
+		}
+		tr.hs[t] = h
+		hPrev = h
+		for i, hv := range h {
+			tr.pooled[i] += hv
+		}
+	}
+	invT := 1.0 / float64(len(tokens))
+	for i := range tr.pooled {
+		tr.pooled[i] *= invT
+	}
+	for c := 0; c < m.Classes; c++ {
+		w := m.wout.W[c*m.Hidden : (c+1)*m.Hidden]
+		s := m.bout.W[c]
+		for i, pv := range tr.pooled {
+			s += w[i] * pv
+		}
+		tr.logits[c] = s
+	}
+	return tr, nil
+}
+
+// backwardSample backpropagates dLogits through one sample's trace.
+func (m *TextRNN) backwardSample(tr *rnnTrace, dlogits []float64) {
+	T := len(tr.tokens)
+	dpooled := make([]float64, m.Hidden)
+	for c, g := range dlogits {
+		if g == 0 {
+			continue
+		}
+		m.bout.Grad[c] += g
+		w := m.wout.W[c*m.Hidden : (c+1)*m.Hidden]
+		gw := m.wout.Grad[c*m.Hidden : (c+1)*m.Hidden]
+		for i, pv := range tr.pooled {
+			gw[i] += g * pv
+			dpooled[i] += g * w[i]
+		}
+	}
+	invT := 1.0 / float64(T)
+	dh := make([]float64, m.Hidden) // gradient flowing into h_t from the future
+	da := make([]float64, m.Hidden)
+	for t := T - 1; t >= 0; t-- {
+		h := tr.hs[t]
+		for i := range dh {
+			dh[i] += dpooled[i] * invT
+			da[i] = dh[i] * (1 - h[i]*h[i])
+		}
+		var hPrev []float64
+		if t > 0 {
+			hPrev = tr.hs[t-1]
+		}
+		e := tr.embeds[t]
+		tok := tr.tokens[t]
+		dEmb := m.emb.Grad[tok*m.Embed : (tok+1)*m.Embed]
+		// Reset dh for the next (earlier) step; accumulate Whhᵀ·da into it.
+		for i := range dh {
+			dh[i] = 0
+		}
+		for i, g := range da {
+			if g == 0 {
+				continue
+			}
+			m.bh.Grad[i] += g
+			wx := m.wxh.W[i*m.Embed : (i+1)*m.Embed]
+			gwx := m.wxh.Grad[i*m.Embed : (i+1)*m.Embed]
+			for j, ev := range e {
+				gwx[j] += g * ev
+				dEmb[j] += g * wx[j]
+			}
+			if hPrev != nil {
+				wh := m.whh.W[i*m.Hidden : (i+1)*m.Hidden]
+				gwh := m.whh.Grad[i*m.Hidden : (i+1)*m.Hidden]
+				for j, hv := range hPrev {
+					gwh[j] += g * hv
+					dh[j] += g * wh[j]
+				}
+			}
+		}
+	}
+}
+
+// LossAndGrad runs forward + backward-through-time over the batch.
+func (m *TextRNN) LossAndGrad(in Input, labels []int) (float64, int, error) {
+	if in.Tokens == nil {
+		return 0, 0, errors.New("nn: TextRNN requires token input")
+	}
+	if len(in.Tokens) != len(labels) {
+		return 0, 0, fmt.Errorf("%w: %d sequences vs %d labels", ErrShape, len(in.Tokens), len(labels))
+	}
+	if len(labels) == 0 {
+		return 0, 0, errors.New("nn: TextRNN on empty batch")
+	}
+	var loss float64
+	var correct int
+	invN := 1.0 / float64(len(labels))
+	for s, tokens := range in.Tokens {
+		tr, err := m.forwardSample(tokens)
+		if err != nil {
+			return 0, 0, err
+		}
+		y := labels[s]
+		if y < 0 || y >= m.Classes {
+			return 0, 0, fmt.Errorf("%w: label %d out of [0,%d)", ErrShape, y, m.Classes)
+		}
+		// Stable log-softmax on the single logit row.
+		maxv := tr.logits[0]
+		for _, v := range tr.logits[1:] {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		var sum float64
+		for _, v := range tr.logits {
+			sum += math.Exp(v - maxv)
+		}
+		logZ := maxv + math.Log(sum)
+		loss += (logZ - tr.logits[y]) * invN
+		if Argmax(tr.logits) == y {
+			correct++
+		}
+		dlogits := make([]float64, m.Classes)
+		for c, v := range tr.logits {
+			dlogits[c] = math.Exp(v-logZ) * invN
+		}
+		dlogits[y] -= invN
+		m.backwardSample(tr, dlogits)
+	}
+	return loss, correct, nil
+}
+
+// Predict returns the argmax class for each token sequence.
+func (m *TextRNN) Predict(in Input) ([]int, error) {
+	if in.Tokens == nil {
+		return nil, errors.New("nn: TextRNN requires token input")
+	}
+	out := make([]int, len(in.Tokens))
+	for s, tokens := range in.Tokens {
+		tr, err := m.forwardSample(tokens)
+		if err != nil {
+			return nil, err
+		}
+		out[s] = Argmax(tr.logits)
+	}
+	return out, nil
+}

@@ -1,0 +1,23 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"github.com/signguard/signguard/internal/stats"
+)
+
+// ExampleLIEZMax reproduces the attack-factor calibration of Eq. 2 for the
+// paper's default setting: 50 clients, 10 of them Byzantine.
+func ExampleLIEZMax() {
+	z := stats.LIEZMax(50, 10)
+	fmt.Printf("z_max = %.3f\n", z)
+	// Output: z_max = 0.253
+}
+
+// ExampleComputeSignStats shows the feature SignGuard clusters on: the
+// proportions of positive, zero and negative gradient entries.
+func ExampleComputeSignStats() {
+	ss, _ := stats.ComputeSignStats([]float64{0.3, -1.2, 0, 2.5, -0.1, 0.9, 0, -4})
+	fmt.Println(ss)
+	// Output: SignStats{pos=0.3750 zero=0.2500 neg=0.3750}
+}

@@ -1,0 +1,48 @@
+package stats
+
+import "math"
+
+// NormalCDF returns Φ(z), the standard normal cumulative distribution
+// function, computed from the error function.
+func NormalCDF(z float64) float64 {
+	return 0.5 * math.Erfc(-z/math.Sqrt2)
+}
+
+// NormalQuantile returns Φ⁻¹(p) for p in (0, 1), via bisection on the CDF.
+// Accuracy is ~1e-12, far tighter than the attack calibration requires.
+func NormalQuantile(p float64) float64 {
+	if math.IsNaN(p) || p <= 0 || p >= 1 {
+		return math.NaN()
+	}
+	lo, hi := -40.0, 40.0
+	for i := 0; i < 200; i++ {
+		mid := 0.5 * (lo + hi)
+		if NormalCDF(mid) < p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return 0.5 * (lo + hi)
+}
+
+// LIEZMax computes the attack factor z_max for the "Little is Enough"
+// attack (Eq. 2 of the paper):
+//
+//	z_max = max { z : Φ(z) < (n − ⌊n/2 + 1⌋) / (n − m) }
+//
+// where n is the total number of clients and m the number of Byzantine
+// clients. The supremum of the set is the quantile itself, so we return
+// Φ⁻¹(s) for s = (n − ⌊n/2+1⌋)/(n−m). When the ratio is degenerate
+// (≤ 0 or ≥ 1) a NaN-free fallback of 0 is returned: the attack then
+// reduces to sending the coordinate-wise mean.
+func LIEZMax(n, m int) float64 {
+	if n <= m || n <= 0 {
+		return 0
+	}
+	s := (float64(n) - math.Floor(float64(n)/2+1)) / float64(n-m)
+	if s <= 0 || s >= 1 {
+		return 0
+	}
+	return NormalQuantile(s)
+}

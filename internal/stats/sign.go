@@ -1,0 +1,103 @@
+package stats
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// SignStats holds the proportions of positive, zero and negative elements of
+// a gradient vector — the "sign statistics" that the paper shows expose
+// model-poisoning attacks which are invisible to distance- and
+// similarity-based defenses (Section III, Fig. 2).
+//
+// The three fields always sum to 1 for a non-empty input.
+type SignStats struct {
+	Pos  float64 // fraction of strictly positive elements
+	Zero float64 // fraction of exactly-zero elements
+	Neg  float64 // fraction of strictly negative elements
+}
+
+// Vector returns the statistics as a feature row [pos, zero, neg], the form
+// consumed by the clustering filter.
+func (s SignStats) Vector() []float64 {
+	return []float64{s.Pos, s.Zero, s.Neg}
+}
+
+func (s SignStats) String() string {
+	return fmt.Sprintf("SignStats{pos=%.4f zero=%.4f neg=%.4f}", s.Pos, s.Zero, s.Neg)
+}
+
+// ComputeSignStats returns the sign statistics of v over all coordinates.
+func ComputeSignStats(v []float64) (SignStats, error) {
+	if len(v) == 0 {
+		return SignStats{}, ErrEmptyInput
+	}
+	var pos, neg, zero int
+	for _, x := range v {
+		switch {
+		case x > 0:
+			pos++
+		case x < 0:
+			neg++
+		default:
+			zero++
+		}
+	}
+	n := float64(len(v))
+	return SignStats{
+		Pos:  float64(pos) / n,
+		Zero: float64(zero) / n,
+		Neg:  float64(neg) / n,
+	}, nil
+}
+
+// ComputeSignStatsAt returns the sign statistics of v restricted to the
+// given coordinate subset. SignGuard evaluates sign statistics on a random
+// 10% coordinate sample to capture local structure cheaply (Algorithm 2,
+// step 2).
+func ComputeSignStatsAt(v []float64, idx []int) (SignStats, error) {
+	if len(idx) == 0 {
+		return SignStats{}, ErrEmptyInput
+	}
+	var pos, neg, zero int
+	for _, j := range idx {
+		if j < 0 || j >= len(v) {
+			return SignStats{}, fmt.Errorf("stats: sign-stat index %d out of range [0,%d)", j, len(v))
+		}
+		switch x := v[j]; {
+		case x > 0:
+			pos++
+		case x < 0:
+			neg++
+		default:
+			zero++
+		}
+	}
+	n := float64(len(idx))
+	return SignStats{
+		Pos:  float64(pos) / n,
+		Zero: float64(zero) / n,
+		Neg:  float64(neg) / n,
+	}, nil
+}
+
+// SampleCoordinates draws a random subset of coordinate indices covering
+// the given fraction of a d-dimensional vector (at least one coordinate).
+// The same subset must be applied to every client's gradient within a round
+// so that the resulting features are comparable.
+func SampleCoordinates(rng *rand.Rand, d int, fraction float64) ([]int, error) {
+	if d <= 0 {
+		return nil, fmt.Errorf("stats: cannot sample coordinates of a %d-dim vector", d)
+	}
+	if fraction <= 0 || fraction > 1 {
+		return nil, fmt.Errorf("stats: coordinate fraction %v out of (0,1]", fraction)
+	}
+	k := int(float64(d) * fraction)
+	if k < 1 {
+		k = 1
+	}
+	perm := rng.Perm(d)
+	idx := make([]int, k)
+	copy(idx, perm[:k])
+	return idx, nil
+}

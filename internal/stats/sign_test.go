@@ -1,0 +1,150 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/signguard/signguard/internal/tensor"
+)
+
+func TestComputeSignStats(t *testing.T) {
+	ss, err := ComputeSignStats([]float64{1, -1, 0, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ss.Pos != 0.5 || ss.Neg != 0.25 || ss.Zero != 0.25 {
+		t.Errorf("SignStats = %+v", ss)
+	}
+	if _, err := ComputeSignStats(nil); err == nil {
+		t.Error("accepted empty vector")
+	}
+	v := ss.Vector()
+	if len(v) != 3 || v[0] != 0.5 {
+		t.Errorf("Vector = %v", v)
+	}
+	if ss.String() == "" {
+		t.Error("String should be non-empty")
+	}
+}
+
+func TestComputeSignStatsAt(t *testing.T) {
+	v := []float64{1, -1, 0, 2, -3}
+	ss, err := ComputeSignStatsAt(v, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ss.Pos != 0.5 || ss.Neg != 0.5 || ss.Zero != 0 {
+		t.Errorf("subset stats = %+v", ss)
+	}
+	if _, err := ComputeSignStatsAt(v, []int{99}); err == nil {
+		t.Error("accepted out-of-range index")
+	}
+	if _, err := ComputeSignStatsAt(v, nil); err == nil {
+		t.Error("accepted empty index set")
+	}
+}
+
+func TestSampleCoordinates(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	idx, err := SampleCoordinates(rng, 100, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idx) != 10 {
+		t.Errorf("got %d coordinates, want 10", len(idx))
+	}
+	seen := map[int]bool{}
+	for _, j := range idx {
+		if j < 0 || j >= 100 {
+			t.Errorf("index %d out of range", j)
+		}
+		if seen[j] {
+			t.Errorf("duplicate index %d", j)
+		}
+		seen[j] = true
+	}
+	// Tiny fraction still samples at least one coordinate.
+	idx, err = SampleCoordinates(rng, 5, 0.01)
+	if err != nil || len(idx) != 1 {
+		t.Errorf("minimum sample = %v, %v", idx, err)
+	}
+	if _, err := SampleCoordinates(rng, 0, 0.1); err == nil {
+		t.Error("accepted d=0")
+	}
+	if _, err := SampleCoordinates(rng, 10, 0); err == nil {
+		t.Error("accepted fraction 0")
+	}
+	if _, err := SampleCoordinates(rng, 10, 1.5); err == nil {
+		t.Error("accepted fraction > 1")
+	}
+}
+
+// Property: sign statistics form a probability vector.
+func TestSignStatsSimplexQuick(t *testing.T) {
+	f := func(raw [16]float64) bool {
+		ss, err := ComputeSignStats(raw[:])
+		if err != nil {
+			return false
+		}
+		sum := ss.Pos + ss.Zero + ss.Neg
+		inRange := func(x float64) bool { return x >= 0 && x <= 1 }
+		return math.Abs(sum-1) < 1e-12 && inRange(ss.Pos) && inRange(ss.Zero) && inRange(ss.Neg)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalCDFQuantile(t *testing.T) {
+	for _, tc := range []struct{ z, want float64 }{
+		{0, 0.5},
+		{1.6448536269514722, 0.95},
+		{-1.6448536269514722, 0.05},
+	} {
+		if got := NormalCDF(tc.z); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("NormalCDF(%v) = %v, want %v", tc.z, got, tc.want)
+		}
+	}
+	for _, p := range []float64{0.01, 0.25, 0.5, 0.9, 0.999} {
+		z := NormalQuantile(p)
+		if back := NormalCDF(z); math.Abs(back-p) > 1e-9 {
+			t.Errorf("CDF(Quantile(%v)) = %v", p, back)
+		}
+	}
+	if !math.IsNaN(NormalQuantile(0)) || !math.IsNaN(NormalQuantile(1)) {
+		t.Error("NormalQuantile should be NaN at the boundary")
+	}
+}
+
+func TestLIEZMax(t *testing.T) {
+	// n=50, m=10: s = (50-26)/40 = 0.6 → z ≈ Φ⁻¹(0.6) ≈ 0.2533.
+	z := LIEZMax(50, 10)
+	if math.Abs(z-0.2533) > 1e-3 {
+		t.Errorf("LIEZMax(50,10) = %v, want ≈0.2533", z)
+	}
+	if LIEZMax(10, 10) != 0 {
+		t.Error("degenerate n<=m should return 0")
+	}
+	if LIEZMax(0, 0) != 0 {
+		t.Error("n=0 should return 0")
+	}
+}
+
+// Property: z_max grows with the Byzantine fraction (more corrupted
+// workers let the attacker push farther while staying hidden).
+func TestLIEZMaxMonotoneQuick(t *testing.T) {
+	f := func(mRaw uint8) bool {
+		n := 60
+		m := int(mRaw) % 25 // up to ~40%
+		if m < 1 {
+			return true
+		}
+		z1 := LIEZMax(n, m)
+		z2 := LIEZMax(n, m+1)
+		return z2 >= z1-1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,234 @@
+// Package stats implements the statistical primitives used by SignGuard and
+// the baseline robust aggregation rules: order statistics (median, trimmed
+// mean, quantiles), coordinate-wise robust estimators over sets of gradient
+// vectors, cosine similarity, the element-wise sign statistics that are the
+// heart of the SignGuard filter, and the standard-normal distribution
+// functions needed to calibrate the "Little is Enough" attack.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/signguard/signguard/internal/tensor"
+)
+
+// ErrEmptyInput is returned when a statistic is requested over no samples.
+var ErrEmptyInput = errors.New("stats: empty input")
+
+// Mean returns the arithmetic mean of xs.
+func Mean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmptyInput
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs)), nil
+}
+
+// Variance returns the population variance of xs (dividing by n, not n-1),
+// matching the estimator used by the attacks in the paper.
+func Variance(xs []float64) (float64, error) {
+	m, err := Mean(xs)
+	if err != nil {
+		return 0, err
+	}
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs)), nil
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) (float64, error) {
+	v, err := Variance(xs)
+	if err != nil {
+		return 0, err
+	}
+	return math.Sqrt(v), nil
+}
+
+// Median returns the median of xs without modifying the input. For an even
+// number of samples it returns the midpoint of the two central values.
+func Median(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmptyInput
+	}
+	tmp := make([]float64, len(xs))
+	copy(tmp, xs)
+	sort.Float64s(tmp)
+	n := len(tmp)
+	if n%2 == 1 {
+		return tmp[n/2], nil
+	}
+	return 0.5 * (tmp[n/2-1] + tmp[n/2]), nil
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of xs using linear
+// interpolation between order statistics.
+func Quantile(xs []float64, q float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmptyInput
+	}
+	if q < 0 || q > 1 {
+		return 0, fmt.Errorf("stats: quantile %v out of [0,1]", q)
+	}
+	tmp := make([]float64, len(xs))
+	copy(tmp, xs)
+	sort.Float64s(tmp)
+	pos := q * float64(len(tmp)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return tmp[lo], nil
+	}
+	frac := pos - float64(lo)
+	return tmp[lo]*(1-frac) + tmp[hi]*frac, nil
+}
+
+// TrimmedMean returns the mean of xs after removing the k smallest and the
+// k largest values. It requires len(xs) > 2k.
+func TrimmedMean(xs []float64, k int) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmptyInput
+	}
+	if k < 0 {
+		return 0, fmt.Errorf("stats: negative trim count %d", k)
+	}
+	if len(xs) <= 2*k {
+		return 0, fmt.Errorf("stats: cannot trim %d from each side of %d samples", k, len(xs))
+	}
+	tmp := make([]float64, len(xs))
+	copy(tmp, xs)
+	sort.Float64s(tmp)
+	tmp = tmp[k : len(tmp)-k]
+	return Mean(tmp)
+}
+
+// CosineSimilarity returns cos(a, b) = <a,b>/(||a||·||b||). If either vector
+// is zero the similarity is defined as 0.
+func CosineSimilarity(a, b []float64) (float64, error) {
+	dot, err := tensor.Dot(a, b)
+	if err != nil {
+		return 0, err
+	}
+	na, nb := tensor.Norm(a), tensor.Norm(b)
+	if na == 0 || nb == 0 {
+		return 0, nil
+	}
+	c := dot / (na * nb)
+	// Guard against floating-point drift outside [-1, 1].
+	return math.Max(-1, math.Min(1, c)), nil
+}
+
+// CoordinateMedian returns the coordinate-wise median of the given vectors.
+func CoordinateMedian(vs [][]float64) ([]float64, error) {
+	if len(vs) == 0 {
+		return nil, ErrEmptyInput
+	}
+	d := len(vs[0])
+	out := make([]float64, d)
+	col := make([]float64, len(vs))
+	for j := 0; j < d; j++ {
+		for i, v := range vs {
+			if len(v) != d {
+				return nil, fmt.Errorf("stats: CoordinateMedian row %d has %d dims, want %d", i, len(v), d)
+			}
+			col[i] = v[j]
+		}
+		m, err := Median(col)
+		if err != nil {
+			return nil, err
+		}
+		out[j] = m
+	}
+	return out, nil
+}
+
+// CoordinateTrimmedMean returns the coordinate-wise k-trimmed mean of the
+// given vectors (Yin et al., ICML 2018).
+func CoordinateTrimmedMean(vs [][]float64, k int) ([]float64, error) {
+	if len(vs) == 0 {
+		return nil, ErrEmptyInput
+	}
+	if len(vs) <= 2*k {
+		return nil, fmt.Errorf("stats: cannot trim %d from each side of %d vectors", k, len(vs))
+	}
+	d := len(vs[0])
+	out := make([]float64, d)
+	col := make([]float64, len(vs))
+	for j := 0; j < d; j++ {
+		for i, v := range vs {
+			if len(v) != d {
+				return nil, fmt.Errorf("stats: CoordinateTrimmedMean row %d has %d dims, want %d", i, len(v), d)
+			}
+			col[i] = v[j]
+		}
+		m, err := TrimmedMean(col, k)
+		if err != nil {
+			return nil, err
+		}
+		out[j] = m
+	}
+	return out, nil
+}
+
+// CoordinateMeanStd returns the coordinate-wise mean and population standard
+// deviation across the given vectors. These are exactly the µ_j and σ_j
+// statistics an omniscient LIE attacker estimates (Eq. 1 of the paper).
+func CoordinateMeanStd(vs [][]float64) (mean, std []float64, err error) {
+	if len(vs) == 0 {
+		return nil, nil, ErrEmptyInput
+	}
+	d := len(vs[0])
+	mean = make([]float64, d)
+	std = make([]float64, d)
+	for _, v := range vs {
+		if len(v) != d {
+			return nil, nil, fmt.Errorf("stats: CoordinateMeanStd row has %d dims, want %d", len(v), d)
+		}
+		for j, x := range v {
+			mean[j] += x
+		}
+	}
+	inv := 1.0 / float64(len(vs))
+	for j := range mean {
+		mean[j] *= inv
+	}
+	for _, v := range vs {
+		for j, x := range v {
+			dlt := x - mean[j]
+			std[j] += dlt * dlt
+		}
+	}
+	for j := range std {
+		std[j] = math.Sqrt(std[j] * inv)
+	}
+	return mean, std, nil
+}
+
+// PairwiseDistances returns the symmetric matrix D where D[i][j] = ||v_i - v_j||.
+func PairwiseDistances(vs [][]float64) ([][]float64, error) {
+	n := len(vs)
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d, err := tensor.Distance(vs[i], vs[j])
+			if err != nil {
+				return nil, err
+			}
+			out[i][j] = d
+			out[j][i] = d
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,203 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense row-major matrix of float64. The zero value is an empty
+// matrix; use NewMatrix to allocate a sized one.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len == Rows*Cols, row-major
+}
+
+// NewMatrix allocates a Rows x Cols zero matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: NewMatrix(%d, %d) with negative dimension", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromRows builds a matrix whose rows are copies of the given vectors.
+func FromRows(rows [][]float64) (*Matrix, error) {
+	if len(rows) == 0 {
+		return &Matrix{}, nil
+	}
+	cols := len(rows[0])
+	m := NewMatrix(len(rows), cols)
+	for i, r := range rows {
+		if len(r) != cols {
+			return nil, fmt.Errorf("%w: FromRows row %d has %d cols, want %d", ErrDimensionMismatch, i, len(r), cols)
+		}
+		copy(m.Row(i), r)
+	}
+	return m, nil
+}
+
+// Row returns a mutable view of row i.
+func (m *Matrix) Row(i int) []float64 {
+	return m.Data[i*m.Cols : (i+1)*m.Cols]
+}
+
+// At returns the element at (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set writes the element at (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Clone deep-copies the matrix.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// MulVec computes y = M x for a length-Cols vector x, returning a new
+// length-Rows vector.
+func (m *Matrix) MulVec(x []float64) ([]float64, error) {
+	if len(x) != m.Cols {
+		return nil, fmt.Errorf("%w: MulVec(%dx%d, %d)", ErrDimensionMismatch, m.Rows, m.Cols, len(x))
+	}
+	y := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		var s float64
+		for j, xv := range x {
+			s += row[j] * xv
+		}
+		y[i] = s
+	}
+	return y, nil
+}
+
+// MulVecT computes y = Mᵀ x for a length-Rows vector x, returning a new
+// length-Cols vector.
+func (m *Matrix) MulVecT(x []float64) ([]float64, error) {
+	if len(x) != m.Rows {
+		return nil, fmt.Errorf("%w: MulVecT(%dx%d, %d)", ErrDimensionMismatch, m.Rows, m.Cols, len(x))
+	}
+	y := make([]float64, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		xv := x[i]
+		if xv == 0 {
+			continue
+		}
+		for j, rv := range row {
+			y[j] += rv * xv
+		}
+	}
+	return y, nil
+}
+
+// MatMul returns A·B as a new matrix.
+func MatMul(a, b *Matrix) (*Matrix, error) {
+	if a.Cols != b.Rows {
+		return nil, fmt.Errorf("%w: MatMul(%dx%d, %dx%d)", ErrDimensionMismatch, a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	out := NewMatrix(a.Rows, b.Cols)
+	// ikj loop order keeps the inner loop sequential over both B and out.
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for k := 0; k < a.Cols; k++ {
+			av := arow[k]
+			if av == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out, nil
+}
+
+// CenterRows subtracts the column means from each row in place and returns
+// the mean row that was removed.
+func (m *Matrix) CenterRows() []float64 {
+	mean := make([]float64, m.Cols)
+	if m.Rows == 0 {
+		return mean
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			mean[j] += v
+		}
+	}
+	inv := 1.0 / float64(m.Rows)
+	for j := range mean {
+		mean[j] *= inv
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j := range row {
+			row[j] -= mean[j]
+		}
+	}
+	return mean
+}
+
+// TopSingularVector estimates the dominant right singular vector of the
+// matrix via power iteration on MᵀM, without materializing the Gram matrix.
+// iters bounds the number of iterations; tol is the convergence threshold on
+// the change of the estimate between iterations. The returned vector has
+// unit norm. The rng-free deterministic start vector makes results
+// reproducible.
+func (m *Matrix) TopSingularVector(iters int, tol float64) []float64 {
+	v := make([]float64, m.Cols)
+	if m.Cols == 0 {
+		return v
+	}
+	// Deterministic non-degenerate start: alternating signs with a ramp so
+	// it is unlikely to be orthogonal to the dominant direction.
+	for j := range v {
+		v[j] = 1 + 0.5*float64(j%7)/7
+		if j%2 == 1 {
+			v[j] = -v[j]
+		}
+	}
+	normalize(v)
+	prev := make([]float64, m.Cols)
+	for it := 0; it < iters; it++ {
+		copy(prev, v)
+		// v <- normalize(Mᵀ (M v))
+		mv, err := m.MulVec(v)
+		if err != nil { // cannot happen: shapes are internally consistent
+			panic(err)
+		}
+		mtv, err := m.MulVecT(mv)
+		if err != nil {
+			panic(err)
+		}
+		copy(v, mtv)
+		if n := Norm(v); n == 0 {
+			// Matrix is (numerically) zero; any unit vector is valid.
+			Fill(v, 0)
+			v[0] = 1
+			return v
+		}
+		normalize(v)
+		// Power iteration can flip signs between iterations; compare the
+		// subspace, not the vector.
+		d1, _ := Distance(v, prev)
+		neg := Scale(prev, -1)
+		d2, _ := Distance(v, neg)
+		if math.Min(d1, d2) < tol {
+			break
+		}
+	}
+	return v
+}
+
+func normalize(v []float64) {
+	n := Norm(v)
+	if n == 0 {
+		return
+	}
+	ScaleInPlace(v, 1/n)
+}

@@ -1,0 +1,135 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMatrixBasics(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Set(0, 0, 1)
+	m.Set(1, 2, 5)
+	if m.At(0, 0) != 1 || m.At(1, 2) != 5 {
+		t.Errorf("Set/At mismatch: %v", m.Data)
+	}
+	row := m.Row(1)
+	if len(row) != 3 || row[2] != 5 {
+		t.Errorf("Row(1) = %v", row)
+	}
+	c := m.Clone()
+	c.Set(0, 0, 99)
+	if m.At(0, 0) != 1 {
+		t.Error("Clone shares data")
+	}
+}
+
+func TestFromRows(t *testing.T) {
+	m, err := FromRows([][]float64{{1, 2}, {3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows != 2 || m.Cols != 2 || m.At(1, 0) != 3 {
+		t.Errorf("FromRows = %+v", m)
+	}
+	if _, err := FromRows([][]float64{{1, 2}, {3}}); err == nil {
+		t.Error("FromRows accepted ragged rows")
+	}
+	empty, err := FromRows(nil)
+	if err != nil || empty.Rows != 0 {
+		t.Errorf("FromRows(nil) = %+v, %v", empty, err)
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	m, _ := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	y, err := m.MulVec([]float64{1, -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(y, []float64{-1, -1, -1}, 1e-12) {
+		t.Errorf("MulVec = %v", y)
+	}
+	yt, err := m.MulVecT([]float64{1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(yt, []float64{9, 12}, 1e-12) {
+		t.Errorf("MulVecT = %v", yt)
+	}
+	if _, err := m.MulVec([]float64{1}); err == nil {
+		t.Error("MulVec accepted wrong length")
+	}
+	if _, err := m.MulVecT([]float64{1}); err == nil {
+		t.Error("MulVecT accepted wrong length")
+	}
+}
+
+func TestMatMul(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2}, {3, 4}})
+	b, _ := FromRows([][]float64{{5, 6}, {7, 8}})
+	c, err := MatMul(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{19, 22, 43, 50}
+	if !Equal(c.Data, want, 1e-12) {
+		t.Errorf("MatMul = %v, want %v", c.Data, want)
+	}
+	if _, err := MatMul(a, NewMatrix(3, 2)); err == nil {
+		t.Error("MatMul accepted mismatched shapes")
+	}
+}
+
+func TestCenterRows(t *testing.T) {
+	m, _ := FromRows([][]float64{{1, 10}, {3, 20}})
+	mean := m.CenterRows()
+	if !Equal(mean, []float64{2, 15}, 1e-12) {
+		t.Errorf("mean = %v", mean)
+	}
+	if !Equal(m.Row(0), []float64{-1, -5}, 1e-12) || !Equal(m.Row(1), []float64{1, 5}, 1e-12) {
+		t.Errorf("centered rows = %v / %v", m.Row(0), m.Row(1))
+	}
+}
+
+func TestTopSingularVector(t *testing.T) {
+	// Rank-1 matrix: rows are multiples of (3, 4)/5. The dominant right
+	// singular vector must align with that direction.
+	m, _ := FromRows([][]float64{{3, 4}, {6, 8}, {-3, -4}})
+	v := m.TopSingularVector(100, 1e-12)
+	if math.Abs(Norm(v)-1) > 1e-9 {
+		t.Fatalf("singular vector norm = %v", Norm(v))
+	}
+	dir := []float64{0.6, 0.8}
+	dot, _ := Dot(v, dir)
+	if math.Abs(math.Abs(dot)-1) > 1e-6 {
+		t.Errorf("singular vector %v not aligned with %v (|dot|=%v)", v, dir, math.Abs(dot))
+	}
+}
+
+func TestTopSingularVectorZeroMatrix(t *testing.T) {
+	m := NewMatrix(3, 4)
+	v := m.TopSingularVector(10, 1e-9)
+	if math.Abs(Norm(v)-1) > 1e-9 {
+		t.Errorf("zero-matrix singular vector norm = %v, want 1", Norm(v))
+	}
+}
+
+func TestTopSingularVectorDominantDirection(t *testing.T) {
+	// Two clusters along the first axis with small noise on the second:
+	// the top singular direction of the centered data is the first axis.
+	rng := NewRNG(3)
+	rows := make([][]float64, 40)
+	for i := range rows {
+		x := 5.0
+		if i%2 == 0 {
+			x = -5.0
+		}
+		rows[i] = []float64{x, 0.01 * rng.NormFloat64()}
+	}
+	m, _ := FromRows(rows)
+	m.CenterRows()
+	v := m.TopSingularVector(200, 1e-12)
+	if math.Abs(v[0]) < 0.99 {
+		t.Errorf("dominant direction = %v, want ±e1", v)
+	}
+}

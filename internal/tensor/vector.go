@@ -1,0 +1,299 @@
+// Package tensor provides the dense float64 vector and matrix primitives
+// used throughout the SignGuard reproduction: gradient vectors exchanged
+// between federated-learning clients and the parameter server, feature rows
+// consumed by the clustering filters, and the weight matrices of the
+// neural-network substrate.
+//
+// All operations are allocation-conscious: the hot aggregation paths reuse
+// destination slices wherever possible, and in-place variants are provided
+// for the inner loops of training.
+package tensor
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrDimensionMismatch is returned when two vectors or matrices that must
+// share a shape do not.
+var ErrDimensionMismatch = errors.New("tensor: dimension mismatch")
+
+// Zeros returns a new zero vector of length n.
+func Zeros(n int) []float64 {
+	return make([]float64, n)
+}
+
+// Clone returns a copy of v. A nil input yields a nil output.
+func Clone(v []float64) []float64 {
+	if v == nil {
+		return nil
+	}
+	out := make([]float64, len(v))
+	copy(out, v)
+	return out
+}
+
+// CloneAll deep-copies a slice of vectors.
+func CloneAll(vs [][]float64) [][]float64 {
+	if vs == nil {
+		return nil
+	}
+	out := make([][]float64, len(vs))
+	for i, v := range vs {
+		out[i] = Clone(v)
+	}
+	return out
+}
+
+// Fill sets every element of v to c.
+func Fill(v []float64, c float64) {
+	for i := range v {
+		v[i] = c
+	}
+}
+
+// Add returns a+b as a new vector.
+func Add(a, b []float64) ([]float64, error) {
+	if len(a) != len(b) {
+		return nil, fmt.Errorf("%w: Add(%d, %d)", ErrDimensionMismatch, len(a), len(b))
+	}
+	out := make([]float64, len(a))
+	for i := range a {
+		out[i] = a[i] + b[i]
+	}
+	return out, nil
+}
+
+// AddInPlace sets dst = dst + src.
+func AddInPlace(dst, src []float64) error {
+	if len(dst) != len(src) {
+		return fmt.Errorf("%w: AddInPlace(%d, %d)", ErrDimensionMismatch, len(dst), len(src))
+	}
+	for i := range dst {
+		dst[i] += src[i]
+	}
+	return nil
+}
+
+// Sub returns a-b as a new vector.
+func Sub(a, b []float64) ([]float64, error) {
+	if len(a) != len(b) {
+		return nil, fmt.Errorf("%w: Sub(%d, %d)", ErrDimensionMismatch, len(a), len(b))
+	}
+	out := make([]float64, len(a))
+	for i := range a {
+		out[i] = a[i] - b[i]
+	}
+	return out, nil
+}
+
+// SubInPlace sets dst = dst - src.
+func SubInPlace(dst, src []float64) error {
+	if len(dst) != len(src) {
+		return fmt.Errorf("%w: SubInPlace(%d, %d)", ErrDimensionMismatch, len(dst), len(src))
+	}
+	for i := range dst {
+		dst[i] -= src[i]
+	}
+	return nil
+}
+
+// Scale returns c*v as a new vector.
+func Scale(v []float64, c float64) []float64 {
+	out := make([]float64, len(v))
+	for i := range v {
+		out[i] = c * v[i]
+	}
+	return out
+}
+
+// ScaleInPlace sets v = c*v.
+func ScaleInPlace(v []float64, c float64) {
+	for i := range v {
+		v[i] *= c
+	}
+}
+
+// Axpy sets dst = dst + alpha*x (the BLAS "axpy" primitive).
+func Axpy(dst []float64, alpha float64, x []float64) error {
+	if len(dst) != len(x) {
+		return fmt.Errorf("%w: Axpy(%d, %d)", ErrDimensionMismatch, len(dst), len(x))
+	}
+	for i := range dst {
+		dst[i] += alpha * x[i]
+	}
+	return nil
+}
+
+// Dot returns the inner product of a and b.
+func Dot(a, b []float64) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("%w: Dot(%d, %d)", ErrDimensionMismatch, len(a), len(b))
+	}
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s, nil
+}
+
+// Norm returns the Euclidean (l2) norm of v.
+func Norm(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+// SquaredDistance returns ||a-b||^2.
+func SquaredDistance(a, b []float64) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("%w: SquaredDistance(%d, %d)", ErrDimensionMismatch, len(a), len(b))
+	}
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s, nil
+}
+
+// Distance returns the Euclidean distance ||a-b||.
+func Distance(a, b []float64) (float64, error) {
+	s, err := a2b2(a, b)
+	if err != nil {
+		return 0, err
+	}
+	return math.Sqrt(s), nil
+}
+
+func a2b2(a, b []float64) (float64, error) {
+	return SquaredDistance(a, b)
+}
+
+// Mean computes the element-wise mean of the given vectors. All vectors must
+// share a length and at least one vector must be supplied.
+func Mean(vs [][]float64) ([]float64, error) {
+	if len(vs) == 0 {
+		return nil, errors.New("tensor: Mean of empty set")
+	}
+	d := len(vs[0])
+	out := make([]float64, d)
+	for _, v := range vs {
+		if len(v) != d {
+			return nil, fmt.Errorf("%w: Mean row has length %d, want %d", ErrDimensionMismatch, len(v), d)
+		}
+		for i, x := range v {
+			out[i] += x
+		}
+	}
+	inv := 1.0 / float64(len(vs))
+	for i := range out {
+		out[i] *= inv
+	}
+	return out, nil
+}
+
+// WeightedMean computes sum_i w[i]*vs[i] / sum_i w[i].
+func WeightedMean(vs [][]float64, w []float64) ([]float64, error) {
+	if len(vs) == 0 {
+		return nil, errors.New("tensor: WeightedMean of empty set")
+	}
+	if len(vs) != len(w) {
+		return nil, fmt.Errorf("%w: WeightedMean %d vectors, %d weights", ErrDimensionMismatch, len(vs), len(w))
+	}
+	d := len(vs[0])
+	out := make([]float64, d)
+	var total float64
+	for j, v := range vs {
+		if len(v) != d {
+			return nil, fmt.Errorf("%w: WeightedMean row has length %d, want %d", ErrDimensionMismatch, len(v), d)
+		}
+		total += w[j]
+		for i, x := range v {
+			out[i] += w[j] * x
+		}
+	}
+	if total == 0 {
+		return nil, errors.New("tensor: WeightedMean with zero total weight")
+	}
+	inv := 1.0 / total
+	for i := range out {
+		out[i] *= inv
+	}
+	return out, nil
+}
+
+// ClipNorm scales v in place so that its l2 norm does not exceed bound.
+// It returns the scaling factor applied (1 when no clipping occurred).
+// Non-positive bounds leave v untouched.
+func ClipNorm(v []float64, bound float64) float64 {
+	if bound <= 0 {
+		return 1
+	}
+	n := Norm(v)
+	if n <= bound || n == 0 {
+		return 1
+	}
+	c := bound / n
+	ScaleInPlace(v, c)
+	return c
+}
+
+// Sign returns the element-wise sign of v: +1, -1 or 0.
+func Sign(v []float64) []float64 {
+	out := make([]float64, len(v))
+	for i, x := range v {
+		switch {
+		case x > 0:
+			out[i] = 1
+		case x < 0:
+			out[i] = -1
+		}
+	}
+	return out
+}
+
+// MinMax returns the smallest and largest element of v.
+// It panics on an empty vector, as there is no meaningful answer.
+func MinMax(v []float64) (lo, hi float64) {
+	if len(v) == 0 {
+		panic("tensor: MinMax of empty vector")
+	}
+	lo, hi = v[0], v[0]
+	for _, x := range v[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi
+}
+
+// AllFinite reports whether every element of v is finite (no NaN or Inf).
+func AllFinite(v []float64) bool {
+	for _, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether a and b have the same length and all elements are
+// within tol of each other.
+func Equal(a, b []float64, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > tol {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,177 @@
+// Package theory implements the paper's convergence analysis (Section
+// IV-C): the Lemma 1 deviation bound between the honest average and the
+// true global gradient under non-IID data, the Theorem 1 constants Δ1 and
+// Δ2 induced by Byzantine participation, the resulting bound on the
+// average squared gradient norm after T rounds, and the learning-rate
+// ceiling η ≤ (2 − √δ − 2β)/(4L) under which the theorem holds.
+//
+// The package exists for two reasons: it documents the theory as runnable
+// code, and its tests machine-check the qualitative claims the paper makes
+// about the bound (Remarks 1–2): Δ2 vanishes when there are no Byzantine
+// clients; Byzantine clients inflate the error even when every malicious
+// gradient is filtered (δ = 0) as long as the data are non-IID (κ > 0);
+// and the bound tightens as the filter improves (δ ↓).
+package theory
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Assumptions collects the constants of Assumption 1-2 and the system
+// parameters of problem (9).
+type Assumptions struct {
+	// L is the smoothness (Lipschitz) constant of the objective.
+	L float64
+	// SigmaSq (σ²) bounds the local stochastic-gradient variance.
+	SigmaSq float64
+	// KappaSq (κ²) bounds the local-vs-global gradient deviation
+	// (0 in the IID setting).
+	KappaSq float64
+	// N is the total number of clients.
+	N int
+	// Beta (β) is the Byzantine fraction, 0 ≤ β < 0.5.
+	Beta float64
+	// Delta (δ) is the fraction of Byzantine clients that circumvent the
+	// filter each round, 0 ≤ δ ≤ β.
+	Delta float64
+	// C and BSq (b²) are the aggregation-capability constants of
+	// Assumption 2 (bounded bias scale and output variance).
+	C, BSq float64
+}
+
+// Validate checks the admissible parameter ranges.
+func (a *Assumptions) Validate() error {
+	switch {
+	case a.L <= 0:
+		return fmt.Errorf("theory: smoothness L=%v must be positive", a.L)
+	case a.SigmaSq < 0 || a.KappaSq < 0:
+		return fmt.Errorf("theory: variance bounds σ²=%v, κ²=%v must be non-negative", a.SigmaSq, a.KappaSq)
+	case a.N <= 0:
+		return fmt.Errorf("theory: n=%d clients invalid", a.N)
+	case a.Beta < 0 || a.Beta >= 0.5:
+		return fmt.Errorf("theory: Byzantine fraction β=%v out of [0, 0.5)", a.Beta)
+	case a.Delta < 0 || a.Delta > a.Beta:
+		return fmt.Errorf("theory: leak fraction δ=%v out of [0, β=%v]", a.Delta, a.Beta)
+	case a.C < 0 || a.BSq < 0:
+		return fmt.Errorf("theory: aggregation constants c=%v, b²=%v must be non-negative", a.C, a.BSq)
+	}
+	return nil
+}
+
+// Lemma1Deviation returns the Lemma 1 bound on E‖ḡ − ∇F(x)‖²: the
+// deviation between the average of the (1−β)n honest gradients and the
+// true global gradient,
+//
+//	β²κ²/(1−β)² + σ²/((1−β)n).
+func Lemma1Deviation(a Assumptions) (float64, error) {
+	if err := a.Validate(); err != nil {
+		return 0, err
+	}
+	oneMinus := 1 - a.Beta
+	return a.Beta*a.Beta*a.KappaSq/(oneMinus*oneMinus) + a.SigmaSq/(oneMinus*float64(a.N)), nil
+}
+
+// Delta1 returns the Theorem 1 constant
+//
+//	Δ1 = 4cδ(σ²+κ²) + 2b² + 2β²κ²/(1−β)² + 2σ²/((1−β)n).
+func Delta1(a Assumptions) (float64, error) {
+	if err := a.Validate(); err != nil {
+		return 0, err
+	}
+	oneMinus := 1 - a.Beta
+	return 4*a.C*a.Delta*(a.SigmaSq+a.KappaSq) +
+		2*a.BSq +
+		2*a.Beta*a.Beta*a.KappaSq/(oneMinus*oneMinus) +
+		2*a.SigmaSq/(oneMinus*float64(a.N)), nil
+}
+
+// Delta2 returns the Theorem 1 constant
+//
+//	Δ2 = 4c√δ(σ²+κ²) + βκ²/(1−β)².
+func Delta2(a Assumptions) (float64, error) {
+	if err := a.Validate(); err != nil {
+		return 0, err
+	}
+	oneMinus := 1 - a.Beta
+	return 4*a.C*math.Sqrt(a.Delta)*(a.SigmaSq+a.KappaSq) +
+		a.Beta*a.KappaSq/(oneMinus*oneMinus), nil
+}
+
+// MaxLearningRate returns the Theorem 1 step-size ceiling
+// η ≤ (2 − √δ − 2β)/(4L).
+func MaxLearningRate(a Assumptions) (float64, error) {
+	if err := a.Validate(); err != nil {
+		return 0, err
+	}
+	return (2 - math.Sqrt(a.Delta) - 2*a.Beta) / (4 * a.L), nil
+}
+
+// ErrLearningRateTooLarge is returned when the requested step size exceeds
+// the Theorem 1 ceiling.
+var ErrLearningRateTooLarge = errors.New("theory: learning rate exceeds the Theorem 1 ceiling")
+
+// ConvergenceBound returns the Theorem 1 bound on
+// (1/T)·Σ_t E‖∇F(x_t)‖² after T rounds with step size eta and initial
+// optimality gap f0 = F(x₀) − F*:
+//
+//	2(F(x₀)−F*)/(ηT) + 2LηΔ1 + Δ2.
+func ConvergenceBound(a Assumptions, eta, f0 float64, T int) (float64, error) {
+	if err := a.Validate(); err != nil {
+		return 0, err
+	}
+	if T <= 0 {
+		return 0, fmt.Errorf("theory: T=%d rounds invalid", T)
+	}
+	if eta <= 0 {
+		return 0, fmt.Errorf("theory: step size η=%v must be positive", eta)
+	}
+	if f0 < 0 {
+		return 0, fmt.Errorf("theory: optimality gap f0=%v must be non-negative", f0)
+	}
+	maxEta, err := MaxLearningRate(a)
+	if err != nil {
+		return 0, err
+	}
+	if eta > maxEta {
+		return 0, fmt.Errorf("%w: η=%v > %v", ErrLearningRateTooLarge, eta, maxEta)
+	}
+	d1, err := Delta1(a)
+	if err != nil {
+		return 0, err
+	}
+	d2, err := Delta2(a)
+	if err != nil {
+		return 0, err
+	}
+	return 2*f0/(eta*float64(T)) + 2*a.L*eta*d1 + d2, nil
+}
+
+// OptimalLearningRate returns the step size minimizing the Theorem 1 bound
+// over (0, maxEta]: the unconstrained minimizer of a/η + bη is
+// √(a/b) = √(f0 / (L·Δ1·T)), clipped to the admissible ceiling.
+func OptimalLearningRate(a Assumptions, f0 float64, T int) (float64, error) {
+	if err := a.Validate(); err != nil {
+		return 0, err
+	}
+	if T <= 0 {
+		return 0, fmt.Errorf("theory: T=%d rounds invalid", T)
+	}
+	maxEta, err := MaxLearningRate(a)
+	if err != nil {
+		return 0, err
+	}
+	d1, err := Delta1(a)
+	if err != nil {
+		return 0, err
+	}
+	if d1 == 0 || f0 == 0 {
+		return maxEta, nil
+	}
+	eta := math.Sqrt(f0 / (a.L * d1 * float64(T)))
+	if eta > maxEta {
+		eta = maxEta
+	}
+	return eta, nil
+}

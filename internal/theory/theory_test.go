@@ -1,0 +1,217 @@
+package theory
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func base() Assumptions {
+	return Assumptions{
+		L: 1, SigmaSq: 4, KappaSq: 1, N: 50,
+		Beta: 0.2, Delta: 0.05, C: 1, BSq: 0.01,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := base()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid assumptions rejected: %v", err)
+	}
+	mods := []func(*Assumptions){
+		func(a *Assumptions) { a.L = 0 },
+		func(a *Assumptions) { a.SigmaSq = -1 },
+		func(a *Assumptions) { a.N = 0 },
+		func(a *Assumptions) { a.Beta = 0.5 },
+		func(a *Assumptions) { a.Delta = a.Beta + 0.01 },
+		func(a *Assumptions) { a.C = -1 },
+	}
+	for i, mod := range mods {
+		a := base()
+		mod(&a)
+		if err := a.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+// Remark 2: with no Byzantine clients (β=0, δ=0) the asymptotic error Δ2
+// vanishes.
+func TestDelta2VanishesWithoutByzantine(t *testing.T) {
+	a := base()
+	a.Beta, a.Delta = 0, 0
+	d2, err := Delta2(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2 != 0 {
+		t.Errorf("Δ2 = %v with β=δ=0, want 0", d2)
+	}
+}
+
+// Remark 2: even a perfect filter (δ=0) leaves Δ2 > 0 on non-IID data —
+// Byzantine clients' data no longer contributes to the average.
+func TestPerfectFilterStillBiasedNonIID(t *testing.T) {
+	a := base()
+	a.Delta = 0 // perfect filtering
+	d2, err := Delta2(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2 <= 0 {
+		t.Errorf("Δ2 = %v with β>0, κ²>0, want > 0", d2)
+	}
+	// ...but in the IID setting (κ=0) the perfect filter does recover
+	// unbiased convergence.
+	a.KappaSq = 0
+	d2, err = Delta2(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2 != 0 {
+		t.Errorf("Δ2 = %v with δ=0, κ=0, want 0", d2)
+	}
+}
+
+func TestLemma1Monotonicity(t *testing.T) {
+	a := base()
+	d1, err := Lemma1Deviation(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// More clients → lower variance term.
+	big := a
+	big.N = 500
+	d2, _ := Lemma1Deviation(big)
+	if d2 >= d1 {
+		t.Errorf("deviation should fall with n: %v vs %v", d2, d1)
+	}
+	// IID data (κ=0) removes the heterogeneity term entirely.
+	iid := a
+	iid.KappaSq = 0
+	d3, _ := Lemma1Deviation(iid)
+	if d3 >= d1 {
+		t.Errorf("IID deviation %v should undercut non-IID %v", d3, d1)
+	}
+}
+
+func TestMaxLearningRate(t *testing.T) {
+	a := base()
+	a.Beta, a.Delta = 0, 0
+	eta, err := MaxLearningRate(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(eta-0.5) > 1e-12 { // (2-0-0)/(4·1)
+		t.Errorf("clean ceiling = %v, want 0.5", eta)
+	}
+	b := base()
+	etaB, _ := MaxLearningRate(b)
+	if etaB >= eta {
+		t.Errorf("Byzantine presence should tighten the ceiling: %v vs %v", etaB, eta)
+	}
+}
+
+func TestConvergenceBound(t *testing.T) {
+	a := base()
+	bound, err := ConvergenceBound(a, 0.05, 10, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bound <= 0 || math.IsInf(bound, 0) || math.IsNaN(bound) {
+		t.Fatalf("bound = %v", bound)
+	}
+	// More rounds with the same step size → tighter bound.
+	longer, _ := ConvergenceBound(a, 0.05, 10, 100000)
+	if longer >= bound {
+		t.Errorf("bound should shrink with T: %v vs %v", longer, bound)
+	}
+	// The bound can never drop below the asymptotic floor Δ2.
+	d2, _ := Delta2(a)
+	if longer < d2 {
+		t.Errorf("bound %v fell below its asymptote Δ2=%v", longer, d2)
+	}
+	// A step size over the ceiling is rejected with the sentinel error.
+	if _, err := ConvergenceBound(a, 10, 10, 1000); !errors.Is(err, ErrLearningRateTooLarge) {
+		t.Errorf("oversized η: %v", err)
+	}
+	if _, err := ConvergenceBound(a, 0.05, 10, 0); err == nil {
+		t.Error("accepted T=0")
+	}
+	if _, err := ConvergenceBound(a, 0.05, -1, 10); err == nil {
+		t.Error("accepted negative optimality gap")
+	}
+}
+
+func TestOptimalLearningRate(t *testing.T) {
+	a := base()
+	eta, err := OptimalLearningRate(a, 10, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxEta, _ := MaxLearningRate(a)
+	if eta <= 0 || eta > maxEta {
+		t.Fatalf("optimal η = %v outside (0, %v]", eta, maxEta)
+	}
+	// The optimum should (weakly) beat nearby admissible step sizes.
+	opt, err := ConvergenceBound(a, eta, 10, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, probe := range []float64{eta * 0.5, eta * 0.9, math.Min(eta*1.1, maxEta), math.Min(eta*2, maxEta)} {
+		v, err := ConvergenceBound(a, probe, 10, 1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v < opt-1e-9 {
+			t.Errorf("η=%v gives %v < optimum %v at η*=%v", probe, v, opt, eta)
+		}
+	}
+}
+
+// Property: a better filter (smaller δ) never loosens Δ1, Δ2 or the bound.
+func TestFilterQualityMonotoneQuick(t *testing.T) {
+	f := func(d1Raw, d2Raw uint8) bool {
+		a := base()
+		lo := float64(d1Raw%20) / 100 // [0, 0.19]
+		hi := lo + float64(d2Raw%10)/1000
+		if hi > a.Beta {
+			return true
+		}
+		aLo, aHi := a, a
+		aLo.Delta, aHi.Delta = lo, hi
+		x1, err1 := Delta1(aLo)
+		x2, err2 := Delta1(aHi)
+		if err1 != nil || err2 != nil || x1 > x2+1e-12 {
+			return false
+		}
+		y1, _ := Delta2(aLo)
+		y2, _ := Delta2(aHi)
+		return y1 <= y2+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: more heterogeneity (κ²↑) never tightens the bound.
+func TestHeterogeneityMonotoneQuick(t *testing.T) {
+	f := func(kRaw uint8) bool {
+		a := base()
+		a.KappaSq = float64(kRaw) / 16
+		b1, err := ConvergenceBound(a, 0.05, 10, 1000)
+		if err != nil {
+			return false
+		}
+		a.KappaSq += 1
+		b2, err := ConvergenceBound(a, 0.05, 10, 1000)
+		if err != nil {
+			return false
+		}
+		return b2 >= b1-1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,97 @@
+package transport
+
+import (
+	"context"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+)
+
+// GradientFunc computes the gradient a client submits for a round, given
+// the broadcast global parameters. Honest clients return a local stochastic
+// gradient; Byzantine clients may return anything (the cmd/flclient binary
+// wires local attack behaviours here).
+type GradientFunc func(round int, params []float64) ([]float64, error)
+
+// ClientConfig describes one federated participant.
+type ClientConfig struct {
+	// Addr is the server's TCP address.
+	Addr string
+	// ID is a logging identifier sent in the Hello message.
+	ID string
+	// Compute produces the gradient for each round (required).
+	Compute GradientFunc
+	// DialTimeout bounds the connection attempt (default 10s).
+	DialTimeout time.Duration
+	// OnModel, when non-nil, observes every broadcast (including the final
+	// Done message) — used to track convergence client-side.
+	OnModel func(ModelUpdate)
+}
+
+// RunClient connects to the server and participates until the server
+// signals completion or the context is cancelled. It returns the final
+// model parameters.
+func RunClient(ctx context.Context, cfg ClientConfig) ([]float64, error) {
+	if cfg.Compute == nil {
+		return nil, errors.New("transport: ClientConfig.Compute is required")
+	}
+	dialTimeout := cfg.DialTimeout
+	if dialTimeout <= 0 {
+		dialTimeout = 10 * time.Second
+	}
+	d := net.Dialer{Timeout: dialTimeout}
+	conn, err := d.DialContext(ctx, "tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", cfg.Addr, err)
+	}
+	defer conn.Close()
+
+	// Close the connection when the context is cancelled so blocked reads
+	// unblock; the stop channel releases the watcher goroutine on normal
+	// return (stop must be closed before waiting for the watcher).
+	stop := make(chan struct{})
+	watchDone := make(chan struct{})
+	go func() {
+		defer close(watchDone)
+		select {
+		case <-ctx.Done():
+			conn.Close()
+		case <-stop:
+		}
+	}()
+	defer func() {
+		close(stop)
+		<-watchDone
+	}()
+
+	enc := gob.NewEncoder(conn)
+	dec := gob.NewDecoder(conn)
+	if err := enc.Encode(&Hello{ClientID: cfg.ID}); err != nil {
+		return nil, fmt.Errorf("transport: sending hello: %w", err)
+	}
+
+	for {
+		var update ModelUpdate
+		if err := dec.Decode(&update); err != nil {
+			if ctx.Err() != nil {
+				return nil, fmt.Errorf("transport: cancelled: %w", ctx.Err())
+			}
+			return nil, fmt.Errorf("transport: reading model update: %w", err)
+		}
+		if cfg.OnModel != nil {
+			cfg.OnModel(update)
+		}
+		if update.Done {
+			return update.Params, nil
+		}
+		grad, err := cfg.Compute(update.Round, update.Params)
+		if err != nil {
+			return nil, fmt.Errorf("transport: computing gradient for round %d: %w", update.Round, err)
+		}
+		if err := enc.Encode(&GradientUpload{Round: update.Round, Grad: grad}); err != nil {
+			return nil, fmt.Errorf("transport: uploading gradient: %w", err)
+		}
+	}
+}

@@ -1,0 +1,34 @@
+// Package transport implements the federated-learning protocol of Fig. 1
+// over a real network boundary: a parameter server that coordinates
+// synchronous rounds with n TCP clients, exchanging gob-encoded messages.
+// The in-process engine (internal/fl) and this transport implement the same
+// round structure; the transport exists to demonstrate — and test — the
+// system as an actual distributed deployment (cmd/flserver, cmd/flclient).
+package transport
+
+// Hello is the first message a client sends after connecting.
+type Hello struct {
+	// ClientID is a caller-chosen identifier used only for logging; the
+	// aggregation itself treats gradients as anonymous, matching the
+	// paper's threat model.
+	ClientID string
+}
+
+// ModelUpdate is broadcast by the server at the start of each round, and
+// once more with Done=true when training completes.
+type ModelUpdate struct {
+	// Round is the 0-based round index.
+	Round int
+	// Params is the current flat global parameter vector.
+	Params []float64
+	// Done signals the end of training; Params then holds the final model.
+	Done bool
+}
+
+// GradientUpload carries one client's gradient for a round.
+type GradientUpload struct {
+	// Round echoes the round index the gradient was computed for.
+	Round int
+	// Grad is the client's flat gradient vector (honest or malicious).
+	Grad []float64
+}

@@ -1,0 +1,269 @@
+package transport
+
+import (
+	"context"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/signguard/signguard/internal/aggregate"
+	"github.com/signguard/signguard/internal/nn"
+)
+
+// ServerConfig describes a parameter-server deployment.
+type ServerConfig struct {
+	// Addr is the TCP listen address (use "127.0.0.1:0" for tests).
+	Addr string
+	// Clients is the number of participants the server waits for; rounds
+	// are fully synchronous, matching the paper's setting.
+	Clients int
+	// Rounds is the number of aggregation rounds to run.
+	Rounds int
+	// Rule is the gradient aggregation rule applied each round.
+	Rule aggregate.Rule
+	// InitialParams is the starting global parameter vector.
+	InitialParams []float64
+	// LR / Momentum / WeightDecay configure the server-side SGD update.
+	LR          float64
+	Momentum    float64
+	WeightDecay float64
+	// RoundTimeout bounds each network wait (0 = 30s default). A slow or
+	// crashed client fails the round rather than hanging the cohort.
+	RoundTimeout time.Duration
+	// Logf, when non-nil, receives progress lines.
+	Logf func(format string, args ...any)
+}
+
+func (c *ServerConfig) validate() error {
+	switch {
+	case c.Clients <= 0:
+		return fmt.Errorf("transport: %d clients invalid", c.Clients)
+	case c.Rounds <= 0:
+		return fmt.Errorf("transport: %d rounds invalid", c.Rounds)
+	case c.Rule == nil:
+		return errors.New("transport: ServerConfig.Rule is required")
+	case len(c.InitialParams) == 0:
+		return errors.New("transport: ServerConfig.InitialParams is required")
+	case c.LR <= 0:
+		return fmt.Errorf("transport: learning rate %v invalid", c.LR)
+	}
+	return nil
+}
+
+// Server coordinates synchronous federated rounds over TCP.
+type Server struct {
+	cfg ServerConfig
+
+	ln     net.Listener
+	params []float64
+	opt    *nn.SGD
+
+	mu      sync.Mutex
+	history []RoundSummary
+}
+
+// RoundSummary records one aggregation round at the server.
+type RoundSummary struct {
+	Round    int
+	Selected []int
+}
+
+// NewServer binds the listen socket and prepares the server. Call Serve to
+// run the protocol.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.RoundTimeout <= 0 {
+		cfg.RoundTimeout = 30 * time.Second
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", cfg.Addr, err)
+	}
+	params := make([]float64, len(cfg.InitialParams))
+	copy(params, cfg.InitialParams)
+	return &Server{
+		cfg:    cfg,
+		ln:     ln,
+		params: params,
+		opt:    nn.NewSGD(cfg.LR, cfg.Momentum, cfg.WeightDecay),
+	}, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// FinalParams returns a copy of the current global parameters.
+func (s *Server) FinalParams() []float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]float64, len(s.params))
+	copy(out, s.params)
+	return out
+}
+
+// History returns the per-round aggregation summaries recorded so far.
+func (s *Server) History() []RoundSummary {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]RoundSummary, len(s.history))
+	copy(out, s.history)
+	return out
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// clientConn is one registered participant.
+type clientConn struct {
+	id   string
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+}
+
+// Serve runs the full protocol: accept Clients participants, run Rounds
+// synchronous rounds, broadcast the final model, and shut down. It returns
+// once training completes or the context is cancelled.
+func (s *Server) Serve(ctx context.Context) error {
+	defer s.ln.Close()
+
+	conns, err := s.acceptAll(ctx)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		for _, c := range conns {
+			c.conn.Close()
+		}
+	}()
+	s.logf("transport: %d clients registered, starting %d rounds", len(conns), s.cfg.Rounds)
+
+	for round := 0; round < s.cfg.Rounds; round++ {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("transport: cancelled before round %d: %w", round, err)
+		}
+		grads, err := s.runRound(round, conns)
+		if err != nil {
+			return fmt.Errorf("transport: round %d: %w", round, err)
+		}
+		res, err := s.cfg.Rule.Aggregate(grads)
+		if err != nil {
+			return fmt.Errorf("transport: round %d aggregation (%s): %w", round, s.cfg.Rule.Name(), err)
+		}
+		s.mu.Lock()
+		err = s.opt.Step(s.params, res.Gradient)
+		s.history = append(s.history, RoundSummary{Round: round, Selected: res.Selected})
+		s.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+
+	// Final broadcast: the trained model.
+	final := ModelUpdate{Round: s.cfg.Rounds, Params: s.FinalParams(), Done: true}
+	for _, c := range conns {
+		c.conn.SetWriteDeadline(time.Now().Add(s.cfg.RoundTimeout))
+		if err := c.enc.Encode(&final); err != nil {
+			s.logf("transport: final broadcast to %s failed: %v", c.id, err)
+		}
+	}
+	s.logf("transport: training complete")
+	return nil
+}
+
+// acceptAll waits for exactly cfg.Clients registrations. A connection that
+// fails to deliver its Hello within the timeout is dropped and its slot
+// stays open for the next dialer.
+func (s *Server) acceptAll(ctx context.Context) ([]*clientConn, error) {
+	deadline := time.Now().Add(s.cfg.RoundTimeout * 4)
+	conns := make([]*clientConn, 0, s.cfg.Clients)
+	for len(conns) < s.cfg.Clients {
+		if err := ctx.Err(); err != nil {
+			break
+		}
+		if tl, ok := s.ln.(*net.TCPListener); ok {
+			tl.SetDeadline(deadline)
+		}
+		conn, err := s.ln.Accept()
+		if err != nil {
+			for _, c := range conns {
+				c.conn.Close()
+			}
+			return nil, fmt.Errorf("transport: accept: %w", err)
+		}
+		cc := &clientConn{
+			conn: conn,
+			enc:  gob.NewEncoder(conn),
+			dec:  gob.NewDecoder(conn),
+		}
+		conn.SetReadDeadline(time.Now().Add(s.cfg.RoundTimeout))
+		var hello Hello
+		if err := cc.dec.Decode(&hello); err != nil {
+			conn.Close()
+			s.logf("transport: registration failed: %v", err)
+			continue
+		}
+		conn.SetReadDeadline(time.Time{})
+		cc.id = hello.ClientID
+		conns = append(conns, cc)
+		s.logf("transport: client %q registered (%d/%d)", cc.id, len(conns), s.cfg.Clients)
+	}
+	if err := ctx.Err(); err != nil {
+		for _, c := range conns {
+			c.conn.Close()
+		}
+		return nil, fmt.Errorf("transport: cancelled during registration: %w", err)
+	}
+	return conns, nil
+}
+
+// runRound broadcasts the model and gathers one gradient per client, in
+// parallel so the round latency is the slowest client, not the sum.
+func (s *Server) runRound(round int, conns []*clientConn) ([][]float64, error) {
+	update := ModelUpdate{Round: round, Params: s.FinalParams()}
+	grads := make([][]float64, len(conns))
+	errs := make([]error, len(conns))
+	var wg sync.WaitGroup
+	for i, c := range conns {
+		wg.Add(1)
+		go func(i int, c *clientConn) {
+			defer wg.Done()
+			deadline := time.Now().Add(s.cfg.RoundTimeout)
+			c.conn.SetWriteDeadline(deadline)
+			if err := c.enc.Encode(&update); err != nil {
+				errs[i] = fmt.Errorf("send to %s: %w", c.id, err)
+				return
+			}
+			c.conn.SetReadDeadline(deadline)
+			var up GradientUpload
+			if err := c.dec.Decode(&up); err != nil {
+				errs[i] = fmt.Errorf("receive from %s: %w", c.id, err)
+				return
+			}
+			if up.Round != round {
+				errs[i] = fmt.Errorf("client %s answered round %d during round %d", c.id, up.Round, round)
+				return
+			}
+			if len(up.Grad) != len(update.Params) {
+				errs[i] = fmt.Errorf("client %s sent %d-dim gradient, want %d", c.id, len(up.Grad), len(update.Params))
+				return
+			}
+			grads[i] = up.Grad
+		}(i, c)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return grads, nil
+}

@@ -1,0 +1,247 @@
+package transport
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/signguard/signguard/internal/aggregate"
+	"github.com/signguard/signguard/internal/core"
+	"github.com/signguard/signguard/internal/tensor"
+)
+
+// quadraticGradient returns a GradientFunc descending a convex quadratic
+// with optimum at target: grad = params - target (plus optional noise).
+func quadraticGradient(target []float64, noise float64, seed int64) GradientFunc {
+	rng := tensor.NewRNG(seed)
+	return func(round int, params []float64) ([]float64, error) {
+		g := make([]float64, len(params))
+		for j := range g {
+			g[j] = params[j] - target[j] + noise*rng.NormFloat64()
+		}
+		return g, nil
+	}
+}
+
+// byzantineGradient sends a hugely scaled reverse gradient.
+func byzantineGradient(target []float64, seed int64) GradientFunc {
+	honest := quadraticGradient(target, 0.01, seed)
+	return func(round int, params []float64) ([]float64, error) {
+		g, err := honest(round, params)
+		if err != nil {
+			return nil, err
+		}
+		tensor.ScaleInPlace(g, -40)
+		return g, nil
+	}
+}
+
+// runCluster spins up a server and n clients on localhost and waits for
+// training to finish, returning the final parameters.
+func runCluster(t *testing.T, rule aggregate.Rule, nHonest, nByz, rounds int, target []float64) []float64 {
+	t.Helper()
+	srv, err := NewServer(ServerConfig{
+		Addr:          "127.0.0.1:0",
+		Clients:       nHonest + nByz,
+		Rounds:        rounds,
+		Rule:          rule,
+		InitialParams: make([]float64, len(target)),
+		LR:            0.2,
+		Momentum:      0.5,
+		RoundTimeout:  10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr().String()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	var wg sync.WaitGroup
+	serveErr := make(chan error, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		serveErr <- srv.Serve(ctx)
+	}()
+
+	clientErrs := make(chan error, nHonest+nByz)
+	for i := 0; i < nHonest; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, err := RunClient(ctx, ClientConfig{
+				Addr: addr, ID: fmt.Sprintf("honest-%d", i),
+				Compute: quadraticGradient(target, 0.05, int64(i)),
+			})
+			clientErrs <- err
+		}(i)
+	}
+	for i := 0; i < nByz; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, err := RunClient(ctx, ClientConfig{
+				Addr: addr, ID: fmt.Sprintf("byz-%d", i),
+				Compute: byzantineGradient(target, int64(100+i)),
+			})
+			clientErrs <- err
+		}(i)
+	}
+	wg.Wait()
+	if err := <-serveErr; err != nil {
+		t.Fatalf("server: %v", err)
+	}
+	for i := 0; i < nHonest+nByz; i++ {
+		if err := <-clientErrs; err != nil {
+			t.Fatalf("client: %v", err)
+		}
+	}
+	return srv.FinalParams()
+}
+
+func TestClusterConvergesClean(t *testing.T) {
+	target := []float64{1, -2, 3, 0.5}
+	final := runCluster(t, aggregate.NewMean(), 6, 0, 60, target)
+	d, _ := tensor.Distance(final, target)
+	if d > 0.2 {
+		t.Errorf("distance to optimum %v after clean training", d)
+	}
+}
+
+func TestClusterSignGuardFiltersByzantine(t *testing.T) {
+	target := []float64{2, 2, -1, 0, 1, -1}
+	final := runCluster(t, core.NewPlain(1), 8, 2, 60, target)
+	d, _ := tensor.Distance(final, target)
+	if d > 0.5 {
+		t.Errorf("SignGuard cluster ended %v from optimum", d)
+	}
+	// The same cluster with a plain mean is wrecked by the scaled attack.
+	wrecked := runCluster(t, aggregate.NewMean(), 8, 2, 60, target)
+	dw, _ := tensor.Distance(wrecked, target)
+	if dw < d*2 {
+		t.Errorf("plain mean (%v) should be far worse than SignGuard (%v)", dw, d)
+	}
+}
+
+func TestServerConfigValidation(t *testing.T) {
+	good := ServerConfig{
+		Addr: "127.0.0.1:0", Clients: 1, Rounds: 1,
+		Rule: aggregate.NewMean(), InitialParams: []float64{0}, LR: 0.1,
+	}
+	mods := []func(*ServerConfig){
+		func(c *ServerConfig) { c.Clients = 0 },
+		func(c *ServerConfig) { c.Rounds = 0 },
+		func(c *ServerConfig) { c.Rule = nil },
+		func(c *ServerConfig) { c.InitialParams = nil },
+		func(c *ServerConfig) { c.LR = 0 },
+	}
+	for i, mod := range mods {
+		cfg := good
+		mod(&cfg)
+		if _, err := NewServer(cfg); err == nil {
+			t.Errorf("config mutation %d accepted", i)
+		}
+	}
+	srv, err := NewServer(good)
+	if err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	srv.ln.Close()
+}
+
+func TestClientRequiresCompute(t *testing.T) {
+	if _, err := RunClient(context.Background(), ClientConfig{Addr: "127.0.0.1:1"}); err == nil {
+		t.Error("accepted nil Compute")
+	}
+}
+
+func TestClientDialFailure(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	_, err := RunClient(ctx, ClientConfig{
+		Addr: "127.0.0.1:1", ID: "x",
+		Compute:     func(int, []float64) ([]float64, error) { return nil, nil },
+		DialTimeout: 500 * time.Millisecond,
+	})
+	if err == nil {
+		t.Error("dial to closed port succeeded")
+	}
+}
+
+func TestServerRejectsWrongDimension(t *testing.T) {
+	srv, err := NewServer(ServerConfig{
+		Addr: "127.0.0.1:0", Clients: 1, Rounds: 3,
+		Rule: aggregate.NewMean(), InitialParams: []float64{0, 0}, LR: 0.1,
+		RoundTimeout: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ctx) }()
+	_, clientErr := RunClient(ctx, ClientConfig{
+		Addr: srv.Addr().String(), ID: "bad",
+		Compute: func(round int, params []float64) ([]float64, error) {
+			return []float64{1, 2, 3}, nil // wrong dimension
+		},
+	})
+	serveErr := <-done
+	if serveErr == nil {
+		t.Error("server accepted a wrong-dimension gradient")
+	}
+	_ = clientErr // the client may or may not see the reset first
+}
+
+func TestServerHistory(t *testing.T) {
+	target := []float64{1}
+	srv, err := NewServer(ServerConfig{
+		Addr: "127.0.0.1:0", Clients: 2, Rounds: 5,
+		Rule: aggregate.NewMean(), InitialParams: []float64{0}, LR: 0.5,
+		RoundTimeout: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := srv.Serve(ctx); err != nil {
+			t.Errorf("serve: %v", err)
+		}
+	}()
+	var models int
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, err := RunClient(ctx, ClientConfig{
+				Addr: srv.Addr().String(), ID: fmt.Sprintf("c%d", i),
+				Compute: quadraticGradient(target, 0, int64(i)),
+				OnModel: func(u ModelUpdate) {
+					if i == 0 && u.Done {
+						models++
+					}
+				},
+			})
+			if err != nil {
+				t.Errorf("client %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := len(srv.History()); got != 5 {
+		t.Errorf("history has %d rounds, want 5", got)
+	}
+	if models != 1 {
+		t.Errorf("client saw %d final models", models)
+	}
+}

@@ -1,0 +1,132 @@
+package signguard_test
+
+import (
+	"math/rand"
+	"testing"
+
+	signguard "github.com/signguard/signguard"
+)
+
+// TestPublicAPIEndToEnd exercises the façade: dataset → model → attack →
+// SignGuard → simulation → evaluation, entirely through the root package.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	ds, err := signguard.MNISTLike(1, 300, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := signguard.NewSimulation(signguard.SimulationConfig{
+		Dataset: ds,
+		NewModel: func(rng *rand.Rand) (signguard.Classifier, error) {
+			return signguard.NewMLP(rng, ds.FeatureDim(), 16, 10)
+		},
+		Rule:        signguard.NewSignGuard(1),
+		Attack:      signguard.NewLIEAttack(0.3),
+		Clients:     10,
+		NumByz:      2,
+		Rounds:      10,
+		BatchSize:   8,
+		LR:          0.05,
+		Momentum:    0.9,
+		WeightDecay: 5e-4,
+		EvalEvery:   5,
+		Seed:        1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestAccuracy <= 0 {
+		t.Errorf("best accuracy %v", res.BestAccuracy)
+	}
+	if _, _, ok := res.SelectionRates(); !ok {
+		t.Error("SignGuard should report selection rates through the façade")
+	}
+}
+
+// TestPublicAPIConstructors sanity-checks every re-exported constructor.
+func TestPublicAPIConstructors(t *testing.T) {
+	rules := []signguard.Rule{
+		signguard.NewMean(),
+		signguard.NewTrimmedMean(2),
+		signguard.NewMedian(),
+		signguard.NewGeoMed(),
+		signguard.NewKrum(2),
+		signguard.NewMultiKrum(2, 5),
+		signguard.NewBulyan(2),
+		signguard.NewDnC(2, 1),
+		signguard.NewSignSGDMajority(1),
+		signguard.NewSignGuard(1),
+		signguard.NewSignGuardSim(1),
+		signguard.NewSignGuardDist(1),
+	}
+	for _, r := range rules {
+		if r.Name() == "" {
+			t.Error("rule with empty name")
+		}
+	}
+	attacks := []signguard.Attack{
+		signguard.NewNoAttack(),
+		signguard.NewRandomAttack(),
+		signguard.NewNoiseAttack(),
+		signguard.NewSignFlipAttack(),
+		signguard.NewLabelFlipAttack(),
+		signguard.NewLIEAttack(0.3),
+		signguard.NewByzMeanAttack(),
+		signguard.NewMinMaxAttack(),
+		signguard.NewMinSumAttack(),
+		signguard.NewReverseAttack(10),
+		signguard.NewSignKeepingAttack(),
+	}
+	for _, a := range attacks {
+		if a.Name() == "" {
+			t.Error("attack with empty name")
+		}
+	}
+	if _, err := signguard.NewTimeVaryingAttack(signguard.DefaultAttackPool(), 5, 1); err != nil {
+		t.Errorf("time-varying: %v", err)
+	}
+	cfg := signguard.DefaultSignGuardConfig()
+	if _, err := signguard.NewSignGuardFromConfig(cfg); err != nil {
+		t.Errorf("config constructor: %v", err)
+	}
+}
+
+// Example demonstrates the core workflow: train a federated model under a
+// strong model-poisoning attack with SignGuard defending the aggregation.
+// (No deterministic output — compiled as documentation.)
+func Example() {
+	ds, err := signguard.CIFARLike(1, 2000, 500)
+	if err != nil {
+		panic(err)
+	}
+	sim, err := signguard.NewSimulation(signguard.SimulationConfig{
+		Dataset: ds,
+		NewModel: func(rng *rand.Rand) (signguard.Classifier, error) {
+			return signguard.NewDeepImageCNN(rng, 3, 8, 8, 8, 16, 32, 10)
+		},
+		Rule:        signguard.NewSignGuardSim(1),
+		Attack:      signguard.NewByzMeanAttack(),
+		Clients:     50,
+		NumByz:      10,
+		Rounds:      200,
+		BatchSize:   8,
+		LR:          0.03,
+		Momentum:    0.9,
+		WeightDecay: 5e-4,
+		Seed:        1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	res, err := sim.Run()
+	if err != nil {
+		panic(err)
+	}
+	honest, malicious, _ := res.SelectionRates()
+	_ = honest
+	_ = malicious
+	_ = res.BestAccuracy
+}
