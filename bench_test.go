@@ -17,6 +17,7 @@ import (
 
 	"github.com/signguard/signguard/internal/aggregate"
 	"github.com/signguard/signguard/internal/attack"
+	"github.com/signguard/signguard/internal/campaign"
 	"github.com/signguard/signguard/internal/core"
 	"github.com/signguard/signguard/internal/experiments"
 	"github.com/signguard/signguard/internal/tensor"
@@ -29,6 +30,12 @@ func microParams() experiments.Params {
 		Clients: 10, ByzFraction: 0.2, Rounds: 20, BatchSize: 8,
 		EvalEvery: 5, EvalSamples: 150, TrainSize: 600, TestSize: 200, Seed: 1,
 	}
+}
+
+// benchEngine is a cache-less parallel campaign engine for the experiment
+// benchmarks.
+func benchEngine() *campaign.Engine {
+	return experiments.NewEngine(0, nil, nil)
 }
 
 // logTable renders a table into the benchmark log (visible with -v).
@@ -51,7 +58,7 @@ func BenchmarkTable1(b *testing.B) {
 				b.Fatal(err)
 			}
 			for i := 0; i < b.N; i++ {
-				t, err := experiments.Table1(ds, microParams(), nil)
+				t, err := experiments.Table1(benchEngine(), ds, microParams())
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -67,7 +74,7 @@ func BenchmarkTable1(b *testing.B) {
 // selection rates of the SignGuard variants).
 func BenchmarkTable2SelectionRates(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t, err := experiments.Table2(microParams(), nil)
+		t, err := experiments.Table2(benchEngine(), microParams())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -80,7 +87,7 @@ func BenchmarkTable2SelectionRates(b *testing.B) {
 // BenchmarkTable3Ablation regenerates Table III (component ablation).
 func BenchmarkTable3Ablation(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t, err := experiments.Table3(microParams(), nil)
+		t, err := experiments.Table3(benchEngine(), microParams())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -94,7 +101,7 @@ func BenchmarkTable3Ablation(b *testing.B) {
 // honest vs LIE-crafted gradients over training).
 func BenchmarkFig2SignStatistics(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		_, tables, err := experiments.Fig2(microParams(), 2, nil)
+		_, tables, err := experiments.Fig2(benchEngine(), microParams(), 2)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -110,7 +117,7 @@ func BenchmarkFig2SignStatistics(b *testing.B) {
 // Byzantine fraction).
 func BenchmarkFig4ByzantineFraction(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		tables, err := experiments.Fig4(microParams(), nil)
+		tables, err := experiments.Fig4(benchEngine(), microParams())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -126,7 +133,7 @@ func BenchmarkFig4ByzantineFraction(b *testing.B) {
 // time-varying attack).
 func BenchmarkFig5TimeVarying(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		tables, err := experiments.Fig5(microParams(), nil)
+		tables, err := experiments.Fig5(benchEngine(), microParams())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -141,7 +148,7 @@ func BenchmarkFig5TimeVarying(b *testing.B) {
 // BenchmarkFig6NonIID regenerates Fig. 6 (non-IID skew sweep).
 func BenchmarkFig6NonIID(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		tables, err := experiments.Fig6(microParams(), nil)
+		tables, err := experiments.Fig6(benchEngine(), microParams())
 		if err != nil {
 			b.Fatal(err)
 		}

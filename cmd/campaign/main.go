@@ -1,0 +1,295 @@
+// Command campaign drives the experiment-campaign engine directly: it
+// expands a named scenario grid (any of the paper's tables/figures, or
+// "all"), runs the cells concurrently with content-addressed result
+// caching, reports cache status, and exports cached results.
+//
+// Usage:
+//
+//	campaign run    -name all -scale standard -workers 8 -cache-dir .campaign-cache [-filter cifar] [-v]
+//	campaign status -name all -scale standard -cache-dir .campaign-cache
+//	campaign export -name table1 -scale standard -cache-dir .campaign-cache -format csv -out table1.csv
+//	campaign list
+//
+// Runs are resumable: every finished cell is persisted immediately, so an
+// interrupted campaign (Ctrl-C) picks up where it left off. A completed
+// campaign re-run is pure cache hits — zero recomputation.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"os/signal"
+	"time"
+
+	"github.com/signguard/signguard/internal/campaign"
+	"github.com/signguard/signguard/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("campaign: ")
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "run":
+		err = cmdRun(args)
+	case "status":
+		err = cmdStatus(args)
+	case "export":
+		err = cmdExport(args)
+	case "list":
+		err = cmdList()
+	case "-h", "--help", "help":
+		usage()
+	default:
+		usage()
+		err = fmt.Errorf("unknown subcommand %q", cmd)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: campaign <run|status|export|list> [flags]
+
+  run     execute a campaign's cells (concurrent, cached, resumable)
+  status  report cached vs pending cells for a campaign
+  export  emit cached results as CSV or JSON
+  list    list the named campaigns and their cell counts
+
+Common flags: -name, -scale, -seed, -cache-dir, -filter.
+Run 'campaign <subcommand> -h' for the full flag list.
+`)
+}
+
+// gridFlags are the flags shared by run/status/export: they select and
+// filter a campaign's cell grid.
+type gridFlags struct {
+	name     string
+	scale    string
+	seed     int64
+	filter   string
+	cacheDir string
+}
+
+func (g *gridFlags) register(fs *flag.FlagSet) {
+	fs.StringVar(&g.name, "name", "all", "campaign name: table1|table2|table3|fig2|fig4|fig5|fig6|all")
+	fs.StringVar(&g.scale, "scale", "bench", "scale preset: bench|standard|full")
+	fs.Int64Var(&g.seed, "seed", 1, "experiment seed")
+	fs.StringVar(&g.filter, "filter", "", "keep only cells whose ID contains this substring")
+	fs.StringVar(&g.cacheDir, "cache-dir", ".campaign-cache", "cell result cache directory")
+}
+
+func (g *gridFlags) spec() (campaign.Spec, error) {
+	scale, err := experiments.ParseScale(g.scale)
+	if err != nil {
+		return campaign.Spec{}, err
+	}
+	p := experiments.DefaultParams(scale)
+	p.Seed = g.seed
+	spec, err := experiments.CampaignByName(g.name, p)
+	if err != nil {
+		return campaign.Spec{}, err
+	}
+	spec = spec.Filter(g.filter)
+	if len(spec.Cells) == 0 {
+		return campaign.Spec{}, fmt.Errorf("campaign %s: no cells match filter %q", g.name, g.filter)
+	}
+	return spec, nil
+}
+
+func (g *gridFlags) store() (*campaign.Store, error) {
+	return campaign.OpenStore(g.cacheDir)
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	var g gridFlags
+	g.register(fs)
+	workers := fs.Int("workers", 0, "concurrent cells (0 = GOMAXPROCS)")
+	verbose := fs.Bool("v", false, "log every finished cell (default: one summary line per 10%)")
+	fs.Parse(args)
+
+	spec, err := g.spec()
+	if err != nil {
+		return err
+	}
+	store, err := g.store()
+	if err != nil {
+		return err
+	}
+
+	// Ctrl-C cancels the run between cells; finished cells are already
+	// persisted, so a re-run resumes from them.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	e := &campaign.Engine{
+		Registry: experiments.Registry(),
+		Store:    store,
+		Workers:  *workers,
+		Progress: progressPrinter(*verbose),
+	}
+	log.Printf("%s: %d cells, cache %s", spec.Name, len(spec.Cells), store.Dir())
+	rep, err := e.Run(ctx, spec)
+	if err != nil {
+		if ctx.Err() != nil {
+			return fmt.Errorf("interrupted — completed cells are cached, re-run to resume: %w", err)
+		}
+		return err
+	}
+	log.Printf("%s: done in %v (%d executed, %d cache hits)",
+		rep.Spec, rep.Elapsed.Round(time.Second), rep.Executed, rep.CacheHits)
+	return nil
+}
+
+// progressPrinter logs cell completions: every cell when verbose,
+// otherwise at ~10% milestones.
+func progressPrinter(verbose bool) func(campaign.ProgressEvent) {
+	lastMilestone := -1
+	return func(ev campaign.ProgressEvent) {
+		milestone := ev.Done * 10 / ev.Total
+		if !verbose && milestone == lastMilestone && ev.Done != ev.Total {
+			return
+		}
+		lastMilestone = milestone
+		state := ev.Duration.Round(time.Millisecond).String()
+		if ev.Cached {
+			state = "cached"
+		}
+		line := fmt.Sprintf("%s %d/%d %s (%s)", ev.Spec, ev.Done, ev.Total, ev.Cell.ID(), state)
+		if ev.ETA > 0 {
+			line += fmt.Sprintf(" eta %v", ev.ETA.Round(time.Second))
+		}
+		log.Print(line)
+	}
+}
+
+// forEachUniqueCell visits the spec's cells deduplicated by content hash,
+// in spec order — the one definition of "which cells a campaign has" that
+// status and export share.
+func forEachUniqueCell(spec campaign.Spec, visit func(c campaign.Cell, key string) error) error {
+	seen := map[string]bool{}
+	for _, c := range spec.Cells {
+		key, err := c.Key()
+		if err != nil {
+			return err
+		}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		if err := visit(c, key); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func cmdStatus(args []string) error {
+	fs := flag.NewFlagSet("status", flag.ExitOnError)
+	var g gridFlags
+	g.register(fs)
+	verbose := fs.Bool("v", false, "list every pending cell")
+	fs.Parse(args)
+
+	spec, err := g.spec()
+	if err != nil {
+		return err
+	}
+	store, err := g.store()
+	if err != nil {
+		return err
+	}
+
+	var cached, pending int
+	err = forEachUniqueCell(spec, func(c campaign.Cell, key string) error {
+		if store.Has(key) {
+			cached++
+		} else {
+			pending++
+			if *verbose {
+				fmt.Printf("pending  %s\n", c.ID())
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	total := cached + pending
+	fmt.Printf("%s: %d/%d cells cached (%d pending, %.0f%% complete)\n",
+		spec.Name, cached, total, pending, 100*float64(cached)/float64(total))
+	return nil
+}
+
+func cmdExport(args []string) error {
+	fs := flag.NewFlagSet("export", flag.ExitOnError)
+	var g gridFlags
+	g.register(fs)
+	format := fs.String("format", "csv", "output format: csv|json")
+	outPath := fs.String("out", "", "output file (default stdout)")
+	fs.Parse(args)
+
+	spec, err := g.spec()
+	if err != nil {
+		return err
+	}
+	store, err := g.store()
+	if err != nil {
+		return err
+	}
+
+	var results []*campaign.CellResult
+	var missing int
+	err = forEachUniqueCell(spec, func(_ campaign.Cell, key string) error {
+		res, ok := store.Get(key)
+		if !ok {
+			missing++
+			return nil
+		}
+		results = append(results, res)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if missing > 0 {
+		log.Printf("%d cells not yet cached — run 'campaign run' to compute them", missing)
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("no cached results for campaign %s in %s", spec.Name, store.Dir())
+	}
+
+	var out io.Writer = os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	return campaign.WriteExport(out, *format, results)
+}
+
+func cmdList() error {
+	p := experiments.DefaultParams(experiments.ScaleStandard)
+	for _, name := range experiments.CampaignNames() {
+		spec, err := experiments.CampaignByName(name, p)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-8s %4d cells\n", name, len(spec.Cells))
+	}
+	return nil
+}

@@ -1,10 +1,13 @@
 // Command reproduce regenerates the tables and figures of the SignGuard
-// paper's evaluation section on the synthetic substrate.
+// paper's evaluation section on the synthetic substrate. Experiments run
+// through the campaign engine: cells execute concurrently across -workers,
+// and -cache-dir memoizes per-cell results so interrupted or repeated runs
+// resume instead of recomputing.
 //
 // Usage:
 //
 //	reproduce -exp table1 [-dataset mnist] [-scale bench|standard|full] [-format md|tsv] [-v]
-//	reproduce -exp all -scale standard -out results.md
+//	reproduce -exp all -scale standard -workers 8 -cache-dir .campaign-cache -out results.md
 //
 // Experiments: table1, table2, table3, fig2, fig4, fig5, fig6, all.
 package main
@@ -17,6 +20,7 @@ import (
 	"os"
 	"time"
 
+	"github.com/signguard/signguard/internal/campaign"
 	"github.com/signguard/signguard/internal/experiments"
 )
 
@@ -28,16 +32,19 @@ func main() {
 		formatFlag  = flag.String("format", "md", "output format: md|tsv")
 		outFlag     = flag.String("out", "", "output file (default stdout)")
 		seedFlag    = flag.Int64("seed", 1, "experiment seed")
+		workersFlag = flag.Int("workers", 0, "concurrent experiment cells (0 = GOMAXPROCS)")
+		cacheFlag   = flag.String("cache-dir", "", "cell result cache directory (empty = no cache)")
 		verbose     = flag.Bool("v", false, "log per-cell progress to stderr")
 	)
 	flag.Parse()
 
-	if err := run(*expFlag, *datasetFlag, *scaleFlag, *formatFlag, *outFlag, *seedFlag, *verbose); err != nil {
+	if err := run(*expFlag, *datasetFlag, *scaleFlag, *formatFlag, *outFlag, *seedFlag,
+		*workersFlag, *cacheFlag, *verbose); err != nil {
 		log.Fatalf("reproduce: %v", err)
 	}
 }
 
-func run(exp, dataset, scaleName, format, outPath string, seed int64, verbose bool) error {
+func run(exp, dataset, scaleName, format, outPath string, seed int64, workers int, cacheDir string, verbose bool) error {
 	scale, err := experiments.ParseScale(scaleName)
 	if err != nil {
 		return err
@@ -49,6 +56,14 @@ func run(exp, dataset, scaleName, format, outPath string, seed int64, verbose bo
 	if verbose {
 		logf = func(format string, args ...any) { log.Printf(format, args...) }
 	}
+	var store *campaign.Store
+	if cacheDir != "" {
+		store, err = campaign.OpenStore(cacheDir)
+		if err != nil {
+			return err
+		}
+	}
+	engine := experiments.NewEngine(workers, store, logf)
 
 	var out io.Writer = os.Stdout
 	if outPath != "" {
@@ -92,7 +107,7 @@ func run(exp, dataset, scaleName, format, outPath string, seed int64, verbose bo
 			specs = []experiments.DatasetSpec{ds}
 		}
 		for _, ds := range specs {
-			t, err := experiments.Table1(ds, p, logf)
+			t, err := experiments.Table1(engine, ds, p)
 			if err != nil {
 				return err
 			}
@@ -103,46 +118,42 @@ func run(exp, dataset, scaleName, format, outPath string, seed int64, verbose bo
 		return nil
 	}
 	runTable2 := func() error {
-		t, err := experiments.Table2(p, logf)
+		t, err := experiments.Table2(engine, p)
 		if err != nil {
 			return err
 		}
 		return emit(t)
 	}
 	runTable3 := func() error {
-		t, err := experiments.Table3(p, logf)
+		t, err := experiments.Table3(engine, p)
 		if err != nil {
 			return err
 		}
 		return emit(t)
 	}
 	runFig2 := func() error {
-		sampleEvery := p.Rounds / 30
-		if sampleEvery < 1 {
-			sampleEvery = 1
-		}
-		_, tables, err := experiments.Fig2(p, sampleEvery, logf)
+		_, tables, err := experiments.Fig2(engine, p, experiments.Fig2SampleEvery(p))
 		if err != nil {
 			return err
 		}
 		return emit(tables...)
 	}
 	runFig4 := func() error {
-		tables, err := experiments.Fig4(p, logf)
+		tables, err := experiments.Fig4(engine, p)
 		if err != nil {
 			return err
 		}
 		return emit(tables...)
 	}
 	runFig5 := func() error {
-		tables, err := experiments.Fig5(p, logf)
+		tables, err := experiments.Fig5(engine, p)
 		if err != nil {
 			return err
 		}
 		return emit(tables...)
 	}
 	runFig6 := func() error {
-		tables, err := experiments.Fig6(p, logf)
+		tables, err := experiments.Fig6(engine, p)
 		if err != nil {
 			return err
 		}

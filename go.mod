@@ -1,0 +1,3 @@
+module github.com/signguard/signguard
+
+go 1.24

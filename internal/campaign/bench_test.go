@@ -1,0 +1,71 @@
+package campaign_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"github.com/signguard/signguard/internal/campaign"
+)
+
+// benchSpec is a 16-cell grid sized so one cell takes tens of
+// milliseconds: enough work for the worker pool to matter, small enough
+// for `go test -bench` to stay fast.
+func benchSpec() campaign.Spec {
+	spec := campaign.Spec{Name: "bench"}
+	for _, seed := range []int64{1, 2, 3, 4} {
+		for _, rule := range []string{"Mean", "SignGuard"} {
+			for _, att := range []string{"SignFlip", "LIE"} {
+				spec.Cells = append(spec.Cells, campaign.NewCell("tiny", rule, att, tinyParams(seed)))
+			}
+		}
+	}
+	return spec
+}
+
+// BenchmarkCampaignThroughput compares sequential and parallel campaign
+// execution; the cells/s metric is the engine's sweep throughput — the
+// baseline future scheduler work is measured against.
+func BenchmarkCampaignThroughput(b *testing.B) {
+	spec := benchSpec()
+	for _, workers := range []int{1, 0} {
+		name := fmt.Sprintf("workers=%d", workers)
+		if workers == 0 {
+			name = "workers=max"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				e := &campaign.Engine{Registry: testRegistry(), Workers: workers}
+				if _, err := e.Run(context.Background(), spec); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(spec.Cells)*b.N)/b.Elapsed().Seconds(), "cells/s")
+		})
+	}
+}
+
+// BenchmarkWarmCache measures a fully-cached campaign run: the cost of
+// resuming a finished sweep (hashing + store reads only).
+func BenchmarkWarmCache(b *testing.B) {
+	spec := benchSpec()
+	store, err := campaign.OpenStore(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	e := &campaign.Engine{Registry: testRegistry(), Store: store}
+	if _, err := e.Run(context.Background(), spec); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := e.Run(context.Background(), spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Executed != 0 {
+			b.Fatalf("warm run executed %d cells", rep.Executed)
+		}
+	}
+	b.ReportMetric(float64(len(spec.Cells)*b.N)/b.Elapsed().Seconds(), "cells/s")
+}

@@ -1,0 +1,128 @@
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+
+	"github.com/signguard/signguard/internal/aggregate"
+	"github.com/signguard/signguard/internal/attack"
+	"github.com/signguard/signguard/internal/data"
+	"github.com/signguard/signguard/internal/fl"
+	"github.com/signguard/signguard/internal/nn"
+)
+
+// DatasetBuilder binds a dataset key to its loader and model family.
+type DatasetBuilder struct {
+	// LR is the learning rate used with this dataset's model.
+	LR float64
+	// Load builds the dataset at the given sizes.
+	Load func(seed int64, train, test int) (*data.Dataset, error)
+	// NewModel builds the global model.
+	NewModel func(rng *rand.Rand) (nn.Classifier, error)
+}
+
+// RuleBuilder constructs a fresh aggregation rule for a cell. n is the
+// client count, f the Byzantine count granted to the baselines.
+type RuleBuilder func(c Cell, n, f int, seed int64) (aggregate.Rule, error)
+
+// AttackBuilder constructs a fresh attack for a cell.
+type AttackBuilder func(c Cell, seed int64) (attack.Attack, error)
+
+// ProbeInstance is a live per-cell observer: Hook sees every round, Finish
+// serializes whatever the probe collected into the stored result.
+type ProbeInstance struct {
+	Hook   func(*fl.RoundState)
+	Finish func() (json.RawMessage, error)
+}
+
+// ProbeBuilder constructs a probe instance for a cell.
+type ProbeBuilder func(c Cell) (*ProbeInstance, error)
+
+// Registry resolves the names inside cells to concrete builders. The zero
+// value is unusable; use NewRegistry.
+type Registry struct {
+	datasets map[string]DatasetBuilder
+	rules    map[string]RuleBuilder
+	attacks  map[string]AttackBuilder
+	probes   map[string]ProbeBuilder
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		datasets: map[string]DatasetBuilder{},
+		rules:    map[string]RuleBuilder{},
+		attacks:  map[string]AttackBuilder{},
+		probes:   map[string]ProbeBuilder{},
+	}
+}
+
+// RegisterDataset binds key to a dataset builder.
+func (r *Registry) RegisterDataset(key string, b DatasetBuilder) { r.datasets[key] = b }
+
+// RegisterRule binds name to a rule builder.
+func (r *Registry) RegisterRule(name string, b RuleBuilder) { r.rules[name] = b }
+
+// RegisterAttack binds name to an attack builder.
+func (r *Registry) RegisterAttack(name string, b AttackBuilder) { r.attacks[name] = b }
+
+// RegisterProbe binds name to a probe builder.
+func (r *Registry) RegisterProbe(name string, b ProbeBuilder) { r.probes[name] = b }
+
+func (r *Registry) dataset(key string) (DatasetBuilder, error) {
+	b, ok := r.datasets[key]
+	if !ok {
+		return DatasetBuilder{}, fmt.Errorf("campaign: unknown dataset %q", key)
+	}
+	return b, nil
+}
+
+func (r *Registry) rule(name string) (RuleBuilder, error) {
+	b, ok := r.rules[name]
+	if !ok {
+		return nil, fmt.Errorf("campaign: unknown rule %q", name)
+	}
+	return b, nil
+}
+
+func (r *Registry) attack(name string) (AttackBuilder, error) {
+	b, ok := r.attacks[name]
+	if !ok {
+		return nil, fmt.Errorf("campaign: unknown attack %q", name)
+	}
+	return b, nil
+}
+
+func (r *Registry) probe(name string) (ProbeBuilder, error) {
+	b, ok := r.probes[name]
+	if !ok {
+		return nil, fmt.Errorf("campaign: unknown probe %q", name)
+	}
+	return b, nil
+}
+
+// Validate checks that every name referenced by the spec's cells resolves,
+// so a campaign fails before any cell has trained rather than mid-sweep.
+func (r *Registry) Validate(spec Spec) error {
+	for i, c := range spec.Cells {
+		if _, err := r.dataset(c.Dataset); err != nil {
+			return fmt.Errorf("cell %d (%s): %w", i, c.ID(), err)
+		}
+		if _, err := r.rule(c.Rule); err != nil {
+			return fmt.Errorf("cell %d (%s): %w", i, c.ID(), err)
+		}
+		if _, err := r.attack(c.Attack); err != nil {
+			return fmt.Errorf("cell %d (%s): %w", i, c.ID(), err)
+		}
+		if c.Probe != "" {
+			if _, err := r.probe(c.Probe); err != nil {
+				return fmt.Errorf("cell %d (%s): %w", i, c.ID(), err)
+			}
+		}
+		if c.Params.Clients <= 0 || c.Params.Rounds <= 0 {
+			return fmt.Errorf("cell %d (%s): invalid params %+v", i, c.ID(), c.Params)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,187 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"github.com/signguard/signguard/internal/aggregate"
+	"github.com/signguard/signguard/internal/attack"
+	"github.com/signguard/signguard/internal/campaign"
+	"github.com/signguard/signguard/internal/fl"
+	"github.com/signguard/signguard/internal/stats"
+	"github.com/signguard/signguard/internal/tensor"
+)
+
+// Registry returns the campaign registry covering the paper's full
+// evaluation grid: the four dataset analogs, the ten defenses of Table I
+// plus the six Table III ablation variants, the nine attack columns plus
+// the parameterized Reverse and TimeVarying attacks, and the Fig. 2
+// sign-statistics probe.
+func Registry() *campaign.Registry {
+	reg := campaign.NewRegistry()
+	for _, ds := range Datasets() {
+		reg.RegisterDataset(ds.Key, campaign.DatasetBuilder{
+			LR: ds.LR, Load: ds.Load, NewModel: ds.NewModel,
+		})
+	}
+	for _, r := range Rules() {
+		r := r
+		reg.RegisterRule(r.Name, func(_ campaign.Cell, n, f int, seed int64) (aggregate.Rule, error) {
+			return r.New(n, f, seed)
+		})
+	}
+	for _, combo := range ablationCombos() {
+		combo := combo
+		reg.RegisterRule(ablationRuleName(combo), func(_ campaign.Cell, n, f int, seed int64) (aggregate.Rule, error) {
+			return newAblationRule(combo, seed)
+		})
+	}
+	for _, a := range Attacks() {
+		a := a
+		reg.RegisterAttack(a.Name, func(_ campaign.Cell, seed int64) (attack.Attack, error) {
+			return a.New(seed), nil
+		})
+	}
+	// Reverse scales by the cell's AttackParam (Table III's norm-threshold
+	// sensitive reverse attack).
+	reg.RegisterAttack("Reverse", func(c campaign.Cell, _ int64) (attack.Attack, error) {
+		scale := c.AttackParam
+		if scale <= 0 {
+			scale = 1
+		}
+		return attack.NewReverse(scale), nil
+	})
+	// TimeVarying re-draws its strategy every AttackParam rounds (Fig. 5).
+	// Seeded from Params.Seed+29 — the derivation the pre-campaign harness
+	// used — so historical Fig. 5 curves reproduce bit-for-bit.
+	reg.RegisterAttack("TimeVarying", func(c campaign.Cell, _ int64) (attack.Attack, error) {
+		switchEvery := int(c.AttackParam)
+		if switchEvery < 1 {
+			switchEvery = 1
+		}
+		return attack.NewTimeVarying(attack.DefaultTimeVaryingPool(), switchEvery, c.Params.Seed+29)
+	})
+	reg.RegisterProbe(SignStatsProbe, newSignStatsProbe)
+	return reg
+}
+
+// NewEngine builds a campaign engine over the paper's registry. workers
+// bounds concurrent cells (0 = GOMAXPROCS), store enables resumable
+// caching (nil disables), and log receives per-cell progress lines.
+func NewEngine(workers int, store *campaign.Store, log Reporter) *campaign.Engine {
+	e := &campaign.Engine{Registry: Registry(), Store: store, Workers: workers}
+	if log != nil {
+		e.Progress = func(ev campaign.ProgressEvent) {
+			state := ev.Duration.Round(time.Millisecond).String()
+			if ev.Cached {
+				state = "cached"
+			}
+			if ev.ETA > 0 {
+				log("%s %d/%d %s (%s, eta %s)",
+					ev.Spec, ev.Done, ev.Total, ev.Cell.ID(), state, ev.ETA.Round(time.Second))
+			} else {
+				log("%s %d/%d %s (%s)", ev.Spec, ev.Done, ev.Total, ev.Cell.ID(), state)
+			}
+		}
+	}
+	return e
+}
+
+// SignStatsProbe names the Fig. 2 per-round sign-statistics probe: the
+// (pos, zero, neg) proportions of the average honest gradient and of a
+// LIE-crafted gradient, sampled every ProbeParam rounds.
+const SignStatsProbe = "signstats"
+
+// SignStatsSeries is the probe's stored payload.
+type SignStatsSeries struct {
+	Rounds []int
+	Honest []stats.SignStats
+	LIE    []stats.SignStats
+}
+
+func newSignStatsProbe(c campaign.Cell) (*campaign.ProbeInstance, error) {
+	sampleEvery := int(c.ProbeParam)
+	if sampleEvery <= 0 {
+		sampleEvery = 1
+	}
+	lie := attack.NewLIE(0.3)
+	// The LIE gradient is crafted for the cohort the fraction implies,
+	// even though the training run itself is clean (NumByz override 0).
+	n, m := c.Params.Clients, c.Params.NumByz()
+	out := &SignStatsSeries{}
+	hook := func(st *fl.RoundState) {
+		if st.Round%sampleEvery != 0 {
+			return
+		}
+		avg, err := tensor.Mean(st.Honest)
+		if err != nil {
+			return
+		}
+		honestSS, err := stats.ComputeSignStats(avg)
+		if err != nil {
+			return
+		}
+		gm, err := lie.CraftVector(st.Honest, n, m)
+		if err != nil {
+			return
+		}
+		lieSS, err := stats.ComputeSignStats(gm)
+		if err != nil {
+			return
+		}
+		out.Rounds = append(out.Rounds, st.Round)
+		out.Honest = append(out.Honest, honestSS)
+		out.LIE = append(out.LIE, lieSS)
+	}
+	finish := func() (json.RawMessage, error) { return json.Marshal(out) }
+	return &campaign.ProbeInstance{Hook: hook, Finish: finish}, nil
+}
+
+// CampaignNames lists the named campaigns the CLI can run.
+func CampaignNames() []string {
+	return []string{"table1", "table2", "table3", "fig2", "fig4", "fig5", "fig6", "all"}
+}
+
+// CampaignByName expands a named campaign to its cell grid at the given
+// parameters. "all" is the union of every table and figure; shared cells
+// (e.g. Table I's 20%-fraction runs reappearing in Fig. 4) are
+// deduplicated by the engine's content hashing.
+func CampaignByName(name string, p Params) (campaign.Spec, error) {
+	switch name {
+	case "table1":
+		specs := make([]campaign.Spec, 0, len(Datasets()))
+		for _, ds := range Datasets() {
+			specs = append(specs, Table1Spec(ds, p))
+		}
+		return campaign.Merge("table1", specs...), nil
+	case "table2":
+		return Table2Spec(p), nil
+	case "table3":
+		return Table3Spec(p), nil
+	case "fig2":
+		return Fig2Spec(p, Fig2SampleEvery(p)), nil
+	case "fig4":
+		return Fig4Spec(p), nil
+	case "fig5":
+		return Fig5Spec(p), nil
+	case "fig6":
+		return Fig6Spec(p), nil
+	case "all":
+		names := CampaignNames()
+		specs := make([]campaign.Spec, 0, len(names)-1)
+		for _, n := range names {
+			if n == "all" {
+				continue
+			}
+			s, err := CampaignByName(n, p)
+			if err != nil {
+				return campaign.Spec{}, err
+			}
+			specs = append(specs, s)
+		}
+		return campaign.Merge("all", specs...), nil
+	default:
+		return campaign.Spec{}, fmt.Errorf("experiments: unknown campaign %q (want %v)", name, CampaignNames())
+	}
+}

@@ -1,15 +1,28 @@
 package experiments
 
 import (
+	"context"
+	"encoding/json"
 	"fmt"
 
-	"github.com/signguard/signguard/internal/attack"
-	"github.com/signguard/signguard/internal/fl"
+	"github.com/signguard/signguard/internal/campaign"
 	"github.com/signguard/signguard/internal/stats"
-	"github.com/signguard/signguard/internal/tensor"
 )
 
-// Fig2Series is one dataset's sign-statistics traces: per evaluation round,
+// fig2Datasets are the two panels of the paper's Fig. 2.
+var fig2Datasets = []string{"mnist", "cifar"}
+
+// Fig2SampleEvery is the default sign-statistics sampling stride for a
+// parameter set: about 30 samples across the run.
+func Fig2SampleEvery(p Params) int {
+	se := p.Rounds / 30
+	if se < 1 {
+		se = 1
+	}
+	return se
+}
+
+// Fig2Series is one dataset's sign-statistics traces: per sampled round,
 // the (pos, zero, neg) proportions of the average honest gradient and of a
 // virtual gradient crafted by the LIE attack from the same round's honest
 // gradients — the reproduction of the paper's Fig. 2.
@@ -20,68 +33,45 @@ type Fig2Series struct {
 	LIE     []stats.SignStats
 }
 
-// Fig2 trains the MNIST-analog CNN and the CIFAR-analog model with no
-// attack and records the sign statistics every sampleEvery rounds.
-func Fig2(p Params, sampleEvery int, log Reporter) ([]Fig2Series, []*Table, error) {
+// Fig2Spec declares the Fig. 2 campaign: clean training (no Byzantine
+// clients) on the MNIST- and CIFAR-analogs with the sign-statistics probe
+// attached, sampling every sampleEvery rounds.
+func Fig2Spec(p Params, sampleEvery int) campaign.Spec {
 	if sampleEvery <= 0 {
 		sampleEvery = 1
 	}
-	keys := []string{"mnist", "cifar"}
-	series := make([]Fig2Series, 0, len(keys))
-	tables := make([]*Table, 0, len(keys))
-	for _, key := range keys {
+	spec := campaign.Spec{Name: "fig2"}
+	for _, key := range fig2Datasets {
+		c := campaign.NewCell(key, "Mean", "NoAttack", p)
+		// Clean training: no Byzantine clients at all (matches the paper's
+		// Fig. 2 protocol of training "under no attacks").
+		c.NumByz = 0
+		c.Probe = SignStatsProbe
+		c.ProbeParam = float64(sampleEvery)
+		spec.Cells = append(spec.Cells, c)
+	}
+	return spec
+}
+
+// Fig2 trains the MNIST-analog CNN and the CIFAR-analog model with no
+// attack and records the sign statistics every sampleEvery rounds.
+func Fig2(e *campaign.Engine, p Params, sampleEvery int) ([]Fig2Series, []*Table, error) {
+	rep, err := e.Run(context.Background(), Fig2Spec(p, sampleEvery))
+	if err != nil {
+		return nil, nil, err
+	}
+	series := make([]Fig2Series, 0, len(rep.Results))
+	tables := make([]*Table, 0, len(rep.Results))
+	for i, key := range fig2Datasets {
 		ds, err := DatasetByKey(key)
 		if err != nil {
 			return nil, nil, err
 		}
-		dataset, err := LoadDataset(ds, p)
-		if err != nil {
-			return nil, nil, err
+		var ss SignStatsSeries
+		if err := json.Unmarshal(rep.Results[i].Probe, &ss); err != nil {
+			return nil, nil, fmt.Errorf("experiments: decoding fig2 probe for %s: %w", key, err)
 		}
-		s := Fig2Series{Dataset: ds.Title}
-		lie := attack.NewLIE(0.3)
-		hook := func(st *fl.RoundState) {
-			if st.Round%sampleEvery != 0 {
-				return
-			}
-			avg, err := tensor.Mean(st.Honest)
-			if err != nil {
-				return
-			}
-			honestSS, err := stats.ComputeSignStats(avg)
-			if err != nil {
-				return
-			}
-			gm, err := lie.CraftVector(st.Honest, p.Clients, p.NumByz())
-			if err != nil {
-				return
-			}
-			lieSS, err := stats.ComputeSignStats(gm)
-			if err != nil {
-				return
-			}
-			s.Rounds = append(s.Rounds, st.Round)
-			s.Honest = append(s.Honest, honestSS)
-			s.LIE = append(s.LIE, lieSS)
-		}
-
-		rule, err := RuleByName("Mean")
-		if err != nil {
-			return nil, nil, err
-		}
-		att, err := AttackByName("NoAttack")
-		if err != nil {
-			return nil, nil, err
-		}
-		opt := DefaultCellOptions()
-		opt.RoundHook = hook
-		// Clean training: no Byzantine clients at all (matches the paper's
-		// Fig. 2 protocol of training "under no attacks").
-		opt.OverrideNumByz = 0
-		if _, err := RunCell(dataset, ds, rule, att, p, opt); err != nil {
-			return nil, nil, err
-		}
-		log.printf("fig2[%s] recorded %d samples", key, len(s.Rounds))
+		s := Fig2Series{Dataset: ds.Title, Rounds: ss.Rounds, Honest: ss.Honest, LIE: ss.LIE}
 		series = append(series, s)
 		tables = append(tables, s.Table())
 	}

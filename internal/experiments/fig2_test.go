@@ -11,7 +11,7 @@ func TestFig2Tiny(t *testing.T) {
 		Clients: 8, ByzFraction: 0.25, Rounds: 8, BatchSize: 4,
 		EvalEvery: 4, EvalSamples: 50, TrainSize: 240, TestSize: 60, Seed: 3,
 	}
-	series, tables, err := Fig2(p, 2, nil)
+	series, tables, err := Fig2(NewEngine(0, nil, nil), p, 2)
 	if err != nil {
 		t.Fatal(err)
 	}

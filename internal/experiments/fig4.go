@@ -1,75 +1,76 @@
 package experiments
 
-import "fmt"
+import (
+	"context"
+	"fmt"
+
+	"github.com/signguard/signguard/internal/campaign"
+)
+
+// Fig. 4 axes: five defenses × five strong attacks × four Byzantine
+// fractions, on the Fashion- and CIFAR-analogs, reported as attack impact
+// (Definition 3) against a no-attack/no-defense baseline.
+var (
+	fig4Datasets  = []string{"fashion", "cifar"}
+	fig4Fractions = []float64{0.1, 0.2, 0.3, 0.4}
+	fig4Defenses  = []string{"Median", "TrMean", "Multi-Krum", "DnC", "SignGuard-Sim"}
+	fig4Attacks   = []string{"ByzMean", "Sign-flip", "LIE", "Min-Max", "Min-Sum"}
+)
+
+// Fig4Spec declares the Fig. 4 grid. Per dataset, the first cell is the
+// Definition 3 baseline (no attack, no defense); the rest sweep
+// defense × attack × fraction.
+func Fig4Spec(p Params) campaign.Spec {
+	spec := campaign.Spec{Name: "fig4"}
+	for _, key := range fig4Datasets {
+		base := campaign.NewCell(key, "Mean", "NoAttack", p)
+		base.NumByz = 0
+		spec.Cells = append(spec.Cells, base)
+		for _, def := range fig4Defenses {
+			for _, att := range fig4Attacks {
+				for _, frac := range fig4Fractions {
+					c := campaign.NewCell(key, def, att, p)
+					c.NumByz = int(frac * float64(p.Clients))
+					spec.Cells = append(spec.Cells, c)
+				}
+			}
+		}
+	}
+	return spec
+}
 
 // Fig4 reproduces "Fig. 4: accuracy drop comparison under various attacks
-// and different percentage of Byzantine clients": for the Fashion- and
-// CIFAR-analogs, the attack impact (Definition 3 — accuracy drop relative
-// to the no-attack/no-defense baseline) of five defenses under five strong
-// attacks as the Byzantine fraction sweeps 10–40%.
-func Fig4(p Params, log Reporter) ([]*Table, error) {
-	fractions := []float64{0.1, 0.2, 0.3, 0.4}
-	defenses, err := SelectRules("Median", "TrMean", "Multi-Krum", "DnC", "SignGuard-Sim")
+// and different percentage of Byzantine clients": the attack impact
+// (Definition 3 — accuracy drop relative to the no-attack/no-defense
+// baseline) as the Byzantine fraction sweeps 10–40%.
+func Fig4(e *campaign.Engine, p Params) ([]*Table, error) {
+	rep, err := e.Run(context.Background(), Fig4Spec(p))
 	if err != nil {
 		return nil, err
 	}
-	attacks, err := SelectAttacks("ByzMean", "Sign-flip", "LIE", "Min-Max", "Min-Sum")
-	if err != nil {
-		return nil, err
-	}
-	noAttack, err := AttackByName("NoAttack")
-	if err != nil {
-		return nil, err
-	}
-	meanRule, err := RuleByName("Mean")
-	if err != nil {
-		return nil, err
-	}
-
+	cur := cursor{results: rep.Results}
 	var tables []*Table
-	for _, key := range []string{"fashion", "cifar"} {
+	for _, key := range fig4Datasets {
 		ds, err := DatasetByKey(key)
 		if err != nil {
 			return nil, err
 		}
-		dataset, err := LoadDataset(ds, p)
-		if err != nil {
-			return nil, err
-		}
-
-		// Definition 3 baseline: no attack, no defense (plain Mean).
-		opt := DefaultCellOptions()
-		opt.OverrideNumByz = 0
-		baseRes, err := RunCell(dataset, ds, meanRule, noAttack, p, opt)
-		if err != nil {
-			return nil, err
-		}
-		baseline := baseRes.BestAccuracy
-		log.printf("fig4[%s] baseline (no attack, no defense) = %.2f", key, baseline)
+		baseline := cur.next().BestAccuracy
 
 		t := &Table{Title: fmt.Sprintf("Fig. 4 — attack impact (%%) vs Byzantine fraction, %s (baseline %.2f%%)", ds.Title, baseline)}
 		t.Header = []string{"Defense", "Attack"}
-		for _, f := range fractions {
+		for _, f := range fig4Fractions {
 			t.Header = append(t.Header, fmt.Sprintf("%d%%", int(f*100)))
 		}
-
-		for _, def := range defenses {
-			for _, att := range attacks {
-				row := []string{def.Name, att.Name}
-				for _, frac := range fractions {
-					opt := DefaultCellOptions()
-					opt.OverrideNumByz = int(frac * float64(p.Clients))
-					res, err := RunCell(dataset, ds, def, att, p, opt)
-					if err != nil {
-						return nil, err
-					}
-					impact := baseline - res.BestAccuracy
+		for _, def := range fig4Defenses {
+			for _, att := range fig4Attacks {
+				row := []string{def, att}
+				for range fig4Fractions {
+					impact := baseline - cur.next().BestAccuracy
 					if impact < 0 {
 						impact = 0
 					}
 					row = append(row, fmtAcc(impact))
-					log.printf("fig4[%s] %s × %s @ %d%% → impact %.2f",
-						key, def.Name, att.Name, int(frac*100), impact)
 				}
 				t.AddRow(row...)
 			}

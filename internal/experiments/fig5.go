@@ -1,80 +1,73 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
-	"github.com/signguard/signguard/internal/attack"
+	"github.com/signguard/signguard/internal/campaign"
 )
 
-// Fig5 reproduces "Fig. 5: defense comparison under time-varying attacks":
-// test-accuracy curves of the strong defenses when the attack strategy is
-// re-drawn randomly every switch interval (one paper "epoch"), including
-// no-attack periods, on the Fashion- and CIFAR-analogs. The baseline curve
-// is plain Mean with no attack.
-func Fig5(p Params, log Reporter) ([]*Table, error) {
-	defenses, err := SelectRules("Multi-Krum", "Bulyan", "DnC", "SignGuard")
-	if err != nil {
-		return nil, err
-	}
-	meanRule, err := RuleByName("Mean")
-	if err != nil {
-		return nil, err
-	}
-	noAttack, err := AttackByName("NoAttack")
-	if err != nil {
-		return nil, err
-	}
+// Fig. 5 axes: the strong defenses under a time-varying attack, with a
+// clean undefended baseline curve, on the Fashion- and CIFAR-analogs.
+var (
+	fig5Datasets = []string{"fashion", "cifar"}
+	fig5Defenses = []string{"Multi-Krum", "Bulyan", "DnC", "SignGuard"}
+)
 
-	// One paper "epoch" = local-dataset-size / batch-size rounds; with our
-	// partition sizes that is a handful of rounds. Re-draw on that cadence.
+// fig5SwitchEvery returns the attack's strategy re-draw cadence: one paper
+// "epoch" = local-dataset-size / batch-size rounds.
+func fig5SwitchEvery(p Params) int {
 	switchEvery := p.TrainSize / p.Clients / p.BatchSize
 	if switchEvery < 1 {
 		switchEvery = 1
 	}
+	return switchEvery
+}
 
+// Fig5Spec declares the Fig. 5 grid. Per dataset, the first cell is the
+// clean Mean baseline, followed by one TimeVarying cell per defense.
+func Fig5Spec(p Params) campaign.Spec {
+	spec := campaign.Spec{Name: "fig5"}
+	switchEvery := fig5SwitchEvery(p)
+	for _, key := range fig5Datasets {
+		base := campaign.NewCell(key, "Mean", "NoAttack", p)
+		base.NumByz = 0
+		spec.Cells = append(spec.Cells, base)
+		for _, def := range fig5Defenses {
+			c := campaign.NewCell(key, def, "TimeVarying", p)
+			c.AttackParam = float64(switchEvery)
+			spec.Cells = append(spec.Cells, c)
+		}
+	}
+	return spec
+}
+
+// Fig5 reproduces "Fig. 5: defense comparison under time-varying attacks":
+// test-accuracy curves of the strong defenses when the attack strategy is
+// re-drawn randomly every switch interval, including no-attack periods.
+func Fig5(e *campaign.Engine, p Params) ([]*Table, error) {
+	rep, err := e.Run(context.Background(), Fig5Spec(p))
+	if err != nil {
+		return nil, err
+	}
+	cur := cursor{results: rep.Results}
 	var tables []*Table
-	for _, key := range []string{"fashion", "cifar"} {
+	for _, key := range fig5Datasets {
 		ds, err := DatasetByKey(key)
 		if err != nil {
 			return nil, err
 		}
-		dataset, err := LoadDataset(ds, p)
-		if err != nil {
-			return nil, err
-		}
-
 		type curve struct {
 			name   string
 			rounds []int
 			accs   []float64
 		}
-		var curves []curve
-
-		// Baseline: clean training, no defense.
-		opt := DefaultCellOptions()
-		opt.OverrideNumByz = 0
-		baseRes, err := RunCell(dataset, ds, meanRule, noAttack, p, opt)
-		if err != nil {
-			return nil, err
-		}
-		rs, as := baseRes.AccuracyTrace()
-		curves = append(curves, curve{name: "Baseline", rounds: rs, accs: as})
-		log.printf("fig5[%s] baseline final %.2f", key, baseRes.FinalAccuracy)
-
-		for _, def := range defenses {
-			tv, err := attack.NewTimeVarying(attack.DefaultTimeVaryingPool(), switchEvery, p.Seed+29)
-			if err != nil {
-				return nil, err
-			}
-			opt := DefaultCellOptions()
-			opt.OverrideAttack = tv
-			res, err := RunCell(dataset, ds, def, AttackSpec{Name: "TimeVarying"}, p, opt)
-			if err != nil {
-				return nil, err
-			}
-			r2, a2 := res.AccuracyTrace()
-			curves = append(curves, curve{name: def.Name, rounds: r2, accs: a2})
-			log.printf("fig5[%s] %s best %.2f final %.2f", key, def.Name, res.BestAccuracy, res.FinalAccuracy)
+		curves := make([]curve, 0, 1+len(fig5Defenses))
+		base := cur.next()
+		curves = append(curves, curve{name: "Baseline", rounds: base.EvalRounds, accs: base.EvalAccuracies})
+		for _, def := range fig5Defenses {
+			r := cur.next()
+			curves = append(curves, curve{name: def, rounds: r.EvalRounds, accs: r.EvalAccuracies})
 		}
 
 		t := &Table{Title: fmt.Sprintf("Fig. 5 — test accuracy under time-varying attacks, %s", ds.Title)}
@@ -82,18 +75,16 @@ func Fig5(p Params, log Reporter) ([]*Table, error) {
 		for _, c := range curves {
 			t.Header = append(t.Header, c.name)
 		}
-		if len(curves) > 0 {
-			for i, r := range curves[0].rounds {
-				row := []string{fmt.Sprintf("%d", r)}
-				for _, c := range curves {
-					if i < len(c.accs) {
-						row = append(row, fmtAcc(c.accs[i]))
-					} else {
-						row = append(row, "-")
-					}
+		for i, r := range curves[0].rounds {
+			row := []string{fmt.Sprintf("%d", r)}
+			for _, c := range curves {
+				if i < len(c.accs) {
+					row = append(row, fmtAcc(c.accs[i]))
+				} else {
+					row = append(row, "-")
 				}
-				t.AddRow(row...)
 			}
+			t.AddRow(row...)
 		}
 		tables = append(tables, t)
 	}

@@ -1,53 +1,65 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
-	"github.com/signguard/signguard/internal/fl"
+	"github.com/signguard/signguard/internal/campaign"
 )
 
-// Fig6 reproduces "Fig. 6: model accuracy comparison under various attacks
-// and different degrees of non-IID": best accuracy of five defenses under
-// Sign-flip, LIE and ByzMean on the paper's synthetic non-IID partitions
-// with skew levels s ∈ {0.3, 0.5, 0.8}, for the Fashion- and CIFAR-analogs.
-func Fig6(p Params, log Reporter) ([]*Table, error) {
-	skews := []float64{0.3, 0.5, 0.8}
-	defenses, err := SelectRules("TrMean", "Multi-Krum", "Bulyan", "DnC", "SignGuard-Sim")
-	if err != nil {
-		return nil, err
-	}
-	attacks, err := SelectAttacks("Sign-flip", "LIE", "ByzMean")
-	if err != nil {
-		return nil, err
-	}
+// Fig. 6 axes: five defenses under three attacks across non-IID skew
+// levels, on the Fashion- and CIFAR-analogs.
+var (
+	fig6Datasets = []string{"fashion", "cifar"}
+	fig6Skews    = []float64{0.3, 0.5, 0.8}
+	fig6Defenses = []string{"TrMean", "Multi-Krum", "Bulyan", "DnC", "SignGuard-Sim"}
+	fig6Attacks  = []string{"Sign-flip", "LIE", "ByzMean"}
+)
 
-	var tables []*Table
-	for _, key := range []string{"fashion", "cifar"} {
-		ds, err := DatasetByKey(key)
-		if err != nil {
-			return nil, err
+// Fig6Spec declares the Fig. 6 grid over the paper's synthetic non-IID
+// partitions (2 shards per client).
+func Fig6Spec(p Params) campaign.Spec {
+	spec := campaign.Spec{Name: "fig6"}
+	for _, key := range fig6Datasets {
+		for _, att := range fig6Attacks {
+			for _, def := range fig6Defenses {
+				for _, s := range fig6Skews {
+					c := campaign.NewCell(key, def, att, p)
+					c.NonIIDS = s
+					c.NonIIDShards = 2
+					spec.Cells = append(spec.Cells, c)
+				}
+			}
 		}
-		dataset, err := LoadDataset(ds, p)
+	}
+	return spec
+}
+
+// Fig6 reproduces "Fig. 6: model accuracy comparison under various attacks
+// and different degrees of non-IID": best accuracy with skew levels
+// s ∈ {0.3, 0.5, 0.8}.
+func Fig6(e *campaign.Engine, p Params) ([]*Table, error) {
+	rep, err := e.Run(context.Background(), Fig6Spec(p))
+	if err != nil {
+		return nil, err
+	}
+	cur := cursor{results: rep.Results}
+	var tables []*Table
+	for _, key := range fig6Datasets {
+		ds, err := DatasetByKey(key)
 		if err != nil {
 			return nil, err
 		}
 		t := &Table{Title: fmt.Sprintf("Fig. 6 — non-IID best accuracy (%%), %s", ds.Title)}
 		t.Header = []string{"Attack", "Defense"}
-		for _, s := range skews {
+		for _, s := range fig6Skews {
 			t.Header = append(t.Header, fmt.Sprintf("s=%.1f", s))
 		}
-		for _, att := range attacks {
-			for _, def := range defenses {
-				row := []string{att.Name, def.Name}
-				for _, s := range skews {
-					opt := DefaultCellOptions()
-					opt.NonIID = &fl.NonIID{S: s, ShardsPerClient: 2}
-					res, err := RunCell(dataset, ds, def, att, p, opt)
-					if err != nil {
-						return nil, err
-					}
-					row = append(row, fmtAcc(res.BestAccuracy))
-					log.printf("fig6[%s] %s × %s s=%.1f → %.2f", key, def.Name, att.Name, s, res.BestAccuracy)
+		for _, att := range fig6Attacks {
+			for _, def := range fig6Defenses {
+				row := []string{att, def}
+				for range fig6Skews {
+					row = append(row, fmtAcc(cur.next().BestAccuracy))
 				}
 				t.AddRow(row...)
 			}

@@ -5,7 +5,22 @@ import (
 	"io"
 	"strconv"
 	"strings"
+
+	"github.com/signguard/signguard/internal/campaign"
 )
+
+// cursor walks a campaign's results in the same order the spec builder
+// appended cells, so each renderer mirrors its grid-declaration loops.
+type cursor struct {
+	results []*campaign.CellResult
+	i       int
+}
+
+func (c *cursor) next() *campaign.CellResult {
+	r := c.results[c.i]
+	c.i++
+	return r
+}
 
 // Reporter receives progress lines from long sweeps; a nil Reporter is
 // silently ignored.

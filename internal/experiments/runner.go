@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/signguard/signguard/internal/attack"
+	"github.com/signguard/signguard/internal/campaign"
 	"github.com/signguard/signguard/internal/data"
 	"github.com/signguard/signguard/internal/fl"
 )
@@ -13,11 +14,11 @@ import (
 type CellOptions struct {
 	// NonIID, when non-nil, uses the paper's non-IID partition.
 	NonIID *fl.NonIID
-	// OverrideAttack substitutes a pre-built attack (used for time-varying
-	// and ablation attacks that are not in the standard list).
+	// OverrideAttack substitutes a pre-built attack (used for ad-hoc
+	// attacks that are not in the campaign registry).
 	OverrideAttack attack.Attack
 	// OverrideNumByz, when >= 0, replaces the Byzantine count derived from
-	// Params.ByzFraction (used by the Fig. 4 fraction sweep).
+	// Params.ByzFraction.
 	OverrideNumByz int
 	// RoundHook observes every round.
 	RoundHook func(*fl.RoundState)
@@ -27,9 +28,12 @@ type CellOptions struct {
 // disabled).
 func DefaultCellOptions() CellOptions { return CellOptions{OverrideNumByz: -1} }
 
-// RunCell executes one (dataset, rule, attack) experiment cell: it builds a
-// fresh rule and attack, runs the configured number of rounds, and returns
-// the run result.
+// RunCell executes one (dataset, rule, attack) experiment cell directly,
+// bypassing the campaign engine and its cache. It is the programmatic
+// escape hatch for hooks and ad-hoc attacks; the tables and figures
+// themselves declare campaign specs instead. The cell is assembled through
+// the same campaign.CellExec path the engine uses, so both agree on every
+// simulation parameter.
 func RunCell(dataset *data.Dataset, ds DatasetSpec, rule RuleSpec, att AttackSpec, p Params, opt CellOptions) (*fl.RunResult, error) {
 	numByz := p.NumByz()
 	if opt.OverrideNumByz >= 0 {
@@ -43,35 +47,26 @@ func RunCell(dataset *data.Dataset, ds DatasetSpec, rule RuleSpec, att AttackSpe
 	if a == nil {
 		a = att.New(p.Seed + 13)
 	}
-	sim, err := fl.New(fl.Config{
-		Dataset:     dataset,
-		NewModel:    ds.NewModel,
-		Rule:        r,
-		Attack:      a,
-		Clients:     p.Clients,
-		NumByz:      numByz,
-		Rounds:      p.Rounds,
-		BatchSize:   p.BatchSize,
-		LR:          ds.LR,
-		Momentum:    0.9,
-		WeightDecay: 5e-4,
-		EvalEvery:   p.EvalEvery,
-		EvalSamples: p.EvalSamples,
-		NonIID:      opt.NonIID,
-		Seed:        p.Seed,
-		RoundHook:   opt.RoundHook,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("experiments: %s/%s/%s: %w", ds.Key, rule.Name, att.Name, err)
+	x := &campaign.CellExec{
+		Dataset:  dataset,
+		NewModel: ds.NewModel,
+		LR:       ds.LR,
+		Rule:     r,
+		Attack:   a,
+		NumByz:   numByz,
+		NonIID:   opt.NonIID,
+		Hook:     opt.RoundHook,
+		Params:   p,
 	}
-	res, err := sim.Run()
+	res, err := x.Run()
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %s/%s/%s: %w", ds.Key, rule.Name, att.Name, err)
 	}
 	return res, nil
 }
 
-// LoadDataset builds the dataset for a spec at the given params.
+// LoadDataset builds the dataset for a spec at the given params, using the
+// same seed derivation as the campaign engine's dataset cache.
 func LoadDataset(ds DatasetSpec, p Params) (*data.Dataset, error) {
 	dataset, err := ds.Load(p.Seed+7, p.TrainSize, p.TestSize)
 	if err != nil {

@@ -1,10 +1,11 @@
 // Package experiments defines the reproduction harness: one experiment per
 // table and figure in the paper's evaluation section, runnable at three
 // scales (Bench for `go test -bench`, Standard for quick full sweeps, Full
-// for the paper-scale runs recorded in EXPERIMENTS.md). The package glues
-// the datasets, models, attacks, aggregation rules and the fl engine into
-// named, deterministic experiment definitions and renders the results as
-// the same rows/series the paper reports.
+// for the paper-scale runs recorded in EXPERIMENTS.md). Each experiment is
+// a thin adapter over the internal/campaign engine: it declares its grid
+// as a campaign.Spec (XSpec functions), runs it through a campaign.Engine
+// — concurrently, with content-addressed result caching — and renders the
+// cell results as the same rows/series the paper reports.
 package experiments
 
 import (
@@ -13,6 +14,7 @@ import (
 
 	"github.com/signguard/signguard/internal/aggregate"
 	"github.com/signguard/signguard/internal/attack"
+	"github.com/signguard/signguard/internal/campaign"
 	"github.com/signguard/signguard/internal/core"
 	"github.com/signguard/signguard/internal/data"
 	"github.com/signguard/signguard/internal/nn"
@@ -57,21 +59,10 @@ func ParseScale(s string) (Scale, error) {
 	}
 }
 
-// Params are the scale-dependent simulation parameters.
-type Params struct {
-	Clients     int
-	ByzFraction float64
-	Rounds      int
-	BatchSize   int
-	EvalEvery   int
-	EvalSamples int
-	TrainSize   int
-	TestSize    int
-	Seed        int64
-}
-
-// NumByz returns ⌊ByzFraction·Clients⌋.
-func (p Params) NumByz() int { return int(p.ByzFraction * float64(p.Clients)) }
+// Params are the scale-dependent simulation parameters. The type is the
+// campaign engine's cell-parameter block: a cell embeds it verbatim, so an
+// experiment's Params are part of each cell's content hash.
+type Params = campaign.Params
 
 // DefaultParams returns the simulation parameters for a scale, matching
 // the paper's setup (n=50, 20% Byzantine) at Standard/Full scale. The

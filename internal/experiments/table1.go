@@ -1,39 +1,49 @@
 package experiments
 
-import "fmt"
+import (
+	"context"
+	"fmt"
+
+	"github.com/signguard/signguard/internal/campaign"
+)
+
+// Table1Spec declares the "Table I" grid for one dataset: every
+// aggregation rule under every attack column at the default Byzantine
+// fraction, IID data.
+func Table1Spec(ds DatasetSpec, p Params) campaign.Spec {
+	spec := campaign.Spec{Name: "table1-" + ds.Key}
+	for _, rule := range Rules() {
+		for _, att := range Attacks() {
+			spec.Cells = append(spec.Cells, campaign.NewCell(ds.Key, rule.Name, att.Name, p))
+		}
+	}
+	return spec
+}
 
 // Table1 reproduces "Table I: comparison of defenses under various model
 // poisoning attacks" for one dataset: the best test accuracy achieved by
-// each of the ten aggregation rules under each of the nine attack columns,
-// IID data, n clients with the configured Byzantine fraction.
-func Table1(ds DatasetSpec, p Params, log Reporter) (*Table, error) {
-	dataset, err := LoadDataset(ds, p)
+// each of the ten aggregation rules under each of the nine attack columns.
+func Table1(e *campaign.Engine, ds DatasetSpec, p Params) (*Table, error) {
+	rep, err := e.Run(context.Background(), Table1Spec(ds, p))
 	if err != nil {
 		return nil, err
 	}
-	attacks := Attacks()
-	rules := Rules()
+	return renderTable1(ds, rep.Results), nil
+}
 
+func renderTable1(ds DatasetSpec, results []*campaign.CellResult) *Table {
+	attacks := Attacks()
 	t := &Table{Title: fmt.Sprintf("Table I — %s (best test accuracy %%)", ds.Title)}
 	t.Header = append([]string{"GAR"}, attackNames(attacks)...)
-
-	total := len(rules) * len(attacks)
-	done := 0
-	for _, rule := range rules {
+	cur := cursor{results: results}
+	for _, rule := range Rules() {
 		row := []string{rule.Name}
-		for _, att := range attacks {
-			res, err := RunCell(dataset, ds, rule, att, p, DefaultCellOptions())
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, fmtAcc(res.BestAccuracy))
-			done++
-			log.printf("table1[%s] %d/%d %s × %s → %.2f",
-				ds.Key, done, total, rule.Name, att.Name, res.BestAccuracy)
+		for range attacks {
+			row = append(row, fmtAcc(cur.next().BestAccuracy))
 		}
 		t.AddRow(row...)
 	}
-	return t, nil
+	return t
 }
 
 func attackNames(attacks []AttackSpec) []string {

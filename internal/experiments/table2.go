@@ -1,48 +1,52 @@
 package experiments
 
-import "fmt"
+import (
+	"context"
+	"fmt"
+
+	"github.com/signguard/signguard/internal/campaign"
+)
+
+// table2Variants / table2Attacks are the paper's Table II axes: the three
+// SignGuard variants under the five strong attacks, on the CIFAR analog.
+var (
+	table2Variants = []string{"SignGuard", "SignGuard-Sim", "SignGuard-Dist"}
+	table2Attacks  = []string{"ByzMean", "Sign-flip", "LIE", "Min-Max", "Min-Sum"}
+)
+
+// Table2Spec declares the Table II grid (attack-major, variant-minor).
+func Table2Spec(p Params) campaign.Spec {
+	spec := campaign.Spec{Name: "table2"}
+	for _, att := range table2Attacks {
+		for _, v := range table2Variants {
+			spec.Cells = append(spec.Cells, campaign.NewCell("cifar", v, att, p))
+		}
+	}
+	return spec
+}
 
 // Table2 reproduces "Table II: selected rate of honest and malicious
 // gradients" — the average fraction of honest (H) and malicious (M)
-// gradients that each SignGuard variant admitted into the trusted set
-// during CIFAR-analog training, under the five strong attacks.
-func Table2(p Params, log Reporter) (*Table, error) {
-	ds, err := DatasetByKey("cifar")
+// gradients that each SignGuard variant admitted into the trusted set.
+func Table2(e *campaign.Engine, p Params) (*Table, error) {
+	rep, err := e.Run(context.Background(), Table2Spec(p))
 	if err != nil {
 		return nil, err
 	}
-	dataset, err := LoadDataset(ds, p)
-	if err != nil {
-		return nil, err
-	}
-	variants, err := SelectRules("SignGuard", "SignGuard-Sim", "SignGuard-Dist")
-	if err != nil {
-		return nil, err
-	}
-	attacks, err := SelectAttacks("ByzMean", "Sign-flip", "LIE", "Min-Max", "Min-Sum")
-	if err != nil {
-		return nil, err
-	}
-
 	t := &Table{Title: "Table II — selected rate of honest (H) and malicious (M) gradients"}
 	t.Header = []string{"Attack"}
-	for _, v := range variants {
-		t.Header = append(t.Header, v.Name+" H", v.Name+" M")
+	for _, v := range table2Variants {
+		t.Header = append(t.Header, v+" H", v+" M")
 	}
-
-	for _, att := range attacks {
-		row := []string{att.Name}
-		for _, v := range variants {
-			res, err := RunCell(dataset, ds, v, att, p, DefaultCellOptions())
-			if err != nil {
-				return nil, err
+	cur := cursor{results: rep.Results}
+	for _, att := range table2Attacks {
+		row := []string{att}
+		for _, v := range table2Variants {
+			r := cur.next()
+			if !r.HasSelection {
+				return nil, fmt.Errorf("experiments: %s reported no selection under %s", v, att)
 			}
-			h, m, ok := res.SelectionRates()
-			if !ok {
-				return nil, fmt.Errorf("experiments: %s reported no selection under %s", v.Name, att.Name)
-			}
-			row = append(row, fmtRate(h), fmtRate(m))
-			log.printf("table2 %s × %s → H=%.4f M=%.4f", v.Name, att.Name, h, m)
+			row = append(row, fmtRate(r.SelHonest), fmtRate(r.SelMalicious))
 		}
 		t.AddRow(row...)
 	}

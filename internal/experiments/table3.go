@@ -1,10 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/signguard/signguard/internal/aggregate"
-	"github.com/signguard/signguard/internal/attack"
+	"github.com/signguard/signguard/internal/campaign"
 	"github.com/signguard/signguard/internal/core"
 )
 
@@ -39,60 +40,64 @@ func ablationCombos() []ablationCombo {
 	}
 }
 
+// ablationRuleName is the registry key of one ablated SignGuard-Sim
+// variant.
+func ablationRuleName(c ablationCombo) string {
+	return "SignGuard-Sim[" + c.label() + "]"
+}
+
+// newAblationRule builds SignGuard-Sim with only the combo's components
+// enabled.
+func newAblationRule(c ablationCombo, seed int64) (aggregate.Rule, error) {
+	cfg := core.DefaultConfig()
+	cfg.Similarity = core.CosineSimilarity
+	cfg.UseNormFilter = c.Thresholding
+	cfg.UseSignFilter = c.Clustering
+	cfg.UseNormClip = c.NormClip
+	cfg.Seed = seed
+	return core.New(cfg)
+}
+
+// table3ReverseScale is the scale of the Table III reverse attack for a
+// combo: the norm threshold R when thresholding or clipping is active, 100
+// when neither is (following the paper).
+func table3ReverseScale(c ablationCombo) float64 {
+	if c.Thresholding || c.NormClip {
+		return core.DefaultConfig().UpperBound
+	}
+	return 100
+}
+
+// Table3Spec declares the CIFAR-analog ablation grid: each component
+// subset under the Random, scaled-Reverse and LIE attacks.
+func Table3Spec(p Params) campaign.Spec {
+	spec := campaign.Spec{Name: "table3"}
+	for _, combo := range ablationCombos() {
+		rule := ablationRuleName(combo)
+		spec.Cells = append(spec.Cells, campaign.NewCell("cifar", rule, "Random", p))
+		rev := campaign.NewCell("cifar", rule, "Reverse", p)
+		rev.AttackParam = table3ReverseScale(combo)
+		spec.Cells = append(spec.Cells, rev)
+		spec.Cells = append(spec.Cells, campaign.NewCell("cifar", rule, "LIE", p))
+	}
+	return spec
+}
+
 // Table3 reproduces "Table III: results under different defensive
 // components" — the CIFAR-analog ablation of SignGuard-Sim's thresholding,
-// clustering and norm-clipping components under the Random, scaled-Reverse
-// and LIE attacks. Following the paper, the reverse attack scales by the
-// norm threshold R when thresholding or clipping is active, and by 100
-// when neither is.
-func Table3(p Params, log Reporter) (*Table, error) {
-	ds, err := DatasetByKey("cifar")
+// clustering and norm-clipping components.
+func Table3(e *campaign.Engine, p Params) (*Table, error) {
+	rep, err := e.Run(context.Background(), Table3Spec(p))
 	if err != nil {
 		return nil, err
 	}
-	dataset, err := LoadDataset(ds, p)
-	if err != nil {
-		return nil, err
-	}
-
 	t := &Table{Title: "Table III — SignGuard-Sim component ablation (best test accuracy %)"}
 	t.Header = []string{"Components", "Random", "Reverse", "LIE"}
-
+	cur := cursor{results: rep.Results}
 	for _, combo := range ablationCombos() {
-		newRule := func(n, f int, seed int64) (aggregate.Rule, error) {
-			cfg := core.DefaultConfig()
-			cfg.Similarity = core.CosineSimilarity
-			cfg.UseNormFilter = combo.Thresholding
-			cfg.UseSignFilter = combo.Clustering
-			cfg.UseNormClip = combo.NormClip
-			cfg.Seed = seed
-			return core.New(cfg)
-		}
-		rule := RuleSpec{Name: "SignGuard-Sim[" + combo.label() + "]", New: newRule}
-
-		reverseScale := 100.0
-		if combo.Thresholding || combo.NormClip {
-			reverseScale = core.DefaultConfig().UpperBound
-		}
-		cellAttacks := []struct {
-			name string
-			att  attack.Attack
-		}{
-			{"Random", attack.NewRandom()},
-			{"Reverse", attack.NewReverse(reverseScale)},
-			{"LIE", attack.NewLIE(0.3)},
-		}
-
 		row := []string{combo.label()}
-		for _, ca := range cellAttacks {
-			opt := DefaultCellOptions()
-			opt.OverrideAttack = ca.att
-			res, err := RunCell(dataset, ds, rule, AttackSpec{Name: ca.name}, p, opt)
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, fmtAcc(res.BestAccuracy))
-			log.printf("table3 [%s] × %s → %.2f", combo.label(), ca.name, res.BestAccuracy)
+		for i := 0; i < 3; i++ {
+			row = append(row, fmtAcc(cur.next().BestAccuracy))
 		}
 		t.AddRow(row...)
 	}

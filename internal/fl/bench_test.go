@@ -1,0 +1,56 @@
+package fl
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/signguard/signguard/internal/attack"
+	"github.com/signguard/signguard/internal/core"
+	"github.com/signguard/signguard/internal/data"
+	"github.com/signguard/signguard/internal/nn"
+)
+
+// BenchmarkSimulationRun50Clients compares the sequential gradient phase
+// against the parallel worker pool at the paper's client count, the
+// perf baseline for future engine work. The reported rounds/s metric is
+// the per-round throughput of the whole simulation.
+func BenchmarkSimulationRun50Clients(b *testing.B) {
+	ds, err := data.GenerateSynthImage(data.SynthImageConfig{
+		Name: "bench", Classes: 8, C: 1, H: 8, W: 8, Train: 2000, Test: 200,
+		Margin: 4, NoiseStd: 0.4, SmoothPass: 1, Seed: 11,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const rounds = 10
+	for _, workers := range []int{1, 0} {
+		name := fmt.Sprintf("workers=%d", workers)
+		if workers == 0 {
+			name = "workers=max"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sim, err := New(Config{
+					Dataset: ds,
+					NewModel: func(rng *rand.Rand) (nn.Classifier, error) {
+						return nn.NewImageCNN(rng, 1, 8, 8, 6, 32, 8)
+					},
+					Rule:    core.NewSim(1),
+					Attack:  attack.NewLIE(0.3),
+					Clients: 50, NumByz: 10, Rounds: rounds, BatchSize: 8,
+					LR: 0.03, Momentum: 0.9, WeightDecay: 5e-4,
+					EvalEvery: rounds, EvalSamples: 100, Seed: 1,
+					Workers: workers,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := sim.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(rounds*b.N)/b.Elapsed().Seconds(), "rounds/s")
+		})
+	}
+}

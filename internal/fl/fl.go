@@ -14,6 +14,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
+	"sync"
 
 	"github.com/signguard/signguard/internal/aggregate"
 	"github.com/signguard/signguard/internal/attack"
@@ -85,6 +87,12 @@ type Config struct {
 	// batching, attack randomness).
 	Seed int64
 
+	// Workers bounds the number of concurrent per-client gradient
+	// computations per round (0 = GOMAXPROCS, 1 = sequential). Each worker
+	// owns a model replica; every client keeps its own RNG stream, so the
+	// results are byte-identical for any worker count.
+	Workers int
+
 	// RoundHook, when non-nil, observes every round (used by the Fig. 2
 	// sign-statistics experiment and by tests).
 	RoundHook func(*RoundState)
@@ -129,6 +137,10 @@ type Simulation struct {
 	attRng  *rand.Rand
 	permRng *rand.Rand
 	global  []float64
+	workers int
+	// replicas are the per-worker model copies of the parallel gradient
+	// path; replicas[0] is the main model.
+	replicas []nn.Classifier
 }
 
 // New prepares a simulation: builds the model, partitions the data and
@@ -191,15 +203,38 @@ func New(cfg Config) (*Simulation, error) {
 		clients[i] = &client{id: i, byzantine: byz, sampler: sampler}
 	}
 
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > cfg.Clients {
+		workers = cfg.Clients
+	}
+	// Workers beyond the first need their own model replica to compute
+	// gradients on. Replica init weights are immediately overwritten by the
+	// global parameters each round, so a throwaway RNG keeps the main
+	// model's seeded streams untouched.
+	replicas := make([]nn.Classifier, workers)
+	replicas[0] = model
+	for w := 1; w < workers; w++ {
+		r, err := cfg.NewModel(tensor.NewRNG(cfg.Seed + 1000 + int64(w)))
+		if err != nil {
+			return nil, fmt.Errorf("fl: building worker replica %d: %w", w, err)
+		}
+		replicas[w] = r
+	}
+
 	return &Simulation{
-		cfg:     cfg,
-		model:   model,
-		clients: clients,
-		opt:     nn.NewSGD(cfg.LR, cfg.Momentum, cfg.WeightDecay),
-		attack:  att,
-		attRng:  attRng,
-		permRng: permRng,
-		global:  model.ParamVector(),
+		cfg:      cfg,
+		model:    model,
+		clients:  clients,
+		opt:      nn.NewSGD(cfg.LR, cfg.Momentum, cfg.WeightDecay),
+		attack:   att,
+		attRng:   attRng,
+		permRng:  permRng,
+		global:   model.ParamVector(),
+		workers:  workers,
+		replicas: replicas,
 	}, nil
 }
 
@@ -207,19 +242,59 @@ func New(cfg Config) (*Simulation, error) {
 func (s *Simulation) Model() nn.Classifier { return s.model }
 
 // localGradient computes one client's honest stochastic gradient at the
-// current global parameters.
-func (s *Simulation) localGradient(c *client) ([]float64, float64, error) {
+// current global parameters, on the given model replica.
+func (s *Simulation) localGradient(m nn.Classifier, c *client) ([]float64, float64, error) {
 	batch := c.sampler.Batch(s.cfg.BatchSize)
 	in, labels, err := BatchInput(s.cfg.Dataset, batch)
 	if err != nil {
 		return nil, 0, err
 	}
-	s.model.ZeroGrad()
-	loss, _, err := s.model.LossAndGrad(in, labels)
+	m.ZeroGrad()
+	loss, _, err := m.LossAndGrad(in, labels)
 	if err != nil {
 		return nil, 0, fmt.Errorf("fl: client %d gradient: %w", c.id, err)
 	}
-	return s.model.GradVector(), loss, nil
+	return m.GradVector(), loss, nil
+}
+
+// gradOut is one client's gradient-phase output.
+type gradOut struct {
+	g    []float64
+	loss float64
+	err  error
+}
+
+// computeGradients runs the local-gradient phase for every client,
+// sequentially or across the worker replicas. Each client is visited by
+// exactly one worker and draws from its own sampler RNG, so the outputs
+// are identical for any worker count; only wall-clock time changes.
+func (s *Simulation) computeGradients() []gradOut {
+	outs := make([]gradOut, len(s.clients))
+	if s.workers <= 1 {
+		for i, c := range s.clients {
+			outs[i].g, outs[i].loss, outs[i].err = s.localGradient(s.model, c)
+		}
+		return outs
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < s.workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			m := s.replicas[w]
+			if err := m.SetParamVector(s.global); err != nil {
+				for i := w; i < len(s.clients); i += s.workers {
+					outs[i].err = err
+				}
+				return
+			}
+			for i := w; i < len(s.clients); i += s.workers {
+				outs[i].g, outs[i].loss, outs[i].err = s.localGradient(m, s.clients[i])
+			}
+		}(w)
+	}
+	wg.Wait()
+	return outs
 }
 
 // Step executes one synchronous round: local gradients, attack crafting,
@@ -230,11 +305,16 @@ func (s *Simulation) Step(round int) (*RoundMetrics, error) {
 		return nil, err
 	}
 
+	outs := s.computeGradients()
+
+	// Reduce in client-index order so the loss accumulation, gradient
+	// grouping and first-divergence detection are independent of how the
+	// gradient phase was scheduled.
 	var benign, byzOwn [][]float64
 	var lossSum float64
 	var lossCnt int
-	for _, c := range s.clients {
-		g, loss, err := s.localGradient(c)
+	for i, c := range s.clients {
+		g, loss, err := outs[i].g, outs[i].loss, outs[i].err
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,87 @@
+package fl
+
+import (
+	"testing"
+
+	"github.com/signguard/signguard/internal/attack"
+	"github.com/signguard/signguard/internal/core"
+)
+
+// runWithWorkers executes the same attacked configuration at a given
+// gradient-phase worker count.
+func runWithWorkers(t *testing.T, workers int) *RunResult {
+	t.Helper()
+	cfg := baseConfig(tinyDataset(t))
+	cfg.NumByz = 2
+	cfg.Attack = attack.NewLIE(0.3)
+	cfg.Rule = core.NewPlain(7)
+	cfg.Workers = workers
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestParallelWorkersMatchSequential is the byte-identity contract of the
+// parallel gradient phase: every worker count must reproduce the
+// sequential run exactly, down to each round's accumulated loss.
+func TestParallelWorkersMatchSequential(t *testing.T) {
+	seq := runWithWorkers(t, 1)
+	for _, workers := range []int{2, 4, 7, 0} {
+		par := runWithWorkers(t, workers)
+		if seq.BestAccuracy != par.BestAccuracy || seq.FinalAccuracy != par.FinalAccuracy {
+			t.Fatalf("workers=%d: accuracy %v/%v, sequential %v/%v",
+				workers, par.BestAccuracy, par.FinalAccuracy, seq.BestAccuracy, seq.FinalAccuracy)
+		}
+		if len(seq.History) != len(par.History) {
+			t.Fatalf("workers=%d: %d rounds vs %d", workers, len(par.History), len(seq.History))
+		}
+		for i := range seq.History {
+			a, b := seq.History[i], par.History[i]
+			if a.TrainLoss != b.TrainLoss {
+				t.Fatalf("workers=%d: round %d loss %v != %v", workers, i, b.TrainLoss, a.TrainLoss)
+			}
+			if a.Evaluated != b.Evaluated || a.TestAccuracy != b.TestAccuracy {
+				t.Fatalf("workers=%d: round %d eval %v/%v != %v/%v",
+					workers, i, b.Evaluated, b.TestAccuracy, a.Evaluated, a.TestAccuracy)
+			}
+			if a.SelectedHonest != b.SelectedHonest || a.SelectedByz != b.SelectedByz {
+				t.Fatalf("workers=%d: round %d selection differs", workers, i)
+			}
+		}
+	}
+}
+
+// TestParallelDivergenceMatchesSequential checks that a destroyed model is
+// detected identically (same early stop) under both gradient paths.
+func TestParallelDivergenceMatchesSequential(t *testing.T) {
+	run := func(workers int) *RunResult {
+		cfg := baseConfig(tinyDataset(t))
+		cfg.NumByz = 3
+		cfg.Attack = attack.NewReverse(1e12)
+		cfg.LR = 1
+		cfg.Rounds = 50
+		cfg.Workers = workers
+		sim, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	seq, par := run(1), run(4)
+	if !seq.Diverged || !par.Diverged {
+		t.Fatalf("both runs should diverge (seq=%v par=%v)", seq.Diverged, par.Diverged)
+	}
+	if len(seq.History) != len(par.History) {
+		t.Fatalf("divergence round differs: %d vs %d rounds", len(seq.History), len(par.History))
+	}
+}
