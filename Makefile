@@ -1,0 +1,36 @@
+# The targets below are the exact commands CI runs (.github/workflows/ci.yml)
+# so local verification and the quality gate can never drift apart.
+
+GO ?= go
+# Extra flags for the bench target (CI passes BENCHFLAGS=-json to produce
+# the BENCH_PR.json artifact).
+BENCHFLAGS ?=
+
+.PHONY: all build test race bench fmt-check vet
+
+all: fmt-check vet build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -short -timeout 10m ./...
+
+race:
+	$(GO) test -race -short -timeout 15m ./...
+
+# Compile and execute every benchmark exactly once: fast enough for a PR
+# gate, and it fails loudly when benchmark code rots. Silenced (@) because
+# CI pipes the output into BENCH_PR.json, where make's recipe echo would
+# corrupt the `go test -json` stream.
+bench:
+	@$(GO) test $(BENCHFLAGS) -run '^$$' -bench . -benchtime 1x -timeout 15m ./...
+
+fmt-check:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...

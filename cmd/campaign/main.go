@@ -27,6 +27,7 @@ import (
 
 	"github.com/signguard/signguard/internal/campaign"
 	"github.com/signguard/signguard/internal/experiments"
+	"github.com/signguard/signguard/internal/parallel"
 )
 
 func main() {
@@ -115,10 +116,13 @@ func cmdRun(args []string) error {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	var g gridFlags
 	g.register(fs)
-	workers := fs.Int("workers", 0, "concurrent cells (0 = GOMAXPROCS)")
+	workers := fs.Int("workers", parallel.Default(), "concurrent cells (default: all CPUs)")
 	verbose := fs.Bool("v", false, "log every finished cell (default: one summary line per 10%)")
 	fs.Parse(args)
 
+	if err := parallel.ValidateWorkers(*workers); err != nil {
+		return fmt.Errorf("-workers: %w", err)
+	}
 	spec, err := g.spec()
 	if err != nil {
 		return err

@@ -22,6 +22,7 @@ import (
 
 	"github.com/signguard/signguard/internal/campaign"
 	"github.com/signguard/signguard/internal/experiments"
+	"github.com/signguard/signguard/internal/parallel"
 )
 
 func main() {
@@ -32,7 +33,7 @@ func main() {
 		formatFlag  = flag.String("format", "md", "output format: md|tsv")
 		outFlag     = flag.String("out", "", "output file (default stdout)")
 		seedFlag    = flag.Int64("seed", 1, "experiment seed")
-		workersFlag = flag.Int("workers", 0, "concurrent experiment cells (0 = GOMAXPROCS)")
+		workersFlag = flag.Int("workers", parallel.Default(), "concurrent experiment cells (default: all CPUs)")
 		cacheFlag   = flag.String("cache-dir", "", "cell result cache directory (empty = no cache)")
 		verbose     = flag.Bool("v", false, "log per-cell progress to stderr")
 	)
@@ -45,6 +46,9 @@ func main() {
 }
 
 func run(exp, dataset, scaleName, format, outPath string, seed int64, workers int, cacheDir string, verbose bool) error {
+	if err := parallel.ValidateWorkers(workers); err != nil {
+		return fmt.Errorf("-workers: %w", err)
+	}
 	scale, err := experiments.ParseScale(scaleName)
 	if err != nil {
 		return err

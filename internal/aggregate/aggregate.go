@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 
+	"github.com/signguard/signguard/internal/parallel"
 	"github.com/signguard/signguard/internal/tensor"
 )
 
@@ -40,6 +41,25 @@ type Rule interface {
 	Aggregate(grads [][]float64) (*Result, error)
 }
 
+// WorkersSetter is implemented by rules whose hot inner loops parallelize
+// across a worker pool. The contract is strict: the worker count changes
+// wall-clock time only — aggregation output must be byte-identical for any
+// value (see internal/parallel for the reduction discipline).
+type WorkersSetter interface {
+	// SetWorkers bounds the rule's kernel parallelism (0 = automatic,
+	// 1 = sequential).
+	SetWorkers(n int)
+}
+
+// SetWorkers configures r to use n workers if it supports parallel
+// kernels, recursing into wrappers (e.g. NormClip). Rules without parallel
+// kernels are left untouched.
+func SetWorkers(r Rule, n int) {
+	if ws, ok := r.(WorkersSetter); ok {
+		ws.SetWorkers(n)
+	}
+}
+
 // validate checks the common preconditions: a non-empty set of equal-length
 // vectors. It returns the dimensionality.
 func validate(grads [][]float64) (int, error) {
@@ -60,9 +80,14 @@ func validate(grads [][]float64) (int, error) {
 
 // Mean is the naive (non-robust) averaging rule — the paper's no-defense
 // baseline.
-type Mean struct{}
+type Mean struct {
+	// Workers bounds the kernel parallelism (0 = automatic, 1 = sequential);
+	// the output is byte-identical for any value.
+	Workers int
+}
 
 var _ Rule = (*Mean)(nil)
+var _ WorkersSetter = (*Mean)(nil)
 
 // NewMean returns the plain averaging rule.
 func NewMean() *Mean { return &Mean{} }
@@ -70,12 +95,15 @@ func NewMean() *Mean { return &Mean{} }
 // Name implements Rule.
 func (*Mean) Name() string { return "Mean" }
 
+// SetWorkers implements WorkersSetter.
+func (m *Mean) SetWorkers(n int) { m.Workers = n }
+
 // Aggregate returns the element-wise average of all gradients.
-func (*Mean) Aggregate(grads [][]float64) (*Result, error) {
+func (m *Mean) Aggregate(grads [][]float64) (*Result, error) {
 	if _, err := validate(grads); err != nil {
 		return nil, err
 	}
-	g, err := tensor.Mean(grads)
+	g, err := tensor.MeanWorkers(grads, parallel.Resolve(m.Workers))
 	if err != nil {
 		return nil, err
 	}

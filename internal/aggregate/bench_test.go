@@ -1,0 +1,105 @@
+package aggregate
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchGrads builds a fixed-seed cohort: n gradients of dimension d with a
+// 20% block of displaced outliers, so the selection rules do real work.
+func benchGrads(n, d int) [][]float64 {
+	grads := honestSet(42, n, d, 0, 1)
+	for i := 0; i < n/5; i++ {
+		for j := range grads[i] {
+			grads[i][j] += 8
+		}
+	}
+	return grads
+}
+
+// benchCohorts spans the paper-relevant cohort sizes; benchWorkers spans
+// the scaling axis the CI benchmark job tracks.
+var (
+	benchCohorts = []int{50, 200, 500}
+	benchWorkers = []int{1, 2, 4, 8}
+)
+
+func benchRule(b *testing.B, dim int, mk func(n, workers int) Rule) {
+	for _, n := range benchCohorts {
+		grads := benchGrads(n, dim)
+		for _, w := range benchWorkers {
+			b.Run(fmt.Sprintf("n=%d/workers=%d", n, w), func(b *testing.B) {
+				rule := mk(n, w)
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := rule.Aggregate(grads); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkKrum(b *testing.B) {
+	benchRule(b, 2000, func(n, w int) Rule {
+		return &MultiKrum{F: n / 5, M: 1, Workers: w}
+	})
+}
+
+func BenchmarkMultiKrum(b *testing.B) {
+	benchRule(b, 2000, func(n, w int) Rule {
+		return &MultiKrum{F: n / 5, M: n / 2, Workers: w}
+	})
+}
+
+func BenchmarkBulyan(b *testing.B) {
+	benchRule(b, 500, func(n, w int) Rule {
+		// Bulyan needs n >= 4F+2; F = n/5 leaves θ = 3n/5 selection rounds.
+		return &Bulyan{F: n / 5, Workers: w}
+	})
+}
+
+func BenchmarkDnC(b *testing.B) {
+	benchRule(b, 2000, func(n, w int) Rule {
+		dnc := NewDnC(n/5, 7)
+		dnc.Workers = w
+		return dnc
+	})
+}
+
+func BenchmarkGeoMed(b *testing.B) {
+	benchRule(b, 2000, func(n, w int) Rule {
+		return &GeoMed{MaxIter: 100, Tol: 1e-8, Workers: w}
+	})
+}
+
+func BenchmarkTrimmedMean(b *testing.B) {
+	benchRule(b, 2000, func(n, w int) Rule {
+		return &TrimmedMean{K: n / 5, Workers: w}
+	})
+}
+
+func BenchmarkMedian(b *testing.B) {
+	benchRule(b, 2000, func(n, w int) Rule {
+		return &Median{Workers: w}
+	})
+}
+
+// BenchmarkPairwiseDistancesViaKrumScores isolates the shared distance
+// matrix kernel through its dominant consumer.
+func BenchmarkKrumScores(b *testing.B) {
+	const n, d = 200, 2000
+	grads := benchGrads(n, d)
+	for _, w := range benchWorkers {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			k := &MultiKrum{F: n / 5, M: 1, Workers: w}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := k.Scores(grads); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

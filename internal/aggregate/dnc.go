@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"github.com/signguard/signguard/internal/parallel"
 	"github.com/signguard/signguard/internal/tensor"
 )
 
@@ -26,11 +27,17 @@ type DnC struct {
 	// C scales how many gradients are discarded per iteration: C·F
 	// (default 1).
 	C float64
+	// Workers bounds the kernel parallelism (0 = automatic, 1 = sequential);
+	// the output is byte-identical for any value. The coordinate
+	// subsampling RNG is consumed on the serial path only, so it is
+	// untouched by the worker count.
+	Workers int
 
 	rng *rand.Rand
 }
 
 var _ Rule = (*DnC)(nil)
+var _ WorkersSetter = (*DnC)(nil)
 
 // NewDnC returns a DnC rule with the given Byzantine count and defaults,
 // seeded for deterministic coordinate subsampling.
@@ -40,6 +47,9 @@ func NewDnC(f int, seed int64) *DnC {
 
 // Name implements Rule.
 func (*DnC) Name() string { return "DnC" }
+
+// SetWorkers implements WorkersSetter.
+func (a *DnC) SetWorkers(n int) { a.Workers = n }
 
 // Aggregate implements Rule.
 func (a *DnC) Aggregate(grads [][]float64) (*Result, error) {
@@ -66,6 +76,7 @@ func (a *DnC) Aggregate(grads [][]float64) (*Result, error) {
 	if a.rng == nil {
 		a.rng = rand.New(rand.NewSource(1))
 	}
+	workers := parallel.Resolve(a.Workers)
 
 	good := make(map[int]bool, n)
 	for i := 0; i < n; i++ {
@@ -74,22 +85,30 @@ func (a *DnC) Aggregate(grads [][]float64) (*Result, error) {
 	for it := 0; it < iters; it++ {
 		coords := tensor.SampleIndices(a.rng, d, subDim)
 		sub := tensor.NewMatrix(n, subDim)
-		for i, g := range grads {
-			row := sub.Row(i)
-			for j, c := range coords {
-				row[j] = g[c]
+		// Sub-matrix rows gather independent coordinates per gradient.
+		parallel.For(workers, n, func(_, start, end int) {
+			for i := start; i < end; i++ {
+				row := sub.Row(i)
+				g := grads[i]
+				for j, c := range coords {
+					row[j] = g[c]
+				}
 			}
-		}
-		sub.CenterRows()
-		v := sub.TopSingularVector(50, 1e-9)
+		})
+		sub.CenterRowsWorkers(workers)
+		v := sub.TopSingularVectorWorkers(50, 1e-9, workers)
 		scores := make([]float64, n)
-		for i := 0; i < n; i++ {
-			p, err := tensor.Dot(sub.Row(i), v)
-			if err != nil {
-				return nil, err
+		// Each score is one sequential dot product of the gradient's own
+		// centered row with the singular direction.
+		parallel.For(workers, n, func(_, start, end int) {
+			for i := start; i < end; i++ {
+				p, err := tensor.Dot(sub.Row(i), v)
+				if err != nil { // unreachable: row and v share subDim
+					panic(err)
+				}
+				scores[i] = p * p
 			}
-			scores[i] = p * p
-		}
+		})
 		// Keep the n - remove lowest-scoring gradients this iteration.
 		order := argsort(scores)
 		keep := make(map[int]bool, n-remove)
@@ -114,7 +133,7 @@ func (a *DnC) Aggregate(grads [][]float64) (*Result, error) {
 	for i, idx := range selected {
 		chosen[i] = grads[idx]
 	}
-	g, err := tensor.Mean(chosen)
+	g, err := tensor.MeanWorkers(chosen, workers)
 	if err != nil {
 		return nil, err
 	}

@@ -3,6 +3,7 @@ package aggregate
 import (
 	"fmt"
 
+	"github.com/signguard/signguard/internal/parallel"
 	"github.com/signguard/signguard/internal/stats"
 	"github.com/signguard/signguard/internal/tensor"
 )
@@ -15,15 +16,22 @@ import (
 type TrimmedMean struct {
 	// K is the per-side trim count; the rule requires n > 2K.
 	K int
+	// Workers bounds the kernel parallelism (0 = automatic, 1 = sequential);
+	// the output is byte-identical for any value.
+	Workers int
 }
 
 var _ Rule = (*TrimmedMean)(nil)
+var _ WorkersSetter = (*TrimmedMean)(nil)
 
 // NewTrimmedMean returns a trimmed-mean rule trimming k from each side.
 func NewTrimmedMean(k int) *TrimmedMean { return &TrimmedMean{K: k} }
 
 // Name implements Rule.
 func (*TrimmedMean) Name() string { return "TrMean" }
+
+// SetWorkers implements WorkersSetter.
+func (t *TrimmedMean) SetWorkers(n int) { t.Workers = n }
 
 // Aggregate implements Rule.
 func (t *TrimmedMean) Aggregate(grads [][]float64) (*Result, error) {
@@ -33,7 +41,7 @@ func (t *TrimmedMean) Aggregate(grads [][]float64) (*Result, error) {
 	if t.K < 0 || len(grads) <= 2*t.K {
 		return nil, fmt.Errorf("aggregate: TrMean needs n > 2K (n=%d, K=%d)", len(grads), t.K)
 	}
-	g, err := stats.CoordinateTrimmedMean(grads, t.K)
+	g, err := stats.CoordinateTrimmedMeanWorkers(grads, t.K, parallel.Resolve(t.Workers))
 	if err != nil {
 		return nil, err
 	}
@@ -41,9 +49,14 @@ func (t *TrimmedMean) Aggregate(grads [][]float64) (*Result, error) {
 }
 
 // Median is the coordinate-wise median rule of Yin et al.
-type Median struct{}
+type Median struct {
+	// Workers bounds the kernel parallelism (0 = automatic, 1 = sequential);
+	// the output is byte-identical for any value.
+	Workers int
+}
 
 var _ Rule = (*Median)(nil)
+var _ WorkersSetter = (*Median)(nil)
 
 // NewMedian returns the coordinate-wise median rule.
 func NewMedian() *Median { return &Median{} }
@@ -51,12 +64,15 @@ func NewMedian() *Median { return &Median{} }
 // Name implements Rule.
 func (*Median) Name() string { return "Median" }
 
+// SetWorkers implements WorkersSetter.
+func (m *Median) SetWorkers(n int) { m.Workers = n }
+
 // Aggregate implements Rule.
-func (*Median) Aggregate(grads [][]float64) (*Result, error) {
+func (m *Median) Aggregate(grads [][]float64) (*Result, error) {
 	if _, err := validate(grads); err != nil {
 		return nil, err
 	}
-	g, err := stats.CoordinateMedian(grads)
+	g, err := stats.CoordinateMedianWorkers(grads, parallel.Resolve(m.Workers))
 	if err != nil {
 		return nil, err
 	}
@@ -70,15 +86,22 @@ type GeoMed struct {
 	MaxIter int
 	// Tol is the movement threshold for convergence (default 1e-8).
 	Tol float64
+	// Workers bounds the kernel parallelism (0 = automatic, 1 = sequential);
+	// the output is byte-identical for any value.
+	Workers int
 }
 
 var _ Rule = (*GeoMed)(nil)
+var _ WorkersSetter = (*GeoMed)(nil)
 
 // NewGeoMed returns a geometric-median rule with default settings.
 func NewGeoMed() *GeoMed { return &GeoMed{MaxIter: 100, Tol: 1e-8} }
 
 // Name implements Rule.
 func (*GeoMed) Name() string { return "GeoMed" }
+
+// SetWorkers implements WorkersSetter.
+func (g *GeoMed) SetWorkers(n int) { g.Workers = n }
 
 // Aggregate implements Rule.
 func (g *GeoMed) Aggregate(grads [][]float64) (*Result, error) {
@@ -93,28 +116,41 @@ func (g *GeoMed) Aggregate(grads [][]float64) (*Result, error) {
 	if tol <= 0 {
 		tol = 1e-8
 	}
+	workers := parallel.Resolve(g.Workers)
 	// Weiszfeld: start at the mean, iterate inverse-distance reweighting.
-	x, err := tensor.Mean(grads)
+	x, err := tensor.MeanWorkers(grads, workers)
 	if err != nil {
 		return nil, err
 	}
 	w := make([]float64, len(grads))
+	// Per-worker coincidence flags, OR-merged after each join: a boolean
+	// union is insensitive to chunk boundaries.
+	hit := make([]bool, workers)
 	for it := 0; it < maxIter; it++ {
-		var coincident bool
-		for i, gi := range grads {
-			dist, err := tensor.Distance(x, gi)
-			if err != nil {
-				return nil, err
-			}
-			if dist < 1e-12 {
-				// Current estimate coincides with a data point; Weiszfeld's
-				// weight is singular there. Nudge with a tiny epsilon.
-				dist = 1e-12
-				coincident = true
-			}
-			w[i] = 1 / dist
+		for i := range hit {
+			hit[i] = false
 		}
-		next, err := tensor.WeightedMean(grads, w)
+		parallel.For(workers, len(grads), func(wk, start, end int) {
+			for i := start; i < end; i++ {
+				dist, err := tensor.Distance(x, grads[i])
+				if err != nil { // unreachable: dims validated above
+					panic(err)
+				}
+				if dist < 1e-12 {
+					// Current estimate coincides with a data point;
+					// Weiszfeld's weight is singular there. Nudge with a
+					// tiny epsilon.
+					dist = 1e-12
+					hit[wk] = true
+				}
+				w[i] = 1 / dist
+			}
+		})
+		var coincident bool
+		for _, h := range hit {
+			coincident = coincident || h
+		}
+		next, err := tensor.WeightedMeanWorkers(grads, w, workers)
 		if err != nil {
 			return nil, err
 		}
@@ -135,9 +171,13 @@ func (g *GeoMed) Aggregate(grads [][]float64) (*Result, error) {
 type SignSGDMajority struct {
 	// Scale is the magnitude applied to the majority sign (default 1).
 	Scale float64
+	// Workers bounds the kernel parallelism (0 = automatic, 1 = sequential);
+	// the output is byte-identical for any value.
+	Workers int
 }
 
 var _ Rule = (*SignSGDMajority)(nil)
+var _ WorkersSetter = (*SignSGDMajority)(nil)
 
 // NewSignSGDMajority returns the sign majority-vote rule.
 func NewSignSGDMajority(scale float64) *SignSGDMajority {
@@ -150,6 +190,9 @@ func NewSignSGDMajority(scale float64) *SignSGDMajority {
 // Name implements Rule.
 func (*SignSGDMajority) Name() string { return "SignSGD" }
 
+// SetWorkers implements WorkersSetter.
+func (s *SignSGDMajority) SetWorkers(n int) { s.Workers = n }
+
 // Aggregate implements Rule.
 func (s *SignSGDMajority) Aggregate(grads [][]float64) (*Result, error) {
 	d, err := validate(grads)
@@ -157,23 +200,25 @@ func (s *SignSGDMajority) Aggregate(grads [][]float64) (*Result, error) {
 		return nil, err
 	}
 	out := make([]float64, d)
-	for j := 0; j < d; j++ {
-		var vote float64
-		for _, g := range grads {
+	parallel.For(parallel.Resolve(s.Workers), d, func(_, start, end int) {
+		for j := start; j < end; j++ {
+			var vote float64
+			for _, g := range grads {
+				switch {
+				case g[j] > 0:
+					vote++
+				case g[j] < 0:
+					vote--
+				}
+			}
 			switch {
-			case g[j] > 0:
-				vote++
-			case g[j] < 0:
-				vote--
+			case vote > 0:
+				out[j] = s.Scale
+			case vote < 0:
+				out[j] = -s.Scale
 			}
 		}
-		switch {
-		case vote > 0:
-			out[j] = s.Scale
-		case vote < 0:
-			out[j] = -s.Scale
-		}
-	}
+	})
 	return &Result{Gradient: out}, nil
 }
 
@@ -183,9 +228,14 @@ func (s *SignSGDMajority) Aggregate(grads [][]float64) (*Result, error) {
 type NormClip struct {
 	Inner Rule
 	Bound float64
+	// Workers bounds the clipping parallelism and is forwarded to the
+	// inner rule (0 = automatic, 1 = sequential); the output is
+	// byte-identical for any value.
+	Workers int
 }
 
 var _ Rule = (*NormClip)(nil)
+var _ WorkersSetter = (*NormClip)(nil)
 
 // NewNormClip wraps inner with norm clipping at bound (<= 0 for median).
 func NewNormClip(inner Rule, bound float64) *NormClip {
@@ -195,17 +245,26 @@ func NewNormClip(inner Rule, bound float64) *NormClip {
 // Name implements Rule.
 func (n *NormClip) Name() string { return "NormClip+" + n.Inner.Name() }
 
+// SetWorkers implements WorkersSetter, forwarding to the inner rule.
+func (n *NormClip) SetWorkers(w int) {
+	n.Workers = w
+	SetWorkers(n.Inner, w)
+}
+
 // Aggregate implements Rule.
 func (n *NormClip) Aggregate(grads [][]float64) (*Result, error) {
 	if _, err := validate(grads); err != nil {
 		return nil, err
 	}
+	workers := parallel.Resolve(n.Workers)
 	bound := n.Bound
 	if bound <= 0 {
 		norms := make([]float64, len(grads))
-		for i, g := range grads {
-			norms[i] = tensor.Norm(g)
-		}
+		parallel.For(workers, len(grads), func(_, start, end int) {
+			for i := start; i < end; i++ {
+				norms[i] = tensor.Norm(grads[i])
+			}
+		})
 		med, err := stats.Median(norms)
 		if err != nil {
 			return nil, err
@@ -213,10 +272,12 @@ func (n *NormClip) Aggregate(grads [][]float64) (*Result, error) {
 		bound = med
 	}
 	clipped := make([][]float64, len(grads))
-	for i, g := range grads {
-		c := tensor.Clone(g)
-		tensor.ClipNorm(c, bound)
-		clipped[i] = c
-	}
+	parallel.For(workers, len(grads), func(_, start, end int) {
+		for i := start; i < end; i++ {
+			c := tensor.Clone(grads[i])
+			tensor.ClipNorm(c, bound)
+			clipped[i] = c
+		}
+	})
 	return n.Inner.Aggregate(clipped)
 }

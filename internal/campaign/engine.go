@@ -3,12 +3,12 @@ package campaign
 import (
 	"context"
 	"fmt"
-	"runtime"
 	"sync"
 	"time"
 
 	"github.com/signguard/signguard/internal/data"
 	"github.com/signguard/signguard/internal/fl"
+	"github.com/signguard/signguard/internal/parallel"
 )
 
 // ProgressEvent describes one completed cell, for progress/ETA reporting.
@@ -51,8 +51,9 @@ type Engine struct {
 	Store *Store
 	// Workers bounds concurrent cell executions (0 = GOMAXPROCS).
 	Workers int
-	// SimWorkers bounds the per-client parallelism inside each cell's
-	// simulation. 0 picks automatically: cells left over after the
+	// SimWorkers bounds the in-simulation parallelism of each cell: the
+	// per-client gradient phase and the aggregation-rule kernels (via
+	// fl.Config.Workers). 0 picks automatically: cells left over after the
 	// cell-level pool has claimed the CPUs run single-threaded, and a
 	// single-worker engine hands all CPUs to the simulation instead.
 	SimWorkers int
@@ -63,17 +64,14 @@ type Engine struct {
 }
 
 func (e *Engine) workers() int {
-	if e.Workers > 0 {
-		return e.Workers
-	}
-	return runtime.GOMAXPROCS(0)
+	return parallel.Resolve(e.Workers)
 }
 
 func (e *Engine) simWorkers(cellWorkers int) int {
 	if e.SimWorkers > 0 {
 		return e.SimWorkers
 	}
-	per := runtime.GOMAXPROCS(0) / cellWorkers
+	per := parallel.Default() / cellWorkers
 	if per < 1 {
 		per = 1
 	}
@@ -164,8 +162,7 @@ func (e *Engine) Run(ctx context.Context, spec Spec) (*Report, error) {
 	var (
 		start    = time.Now()
 		datasets = &dsCache{m: map[dsKey]*dsEntry{}}
-		jobCh    = make(chan *job)
-		wg       sync.WaitGroup
+		jobCh    = make(chan *job, len(jobs))
 
 		mu        sync.Mutex
 		firstErr  error
@@ -210,45 +207,43 @@ func (e *Engine) Run(ctx context.Context, spec Spec) (*Report, error) {
 		mu.Unlock()
 	}
 
-	for w := 0; w < cellWorkers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range jobCh {
-				if ctx.Err() != nil {
-					continue // drain without working
-				}
-				if e.Store != nil {
-					if res, ok := e.Store.Get(j.key); ok {
-						j.res = res
-						complete(j, true, 0)
-						continue
-					}
-				}
-				t0 := time.Now()
-				res, err := e.executeCell(j.cell, j.key, datasets, simWorkers)
-				if err != nil {
-					fail(fmt.Errorf("campaign %s: cell %s: %w", spec.Name, j.cell.ID(), err))
-					continue
-				}
-				res.DurationMS = time.Since(t0).Milliseconds()
-				if e.Store != nil {
-					if err := e.Store.Put(res); err != nil {
-						fail(err)
-						continue
-					}
-				}
-				j.res = res
-				complete(j, false, time.Since(t0))
-			}
-		}()
-	}
-
+	// The buffered channel is pre-filled, so the shared parallel.Run pool
+	// replaces the hand-rolled WaitGroup workers: each worker drains jobs
+	// until the channel is empty (work-stealing order; the per-job results
+	// land in pre-assigned slots so completion order never matters).
 	for _, j := range jobs {
 		jobCh <- j
 	}
 	close(jobCh)
-	wg.Wait()
+	parallel.Run(cellWorkers, func(int) {
+		for j := range jobCh {
+			if ctx.Err() != nil {
+				continue // drain without working
+			}
+			if e.Store != nil {
+				if res, ok := e.Store.Get(j.key); ok {
+					j.res = res
+					complete(j, true, 0)
+					continue
+				}
+			}
+			t0 := time.Now()
+			res, err := e.executeCell(j.cell, j.key, datasets, simWorkers)
+			if err != nil {
+				fail(fmt.Errorf("campaign %s: cell %s: %w", spec.Name, j.cell.ID(), err))
+				continue
+			}
+			res.DurationMS = time.Since(t0).Milliseconds()
+			if e.Store != nil {
+				if err := e.Store.Put(res); err != nil {
+					fail(err)
+					continue
+				}
+			}
+			j.res = res
+			complete(j, false, time.Since(t0))
+		}
+	})
 
 	if firstErr != nil {
 		return nil, firstErr

@@ -25,9 +25,10 @@ type CellExec struct {
 	NonIID   *fl.NonIID
 	Hook     func(*fl.RoundState)
 	Params   Params
-	// SimWorkers bounds the per-client gradient parallelism inside the
-	// simulation (0 = automatic, 1 = sequential). Results are identical
-	// for any value.
+	// SimWorkers bounds the in-simulation parallelism (0 = automatic,
+	// 1 = sequential): the per-client gradient phase and the aggregation
+	// rule's kernels (threaded through fl.Config.Workers into
+	// aggregate.SetWorkers). Results are byte-identical for any value.
 	SimWorkers int
 }
 

@@ -14,13 +14,12 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"runtime"
-	"sync"
 
 	"github.com/signguard/signguard/internal/aggregate"
 	"github.com/signguard/signguard/internal/attack"
 	"github.com/signguard/signguard/internal/data"
 	"github.com/signguard/signguard/internal/nn"
+	"github.com/signguard/signguard/internal/parallel"
 	"github.com/signguard/signguard/internal/tensor"
 )
 
@@ -87,10 +86,14 @@ type Config struct {
 	// batching, attack randomness).
 	Seed int64
 
-	// Workers bounds the number of concurrent per-client gradient
-	// computations per round (0 = GOMAXPROCS, 1 = sequential). Each worker
-	// owns a model replica; every client keeps its own RNG stream, so the
-	// results are byte-identical for any worker count.
+	// Workers bounds the in-round parallelism (0 = GOMAXPROCS,
+	// 1 = sequential): the concurrent per-client gradient computations —
+	// each worker owns a model replica and every client keeps its own RNG
+	// stream — and, through aggregate.SetWorkers, the parallel kernels of
+	// the aggregation rule (Krum/Bulyan pairwise distances, DnC power
+	// iteration, GeoMed/trimmed-mean reductions). Both phases follow the
+	// internal/parallel reduction discipline, so the results are
+	// byte-identical for any worker count.
 	Workers int
 
 	// RoundHook, when non-nil, observes every round (used by the Fig. 2
@@ -203,10 +206,12 @@ func New(cfg Config) (*Simulation, error) {
 		clients[i] = &client{id: i, byzantine: byz, sampler: sampler}
 	}
 
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
+	// The aggregation kernels parallelize over gradient coordinates as well
+	// as clients, so they get the unclamped worker count; the gradient
+	// phase is bounded by one replica per client.
+	resolved := parallel.Resolve(cfg.Workers)
+	aggregate.SetWorkers(cfg.Rule, resolved)
+	workers := resolved
 	if workers > cfg.Clients {
 		workers = cfg.Clients
 	}
@@ -276,24 +281,18 @@ func (s *Simulation) computeGradients() []gradOut {
 		}
 		return outs
 	}
-	var wg sync.WaitGroup
-	for w := 0; w < s.workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			m := s.replicas[w]
-			if err := m.SetParamVector(s.global); err != nil {
-				for i := w; i < len(s.clients); i += s.workers {
-					outs[i].err = err
-				}
-				return
+	parallel.For(s.workers, len(s.clients), func(w, start, end int) {
+		m := s.replicas[w]
+		if err := m.SetParamVector(s.global); err != nil {
+			for i := start; i < end; i++ {
+				outs[i].err = err
 			}
-			for i := w; i < len(s.clients); i += s.workers {
-				outs[i].g, outs[i].loss, outs[i].err = s.localGradient(m, s.clients[i])
-			}
-		}(w)
-	}
-	wg.Wait()
+			return
+		}
+		for i := start; i < end; i++ {
+			outs[i].g, outs[i].loss, outs[i].err = s.localGradient(m, s.clients[i])
+		}
+	})
 	return outs
 }
 

@@ -1,0 +1,161 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestResolve(t *testing.T) {
+	if got := Resolve(3); got != 3 {
+		t.Errorf("Resolve(3) = %d", got)
+	}
+	if got := Resolve(0); got < 1 {
+		t.Errorf("Resolve(0) = %d, want >= 1", got)
+	}
+	if got := Resolve(-2); got < 1 {
+		t.Errorf("Resolve(-2) = %d, want >= 1", got)
+	}
+	if Resolve(0) != Default() {
+		t.Error("Resolve(0) disagrees with Default()")
+	}
+}
+
+func TestValidateWorkers(t *testing.T) {
+	if err := ValidateWorkers(1); err != nil {
+		t.Errorf("ValidateWorkers(1) = %v", err)
+	}
+	if err := ValidateWorkers(64); err != nil {
+		t.Errorf("ValidateWorkers(64) = %v", err)
+	}
+	for _, n := range []int{0, -1, -100} {
+		if err := ValidateWorkers(n); err == nil {
+			t.Errorf("ValidateWorkers(%d) accepted", n)
+		}
+	}
+}
+
+func TestChunkPartitionsExactly(t *testing.T) {
+	for _, n := range []int{1, 2, 7, 16, 100, 101} {
+		for workers := 1; workers <= n; workers++ {
+			prevEnd := 0
+			for w := 0; w < workers; w++ {
+				start, end := Chunk(n, workers, w)
+				if start != prevEnd {
+					t.Fatalf("n=%d workers=%d: chunk %d starts at %d, want %d", n, workers, w, start, prevEnd)
+				}
+				if end-start < n/workers || end-start > n/workers+1 {
+					t.Fatalf("n=%d workers=%d: chunk %d has %d items", n, workers, w, end-start)
+				}
+				prevEnd = end
+			}
+			if prevEnd != n {
+				t.Fatalf("n=%d workers=%d: chunks cover %d items", n, workers, prevEnd)
+			}
+		}
+	}
+}
+
+func TestForVisitsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 7, 100} {
+		const n = 57
+		var visits [n]int32
+		For(workers, n, func(_, start, end int) {
+			for i := start; i < end; i++ {
+				atomic.AddInt32(&visits[i], 1)
+			}
+		})
+		for i, v := range visits {
+			if v != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, v)
+			}
+		}
+	}
+	For(4, 0, func(_, _, _ int) { t.Error("For ran a chunk on n=0") })
+}
+
+func TestForStridedVisitsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 7, 100} {
+		const n = 41
+		var visits [n]int32
+		ForStrided(workers, n, func(_, i int) {
+			atomic.AddInt32(&visits[i], 1)
+		})
+		for i, v := range visits {
+			if v != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestRunInlineForSingleWorker(t *testing.T) {
+	calls := 0
+	Run(1, func(w int) {
+		if w != 0 {
+			t.Errorf("worker id %d", w)
+		}
+		calls++
+	})
+	if calls != 1 {
+		t.Errorf("fn called %d times", calls)
+	}
+}
+
+// Reduce with an argmin-style first-wins merge must pick the same winner
+// for every worker count, including on ties.
+func TestReduceArgminFirstWins(t *testing.T) {
+	xs := []float64{5, 3, 9, 3, 8, 3, 7}
+	type cand struct {
+		idx int
+		val float64
+	}
+	for _, workers := range []int{1, 2, 3, 7, 20} {
+		got := Reduce(workers, len(xs),
+			func(_, start, end int) cand {
+				best := cand{idx: start, val: xs[start]}
+				for i := start + 1; i < end; i++ {
+					if xs[i] < best.val {
+						best = cand{idx: i, val: xs[i]}
+					}
+				}
+				return best
+			},
+			func(a, b cand) cand {
+				if b.val < a.val {
+					return b
+				}
+				return a
+			},
+		)
+		if got.idx != 1 {
+			t.Errorf("workers=%d: argmin = %d, want 1 (first of the tied minima)", workers, got.idx)
+		}
+	}
+}
+
+func TestReduceConcatInChunkOrder(t *testing.T) {
+	const n = 23
+	for _, workers := range []int{1, 2, 5, 23} {
+		got := Reduce(workers, n,
+			func(_, start, end int) []int {
+				out := make([]int, 0, end-start)
+				for i := start; i < end; i++ {
+					out = append(out, i)
+				}
+				return out
+			},
+			func(a, b []int) []int { return append(a, b...) },
+		)
+		if len(got) != n {
+			t.Fatalf("workers=%d: %d items", workers, len(got))
+		}
+		for i, v := range got {
+			if v != i {
+				t.Fatalf("workers=%d: position %d holds %d — merge not in chunk order", workers, i, v)
+			}
+		}
+	}
+	if got := Reduce(3, 0, func(_, _, _ int) int { return 1 }, func(a, b int) int { return a + b }); got != 0 {
+		t.Errorf("Reduce over empty range = %d, want zero value", got)
+	}
+}

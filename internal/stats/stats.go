@@ -12,6 +12,7 @@ import (
 	"math"
 	"sort"
 
+	"github.com/signguard/signguard/internal/parallel"
 	"github.com/signguard/signguard/internal/tensor"
 )
 
@@ -129,54 +130,80 @@ func CosineSimilarity(a, b []float64) (float64, error) {
 
 // CoordinateMedian returns the coordinate-wise median of the given vectors.
 func CoordinateMedian(vs [][]float64) ([]float64, error) {
-	if len(vs) == 0 {
-		return nil, ErrEmptyInput
+	return CoordinateMedianWorkers(vs, 1)
+}
+
+// CoordinateMedianWorkers is CoordinateMedian with the coordinates split
+// across workers. Every coordinate is processed identically to the
+// sequential path, so the result is byte-identical for any worker count.
+func CoordinateMedianWorkers(vs [][]float64, workers int) ([]float64, error) {
+	if err := validateRows(vs, "CoordinateMedian"); err != nil {
+		return nil, err
 	}
 	d := len(vs[0])
 	out := make([]float64, d)
-	col := make([]float64, len(vs))
-	for j := 0; j < d; j++ {
-		for i, v := range vs {
-			if len(v) != d {
-				return nil, fmt.Errorf("stats: CoordinateMedian row %d has %d dims, want %d", i, len(v), d)
+	parallel.For(workers, d, func(_, start, end int) {
+		col := make([]float64, len(vs))
+		for j := start; j < end; j++ {
+			for i, v := range vs {
+				col[i] = v[j]
 			}
-			col[i] = v[j]
+			m, err := Median(col)
+			if err != nil { // unreachable: len(col) == len(vs) > 0
+				panic(err)
+			}
+			out[j] = m
 		}
-		m, err := Median(col)
-		if err != nil {
-			return nil, err
-		}
-		out[j] = m
-	}
+	})
 	return out, nil
 }
 
 // CoordinateTrimmedMean returns the coordinate-wise k-trimmed mean of the
 // given vectors (Yin et al., ICML 2018).
 func CoordinateTrimmedMean(vs [][]float64, k int) ([]float64, error) {
-	if len(vs) == 0 {
-		return nil, ErrEmptyInput
+	return CoordinateTrimmedMeanWorkers(vs, k, 1)
+}
+
+// CoordinateTrimmedMeanWorkers is CoordinateTrimmedMean with the
+// coordinates split across workers (see CoordinateMedianWorkers).
+func CoordinateTrimmedMeanWorkers(vs [][]float64, k int, workers int) ([]float64, error) {
+	if err := validateRows(vs, "CoordinateTrimmedMean"); err != nil {
+		return nil, err
 	}
-	if len(vs) <= 2*k {
+	if k < 0 || len(vs) <= 2*k {
 		return nil, fmt.Errorf("stats: cannot trim %d from each side of %d vectors", k, len(vs))
 	}
 	d := len(vs[0])
 	out := make([]float64, d)
-	col := make([]float64, len(vs))
-	for j := 0; j < d; j++ {
-		for i, v := range vs {
-			if len(v) != d {
-				return nil, fmt.Errorf("stats: CoordinateTrimmedMean row %d has %d dims, want %d", i, len(v), d)
+	parallel.For(workers, d, func(_, start, end int) {
+		col := make([]float64, len(vs))
+		for j := start; j < end; j++ {
+			for i, v := range vs {
+				col[i] = v[j]
 			}
-			col[i] = v[j]
+			m, err := TrimmedMean(col, k)
+			if err != nil { // unreachable: trim bound checked above
+				panic(err)
+			}
+			out[j] = m
 		}
-		m, err := TrimmedMean(col, k)
-		if err != nil {
-			return nil, err
-		}
-		out[j] = m
-	}
+	})
 	return out, nil
+}
+
+// validateRows checks that vs is a non-empty set of equal-length vectors,
+// so the per-coordinate kernels cannot fail mid-parallel-loop.
+func validateRows(vs [][]float64, op string) error {
+	if len(vs) == 0 {
+		return ErrEmptyInput
+	}
+	d := len(vs[0])
+	for i, v := range vs {
+		if len(v) != d {
+			return fmt.Errorf("stats: %s row %d has %d dims, want %d", op, i, len(v), d)
+		}
+	}
+	return nil
 }
 
 // CoordinateMeanStd returns the coordinate-wise mean and population standard
@@ -215,20 +242,38 @@ func CoordinateMeanStd(vs [][]float64) (mean, std []float64, err error) {
 
 // PairwiseDistances returns the symmetric matrix D where D[i][j] = ||v_i - v_j||.
 func PairwiseDistances(vs [][]float64) ([][]float64, error) {
+	return PairwiseDistancesWorkers(vs, 1)
+}
+
+// PairwiseDistancesWorkers is PairwiseDistances with the rows of the
+// triangular (j > i) loop strided across workers — row i costs n-i-1
+// distance computations, so striding balances the load where contiguous
+// chunks would not. Every matrix entry is written by exactly one worker
+// and each distance is one sequential pass, so the result is
+// byte-identical for any worker count.
+func PairwiseDistancesWorkers(vs [][]float64, workers int) ([][]float64, error) {
 	n := len(vs)
+	if n > 0 {
+		d := len(vs[0])
+		for i, v := range vs {
+			if len(v) != d {
+				return nil, fmt.Errorf("stats: PairwiseDistances row %d has %d dims, want %d", i, len(v), d)
+			}
+		}
+	}
 	out := make([][]float64, n)
 	for i := range out {
 		out[i] = make([]float64, n)
 	}
-	for i := 0; i < n; i++ {
+	parallel.ForStrided(workers, n, func(_, i int) {
 		for j := i + 1; j < n; j++ {
 			d, err := tensor.Distance(vs[i], vs[j])
-			if err != nil {
-				return nil, err
+			if err != nil { // unreachable: dims validated above
+				panic(err)
 			}
 			out[i][j] = d
 			out[j][i] = d
 		}
-	}
+	})
 	return out, nil
 }

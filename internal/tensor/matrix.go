@@ -3,6 +3,8 @@ package tensor
 import (
 	"fmt"
 	"math"
+
+	"github.com/signguard/signguard/internal/parallel"
 )
 
 // Matrix is a dense row-major matrix of float64. The zero value is an empty
@@ -57,38 +59,57 @@ func (m *Matrix) Clone() *Matrix {
 // MulVec computes y = M x for a length-Cols vector x, returning a new
 // length-Rows vector.
 func (m *Matrix) MulVec(x []float64) ([]float64, error) {
+	return m.MulVecWorkers(x, 1)
+}
+
+// MulVecWorkers is MulVec with the output rows split across workers. Every
+// y[i] is one sequential dot product, so the result is byte-identical for
+// any worker count.
+func (m *Matrix) MulVecWorkers(x []float64, workers int) ([]float64, error) {
 	if len(x) != m.Cols {
 		return nil, fmt.Errorf("%w: MulVec(%dx%d, %d)", ErrDimensionMismatch, m.Rows, m.Cols, len(x))
 	}
 	y := make([]float64, m.Rows)
-	for i := 0; i < m.Rows; i++ {
-		row := m.Row(i)
-		var s float64
-		for j, xv := range x {
-			s += row[j] * xv
+	parallel.For(workers, m.Rows, func(_, start, end int) {
+		for i := start; i < end; i++ {
+			row := m.Row(i)
+			var s float64
+			for j, xv := range x {
+				s += row[j] * xv
+			}
+			y[i] = s
 		}
-		y[i] = s
-	}
+	})
 	return y, nil
 }
 
 // MulVecT computes y = Mᵀ x for a length-Rows vector x, returning a new
 // length-Cols vector.
 func (m *Matrix) MulVecT(x []float64) ([]float64, error) {
+	return m.MulVecTWorkers(x, 1)
+}
+
+// MulVecTWorkers is MulVecT with the output columns split across workers.
+// Every y[j] accumulates over the rows in ascending order — the same
+// association as the sequential row-major pass — so the result is
+// byte-identical for any worker count.
+func (m *Matrix) MulVecTWorkers(x []float64, workers int) ([]float64, error) {
 	if len(x) != m.Rows {
 		return nil, fmt.Errorf("%w: MulVecT(%dx%d, %d)", ErrDimensionMismatch, m.Rows, m.Cols, len(x))
 	}
 	y := make([]float64, m.Cols)
-	for i := 0; i < m.Rows; i++ {
-		row := m.Row(i)
-		xv := x[i]
-		if xv == 0 {
-			continue
+	parallel.For(workers, m.Cols, func(_, start, end int) {
+		for i := 0; i < m.Rows; i++ {
+			xv := x[i]
+			if xv == 0 {
+				continue
+			}
+			row := m.Row(i)
+			for j := start; j < end; j++ {
+				y[j] += row[j] * xv
+			}
 		}
-		for j, rv := range row {
-			y[j] += rv * xv
-		}
-	}
+	})
 	return y, nil
 }
 
@@ -119,26 +140,36 @@ func MatMul(a, b *Matrix) (*Matrix, error) {
 // CenterRows subtracts the column means from each row in place and returns
 // the mean row that was removed.
 func (m *Matrix) CenterRows() []float64 {
+	return m.CenterRowsWorkers(1)
+}
+
+// CenterRowsWorkers is CenterRows with the columns split across workers.
+// Each column's mean accumulates over the rows in ascending order, matching
+// the sequential association, so the result is byte-identical for any
+// worker count.
+func (m *Matrix) CenterRowsWorkers(workers int) []float64 {
 	mean := make([]float64, m.Cols)
 	if m.Rows == 0 {
 		return mean
 	}
-	for i := 0; i < m.Rows; i++ {
-		row := m.Row(i)
-		for j, v := range row {
-			mean[j] += v
-		}
-	}
 	inv := 1.0 / float64(m.Rows)
-	for j := range mean {
-		mean[j] *= inv
-	}
-	for i := 0; i < m.Rows; i++ {
-		row := m.Row(i)
-		for j := range row {
-			row[j] -= mean[j]
+	parallel.For(workers, m.Cols, func(_, start, end int) {
+		for i := 0; i < m.Rows; i++ {
+			row := m.Row(i)
+			for j := start; j < end; j++ {
+				mean[j] += row[j]
+			}
 		}
-	}
+		for j := start; j < end; j++ {
+			mean[j] *= inv
+		}
+		for i := 0; i < m.Rows; i++ {
+			row := m.Row(i)
+			for j := start; j < end; j++ {
+				row[j] -= mean[j]
+			}
+		}
+	})
 	return mean
 }
 
@@ -149,6 +180,14 @@ func (m *Matrix) CenterRows() []float64 {
 // unit norm. The rng-free deterministic start vector makes results
 // reproducible.
 func (m *Matrix) TopSingularVector(iters int, tol float64) []float64 {
+	return m.TopSingularVectorWorkers(iters, tol, 1)
+}
+
+// TopSingularVectorWorkers is TopSingularVector with the matrix-vector
+// products of each power-iteration step parallelized across workers (see
+// MulVecWorkers / MulVecTWorkers); the result is byte-identical for any
+// worker count.
+func (m *Matrix) TopSingularVectorWorkers(iters int, tol float64, workers int) []float64 {
 	v := make([]float64, m.Cols)
 	if m.Cols == 0 {
 		return v
@@ -166,11 +205,11 @@ func (m *Matrix) TopSingularVector(iters int, tol float64) []float64 {
 	for it := 0; it < iters; it++ {
 		copy(prev, v)
 		// v <- normalize(Mᵀ (M v))
-		mv, err := m.MulVec(v)
+		mv, err := m.MulVecWorkers(v, workers)
 		if err != nil { // cannot happen: shapes are internally consistent
 			panic(err)
 		}
-		mtv, err := m.MulVecT(mv)
+		mtv, err := m.MulVecTWorkers(mv, workers)
 		if err != nil {
 			panic(err)
 		}

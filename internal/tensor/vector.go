@@ -13,6 +13,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"github.com/signguard/signguard/internal/parallel"
 )
 
 // ErrDimensionMismatch is returned when two vectors or matrices that must
@@ -176,28 +178,47 @@ func a2b2(a, b []float64) (float64, error) {
 // Mean computes the element-wise mean of the given vectors. All vectors must
 // share a length and at least one vector must be supplied.
 func Mean(vs [][]float64) ([]float64, error) {
+	return MeanWorkers(vs, 1)
+}
+
+// MeanWorkers is Mean with its coordinate loop split across workers.
+// Each coordinate is owned by exactly one worker and accumulates over the
+// vectors in input order — the same association as the sequential path —
+// so the result is byte-identical for any worker count.
+func MeanWorkers(vs [][]float64, workers int) ([]float64, error) {
 	if len(vs) == 0 {
 		return nil, errors.New("tensor: Mean of empty set")
 	}
 	d := len(vs[0])
-	out := make([]float64, d)
 	for _, v := range vs {
 		if len(v) != d {
 			return nil, fmt.Errorf("%w: Mean row has length %d, want %d", ErrDimensionMismatch, len(v), d)
 		}
-		for i, x := range v {
-			out[i] += x
-		}
 	}
+	out := make([]float64, d)
 	inv := 1.0 / float64(len(vs))
-	for i := range out {
-		out[i] *= inv
-	}
+	parallel.For(workers, d, func(_, start, end int) {
+		for _, v := range vs {
+			for j := start; j < end; j++ {
+				out[j] += v[j]
+			}
+		}
+		for j := start; j < end; j++ {
+			out[j] *= inv
+		}
+	})
 	return out, nil
 }
 
 // WeightedMean computes sum_i w[i]*vs[i] / sum_i w[i].
 func WeightedMean(vs [][]float64, w []float64) ([]float64, error) {
+	return WeightedMeanWorkers(vs, w, 1)
+}
+
+// WeightedMeanWorkers is WeightedMean with its coordinate loop split
+// across workers, preserving the sequential per-coordinate accumulation
+// order (see MeanWorkers).
+func WeightedMeanWorkers(vs [][]float64, w []float64, workers int) ([]float64, error) {
 	if len(vs) == 0 {
 		return nil, errors.New("tensor: WeightedMean of empty set")
 	}
@@ -205,24 +226,29 @@ func WeightedMean(vs [][]float64, w []float64) ([]float64, error) {
 		return nil, fmt.Errorf("%w: WeightedMean %d vectors, %d weights", ErrDimensionMismatch, len(vs), len(w))
 	}
 	d := len(vs[0])
-	out := make([]float64, d)
 	var total float64
-	for j, v := range vs {
+	for i, v := range vs {
 		if len(v) != d {
 			return nil, fmt.Errorf("%w: WeightedMean row has length %d, want %d", ErrDimensionMismatch, len(v), d)
 		}
-		total += w[j]
-		for i, x := range v {
-			out[i] += w[j] * x
-		}
+		total += w[i]
 	}
 	if total == 0 {
 		return nil, errors.New("tensor: WeightedMean with zero total weight")
 	}
+	out := make([]float64, d)
 	inv := 1.0 / total
-	for i := range out {
-		out[i] *= inv
-	}
+	parallel.For(workers, d, func(_, start, end int) {
+		for i, v := range vs {
+			wi := w[i]
+			for j := start; j < end; j++ {
+				out[j] += wi * v[j]
+			}
+		}
+		for j := start; j < end; j++ {
+			out[j] *= inv
+		}
+	})
 	return out, nil
 }
 
