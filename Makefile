@@ -6,7 +6,7 @@ GO ?= go
 # the BENCH_PR.json artifact).
 BENCHFLAGS ?=
 
-.PHONY: all build test race bench fmt-check vet
+.PHONY: all build test race bench cover fmt-check vet
 
 all: fmt-check vet build test
 
@@ -25,6 +25,13 @@ race:
 # corrupt the `go test -json` stream.
 bench:
 	@$(GO) test $(BENCHFLAGS) -run '^$$' -bench . -benchtime 1x -timeout 15m ./...
+
+# Coverage profile + per-package summary. The per-package lines come from
+# `go test -cover` itself; the closing line is the aggregate across every
+# package. CI uploads coverage.out as an artifact.
+cover:
+	$(GO) test -short -timeout 10m -covermode=atomic -coverprofile=coverage.out ./...
+	@$(GO) tool cover -func=coverage.out | tail -n 1
 
 fmt-check:
 	@out=$$(gofmt -l .); \

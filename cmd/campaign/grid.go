@@ -1,0 +1,104 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/signguard/signguard/internal/campaign"
+	"github.com/signguard/signguard/internal/experiments"
+)
+
+// gridFlags are the flags shared by run/status/export: they select,
+// replicate and filter a campaign's cell grid.
+type gridFlags struct {
+	name     string
+	scale    string
+	seed     int64
+	seeds    string
+	filter   string
+	cacheDir string
+}
+
+func (g *gridFlags) register(fs *flag.FlagSet) {
+	fs.StringVar(&g.name, "name", "all", "campaign name (see 'campaign list')")
+	fs.StringVar(&g.scale, "scale", "bench", "scale preset: bench|standard|full")
+	fs.Int64Var(&g.seed, "seed", 1, "experiment seed")
+	fs.StringVar(&g.seeds, "seeds", "", "comma-separated seed list; replicates every cell per seed (overrides -seed)")
+	fs.StringVar(&g.filter, "filter", "", "keep only cells whose ID contains this substring (applied after -seeds replication)")
+	fs.StringVar(&g.cacheDir, "cache-dir", ".campaign-cache", "cell result cache directory")
+}
+
+// parseSeeds parses the -seeds list ("1,2,3").
+func parseSeeds(s string) ([]int64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]int64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseInt(strings.TrimSpace(p), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("-seeds: bad seed %q", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// resolveSpec expands a named campaign at the given scale and seed,
+// replicates it across the optional seed list, and applies the ID filter.
+// It is the single definition of "which cells do these flags select",
+// shared by run/status/export and unit-testable without any flag parsing.
+func resolveSpec(name, scaleName string, seed int64, seedList, filter string) (campaign.Spec, error) {
+	scale, err := experiments.ParseScale(scaleName)
+	if err != nil {
+		return campaign.Spec{}, err
+	}
+	seeds, err := parseSeeds(seedList)
+	if err != nil {
+		return campaign.Spec{}, err
+	}
+	p := experiments.DefaultParams(scale)
+	p.Seed = seed
+	spec, err := experiments.CampaignByName(name, p)
+	if err != nil {
+		return campaign.Spec{}, err
+	}
+	spec = campaign.ReplicateSeeds(spec, seeds)
+	spec = spec.Filter(filter)
+	if len(spec.Cells) == 0 {
+		return campaign.Spec{}, fmt.Errorf("campaign %s: no cells match filter %q", name, filter)
+	}
+	return spec, nil
+}
+
+func (g *gridFlags) spec() (campaign.Spec, error) {
+	return resolveSpec(g.name, g.scale, g.seed, g.seeds, g.filter)
+}
+
+func (g *gridFlags) store() (*campaign.Store, error) {
+	return campaign.OpenStore(g.cacheDir)
+}
+
+// forEachUniqueCell visits the spec's cells deduplicated by content hash,
+// in spec order — the one definition of "which cells a campaign has" that
+// status and export share.
+func forEachUniqueCell(spec campaign.Spec, visit func(c campaign.Cell, key string) error) error {
+	seen := map[string]bool{}
+	for _, c := range spec.Cells {
+		key, err := c.Key()
+		if err != nil {
+			return err
+		}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		if err := visit(c, key); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -63,53 +63,17 @@ func usage() {
 	fmt.Fprintf(os.Stderr, `usage: campaign <run|status|export|list> [flags]
 
   run     execute a campaign's cells (concurrent, cached, resumable)
-  status  report cached vs pending cells for a campaign
-  export  emit cached results as CSV or JSON
+  status  report cached vs pending cells for a campaign (index-backed, O(1) per cell)
+  export  emit cached results as CSV/JSON, per cell or aggregated by seed group
   list    list the named campaigns and their cell counts
 
-Common flags: -name, -scale, -seed, -cache-dir, -filter.
+Campaigns cover the paper's tables and figures plus the scenario axes
+(client subsampling, defense hyperparameter sweeps, adaptive attacks);
+'campaign list' prints them all.
+
+Common flags: -name, -scale, -seed, -seeds, -cache-dir, -filter.
 Run 'campaign <subcommand> -h' for the full flag list.
 `)
-}
-
-// gridFlags are the flags shared by run/status/export: they select and
-// filter a campaign's cell grid.
-type gridFlags struct {
-	name     string
-	scale    string
-	seed     int64
-	filter   string
-	cacheDir string
-}
-
-func (g *gridFlags) register(fs *flag.FlagSet) {
-	fs.StringVar(&g.name, "name", "all", "campaign name: table1|table2|table3|fig2|fig4|fig5|fig6|all")
-	fs.StringVar(&g.scale, "scale", "bench", "scale preset: bench|standard|full")
-	fs.Int64Var(&g.seed, "seed", 1, "experiment seed")
-	fs.StringVar(&g.filter, "filter", "", "keep only cells whose ID contains this substring")
-	fs.StringVar(&g.cacheDir, "cache-dir", ".campaign-cache", "cell result cache directory")
-}
-
-func (g *gridFlags) spec() (campaign.Spec, error) {
-	scale, err := experiments.ParseScale(g.scale)
-	if err != nil {
-		return campaign.Spec{}, err
-	}
-	p := experiments.DefaultParams(scale)
-	p.Seed = g.seed
-	spec, err := experiments.CampaignByName(g.name, p)
-	if err != nil {
-		return campaign.Spec{}, err
-	}
-	spec = spec.Filter(g.filter)
-	if len(spec.Cells) == 0 {
-		return campaign.Spec{}, fmt.Errorf("campaign %s: no cells match filter %q", g.name, g.filter)
-	}
-	return spec, nil
-}
-
-func (g *gridFlags) store() (*campaign.Store, error) {
-	return campaign.OpenStore(g.cacheDir)
 }
 
 func cmdRun(args []string) error {
@@ -178,27 +142,6 @@ func progressPrinter(verbose bool) func(campaign.ProgressEvent) {
 	}
 }
 
-// forEachUniqueCell visits the spec's cells deduplicated by content hash,
-// in spec order — the one definition of "which cells a campaign has" that
-// status and export share.
-func forEachUniqueCell(spec campaign.Spec, visit func(c campaign.Cell, key string) error) error {
-	seen := map[string]bool{}
-	for _, c := range spec.Cells {
-		key, err := c.Key()
-		if err != nil {
-			return err
-		}
-		if seen[key] {
-			continue
-		}
-		seen[key] = true
-		if err := visit(c, key); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
 func cmdStatus(args []string) error {
 	fs := flag.NewFlagSet("status", flag.ExitOnError)
 	var g gridFlags
@@ -215,9 +158,11 @@ func cmdStatus(args []string) error {
 		return err
 	}
 
+	// Contains answers from the store's index: one index read for the
+	// whole grid instead of one file probe per cell.
 	var cached, pending int
 	err = forEachUniqueCell(spec, func(c campaign.Cell, key string) error {
-		if store.Has(key) {
+		if store.Contains(key) {
 			cached++
 		} else {
 			pending++
@@ -240,7 +185,7 @@ func cmdExport(args []string) error {
 	fs := flag.NewFlagSet("export", flag.ExitOnError)
 	var g gridFlags
 	g.register(fs)
-	format := fs.String("format", "csv", "output format: csv|json")
+	format := fs.String("format", "csv", "output format: csv|json (per cell) or group-csv|group-json (seed-group mean/std/95% CI)")
 	outPath := fs.String("out", "", "output file (default stdout)")
 	fs.Parse(args)
 

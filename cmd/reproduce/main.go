@@ -9,7 +9,8 @@
 //	reproduce -exp table1 [-dataset mnist] [-scale bench|standard|full] [-format md|tsv] [-v]
 //	reproduce -exp all -scale standard -workers 8 -cache-dir .campaign-cache -out results.md
 //
-// Experiments: table1, table2, table3, fig2, fig4, fig5, fig6, all.
+// Experiments: table1, table2, table3, fig2, fig4, fig5, fig6, the
+// post-paper scenario axes (subsample, coordfrac, adaptive), and all.
 package main
 
 import (
@@ -27,7 +28,7 @@ import (
 
 func main() {
 	var (
-		expFlag     = flag.String("exp", "table1", "experiment id: table1|table2|table3|fig2|fig4|fig5|fig6|all")
+		expFlag     = flag.String("exp", "table1", "experiment id: table1|table2|table3|fig2|fig4|fig5|fig6|subsample|coordfrac|adaptive|all")
 		datasetFlag = flag.String("dataset", "", "table1 only: restrict to one dataset (mnist|fashion|cifar|agnews)")
 		scaleFlag   = flag.String("scale", "bench", "scale preset: bench|standard|full")
 		formatFlag  = flag.String("format", "md", "output format: md|tsv")
@@ -163,6 +164,27 @@ func run(exp, dataset, scaleName, format, outPath string, seed int64, workers in
 		}
 		return emit(tables...)
 	}
+	runSubsample := func() error {
+		t, err := experiments.Subsample(engine, p)
+		if err != nil {
+			return err
+		}
+		return emit(t)
+	}
+	runCoordFrac := func() error {
+		t, err := experiments.CoordFrac(engine, p)
+		if err != nil {
+			return err
+		}
+		return emit(t)
+	}
+	runAdaptive := func() error {
+		t, err := experiments.Adaptive(engine, p)
+		if err != nil {
+			return err
+		}
+		return emit(t)
+	}
 
 	switch exp {
 	case "table1":
@@ -179,8 +201,15 @@ func run(exp, dataset, scaleName, format, outPath string, seed int64, workers in
 		return runFig5()
 	case "fig6":
 		return runFig6()
+	case "subsample":
+		return runSubsample()
+	case "coordfrac":
+		return runCoordFrac()
+	case "adaptive":
+		return runAdaptive()
 	case "all":
-		for _, f := range []func() error{runFig2, runTable1, runTable2, runFig4, runFig5, runFig6, runTable3} {
+		for _, f := range []func() error{runFig2, runTable1, runTable2, runFig4, runFig5, runFig6, runTable3,
+			runSubsample, runCoordFrac, runAdaptive} {
 			if err := f(); err != nil {
 				return err
 			}

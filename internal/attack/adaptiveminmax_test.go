@@ -1,0 +1,174 @@
+package attack
+
+import (
+	"testing"
+
+	"github.com/signguard/signguard/internal/tensor"
+)
+
+// minmaxContext builds a reproducible attack context.
+func minmaxContext(seed int64) *Context {
+	rng := tensor.NewRNG(seed)
+	benign := make([][]float64, 8)
+	for i := range benign {
+		benign[i] = tensor.RandNormal(rng, 30, 0.1, 1)
+	}
+	byz := make([][]float64, 3)
+	for i := range byz {
+		byz[i] = tensor.RandNormal(rng, 30, 0.1, 1)
+	}
+	return &Context{Benign: benign, ByzOwn: byz, Rng: tensor.NewRNG(seed + 1)}
+}
+
+func TestPromote(t *testing.T) {
+	shim := Promote(NewSignFlip())
+	if shim.NeedsHistory() {
+		t.Error("promoted stateless attack requests history")
+	}
+	if shim.Name() != "Sign-flip" {
+		t.Errorf("promoted shim lost the name: %q", shim.Name())
+	}
+	adaptive := NewAdaptiveMinMax()
+	if got := Promote(adaptive); got != Adversary(adaptive) {
+		t.Error("Promote wrapped an attack that is already an Adversary")
+	}
+	if !adaptive.NeedsHistory() {
+		t.Error("AdaptiveMinMax must request history")
+	}
+}
+
+func TestAdaptiveMinMaxMatchesMinMaxWithoutHistory(t *testing.T) {
+	want, err := NewMinMax().Craft(minmaxContext(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := NewAdaptiveMinMax().Craft(minmaxContext(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		for j := range want[i] {
+			if want[i][j] != got[i][j] {
+				t.Fatalf("gradient %d coordinate %d: adaptive %v != static %v", i, j, got[i][j], want[i][j])
+			}
+		}
+	}
+}
+
+func TestAdaptiveMinMaxScaleSchedule(t *testing.T) {
+	a := NewAdaptiveMinMax()
+	filtered := Observation{HasSelection: true, SelectedByz: 0, TotalByz: 3}
+	accepted := Observation{HasSelection: true, SelectedByz: 3, TotalByz: 3}
+	blind := Observation{HasSelection: false}
+
+	if s := a.Scale(nil); s != 1 {
+		t.Errorf("empty history scale = %v", s)
+	}
+	if s := a.Scale([]Observation{blind, blind}); s != 1 {
+		t.Errorf("selection-free history moved the scale: %v", s)
+	}
+	if s := a.Scale([]Observation{filtered}); s != a.Shrink {
+		t.Errorf("one filtered round: scale %v, want %v", s, a.Shrink)
+	}
+	if s := a.Scale([]Observation{accepted, accepted}); s != a.Grow*a.Grow {
+		t.Errorf("two accepted rounds: scale %v, want %v", s, a.Grow*a.Grow)
+	}
+	// Clamping at both ends.
+	many := make([]Observation, 100)
+	for i := range many {
+		many[i] = filtered
+	}
+	if s := a.Scale(many); s != a.MinScale {
+		t.Errorf("scale not clamped low: %v", s)
+	}
+	for i := range many {
+		many[i] = accepted
+	}
+	if s := a.Scale(many); s != a.MaxScale {
+		t.Errorf("scale not clamped high: %v", s)
+	}
+}
+
+func TestAdaptiveMinMaxTightensAfterFiltering(t *testing.T) {
+	a := NewAdaptiveMinMax()
+	base := minmaxContext(9)
+	bound, err := maxPairwiseSq(base.AllHonest())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dist := func(history []Observation) float64 {
+		ctx := minmaxContext(9)
+		ctx.History = history
+		out, err := a.Craft(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d2, err := maxDistSqTo(out[0], ctx.AllHonest())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d2
+	}
+
+	filtered := Observation{HasSelection: true, SelectedByz: 0, TotalByz: 3}
+	accepted := Observation{HasSelection: true, SelectedByz: 3, TotalByz: 3}
+
+	dNone := dist(nil)
+	dTight := dist([]Observation{filtered, filtered, filtered})
+	dLoose := dist([]Observation{accepted, accepted, accepted})
+
+	if dNone > bound*1.0001 {
+		t.Errorf("static constraint violated: %v > %v", dNone, bound)
+	}
+	if !(dTight < dNone) {
+		t.Errorf("filtering did not tighten the attack: tight %v vs base %v", dTight, dNone)
+	}
+	if !(dLoose > dNone) {
+		t.Errorf("acceptance did not relax the attack: loose %v vs base %v", dLoose, dNone)
+	}
+	// The tightened candidate respects the scaled bound (floored at the
+	// honest average's own spread, which keeps γ=0 feasible).
+	avg, err := tensor.Mean(base.AllHonest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	floor, err := maxDistSqTo(avg, base.AllHonest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := a.Scale([]Observation{filtered, filtered, filtered})
+	limit := s * s * bound
+	if floor > limit {
+		limit = floor
+	}
+	if dTight > limit*1.0001 {
+		t.Errorf("tightened attack exceeds its scaled bound: %v > %v", dTight, limit)
+	}
+}
+
+func TestAdaptiveMinMaxRejectsBadSchedule(t *testing.T) {
+	a := NewAdaptiveMinMax()
+	a.Shrink = 1.5
+	if _, err := a.Craft(minmaxContext(2)); err == nil {
+		t.Error("shrink > 1 accepted")
+	}
+	b := NewAdaptiveMinMax()
+	b.MinScale = -1
+	if _, err := b.Craft(minmaxContext(2)); err == nil {
+		t.Error("negative MinScale accepted")
+	}
+}
+
+func TestObservationByzAcceptance(t *testing.T) {
+	if _, ok := (Observation{HasSelection: false, TotalByz: 3}).ByzAcceptance(); ok {
+		t.Error("acceptance reported without selection info")
+	}
+	if _, ok := (Observation{HasSelection: true, TotalByz: 0}).ByzAcceptance(); ok {
+		t.Error("acceptance reported with zero cohort")
+	}
+	r, ok := (Observation{HasSelection: true, SelectedByz: 1, TotalByz: 4}).ByzAcceptance()
+	if !ok || r != 0.25 {
+		t.Errorf("acceptance = %v, %v", r, ok)
+	}
+}

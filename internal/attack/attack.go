@@ -30,6 +30,19 @@ type Context struct {
 	ByzOwn [][]float64
 	// Rng drives any randomness in the attack, seeded per experiment.
 	Rng *rand.Rand
+
+	// Round is the zero-based index of the current aggregation round.
+	Round int
+	// History holds the filtering outcomes of every previous round, oldest
+	// first. The engine records it only for adversaries that declare
+	// NeedsHistory; stateless attacks always see nil.
+	History []Observation
+	// PrevAggregate is the gradient the server applied in the previous
+	// round (nil in round 0 or for stateless attacks).
+	PrevAggregate []float64
+	// PrevSelected lists the arrival positions the defense kept in the
+	// previous round (nil when the rule reports no selection).
+	PrevSelected []int
 }
 
 // N returns the total number of clients.

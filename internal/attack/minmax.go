@@ -165,38 +165,42 @@ func NewMinMax() *MinMax { return NewMinMaxWithPerturbation(InverseStd) }
 // NewMinMaxWithPerturbation selects the perturbation direction.
 func NewMinMaxWithPerturbation(p Perturbation) *MinMax {
 	m := &MinMax{}
-	m.engine = minMaxSum{
-		perturb: p,
-		bound: func(honest [][]float64) (float64, error) {
-			var maxPair float64
-			for i := 0; i < len(honest); i++ {
-				for j := i + 1; j < len(honest); j++ {
-					d2, err := tensor.SquaredDistance(honest[i], honest[j])
-					if err != nil {
-						return 0, err
-					}
-					if d2 > maxPair {
-						maxPair = d2
-					}
-				}
-			}
-			return maxPair, nil
-		},
-		measure: func(gm []float64, honest [][]float64) (float64, error) {
-			var maxToGm float64
-			for _, g := range honest {
-				d2, err := tensor.SquaredDistance(gm, g)
-				if err != nil {
-					return 0, err
-				}
-				if d2 > maxToGm {
-					maxToGm = d2
-				}
-			}
-			return maxToGm, nil
-		},
-	}
+	m.engine = minMaxSum{perturb: p, bound: maxPairwiseSq, measure: maxDistSqTo}
 	return m
+}
+
+// maxPairwiseSq is the Min-Max constraint threshold: the largest squared
+// pairwise distance among the honest gradients (Eq. 14's right-hand side).
+func maxPairwiseSq(honest [][]float64) (float64, error) {
+	var maxPair float64
+	for i := 0; i < len(honest); i++ {
+		for j := i + 1; j < len(honest); j++ {
+			d2, err := tensor.SquaredDistance(honest[i], honest[j])
+			if err != nil {
+				return 0, err
+			}
+			if d2 > maxPair {
+				maxPair = d2
+			}
+		}
+	}
+	return maxPair, nil
+}
+
+// maxDistSqTo is the Min-Max candidate statistic: the largest squared
+// distance from gm to any honest gradient.
+func maxDistSqTo(gm []float64, honest [][]float64) (float64, error) {
+	var maxToGm float64
+	for _, g := range honest {
+		d2, err := tensor.SquaredDistance(gm, g)
+		if err != nil {
+			return 0, err
+		}
+		if d2 > maxToGm {
+			maxToGm = d2
+		}
+	}
+	return maxToGm, nil
 }
 
 // Name implements Attack.

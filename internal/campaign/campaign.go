@@ -18,6 +18,7 @@ package campaign
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 )
 
@@ -39,9 +40,18 @@ type Params struct {
 // NumByz returns ⌊ByzFraction·Clients⌋.
 func (p Params) NumByz() int { return int(p.ByzFraction * float64(p.Clients)) }
 
+// Participation policy names a cell may carry. An empty Participation is
+// equivalent to ParticipationFull (every client, every round).
+const (
+	ParticipationFull    = "full"
+	ParticipationUniform = "uniform"
+)
+
 // Cell is the declarative description of one experiment run. Every field
 // is plain data so the cell can be hashed, stored and compared; behaviour
-// is attached by name through a Registry.
+// is attached by name through a Registry. All extension fields are
+// omitempty, so cells that do not use an axis keep their historical
+// content hash (and therefore their cached results).
 type Cell struct {
 	// Dataset, Rule and Attack are registry keys.
 	Dataset string
@@ -50,9 +60,19 @@ type Cell struct {
 	// AttackParam parameterizes attacks that need a scalar, e.g. the
 	// Reverse attack's scale or the TimeVarying attack's switch interval.
 	AttackParam float64 `json:",omitempty"`
+	// RuleHyper holds named defense hyperparameters (e.g. SignGuard's
+	// "coord_fraction", DnC's "subdim"), resolved through the defense
+	// registry. Unknown names fail validation before any cell trains.
+	RuleHyper map[string]float64 `json:",omitempty"`
 	// NumByz overrides the Byzantine count; -1 derives it from
 	// Params.ByzFraction (the common case).
 	NumByz int
+	// Participation selects the per-round client participation policy
+	// ("" or "full" = all clients; "uniform" = SampleK clients drawn
+	// uniformly each round from the stage's own RNG stream).
+	Participation string `json:",omitempty"`
+	// SampleK is the per-round cohort size for "uniform" participation.
+	SampleK int `json:",omitempty"`
 	// NonIIDS, when > 0, trains on the paper's non-IID partition with
 	// IID fraction s = NonIIDS and NonIIDShards shards per client.
 	NonIIDS      float64 `json:",omitempty"`
@@ -82,13 +102,33 @@ func (c Cell) EffectiveByz() int {
 // ID renders a human-readable identifier, the target of the CLI's -filter
 // flag. It is descriptive, not unique — Key is the unique identity.
 func (c Cell) ID() string {
+	return c.id(true)
+}
+
+// GroupID is ID without the seed suffix: the identity shared by a cell's
+// seed replicas, under which seed-group statistics are aggregated.
+func (c Cell) GroupID() string {
+	return c.id(false)
+}
+
+func (c Cell) id(withSeed bool) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s/%s/%s", c.Dataset, c.Rule, c.Attack)
 	if c.AttackParam != 0 {
 		fmt.Fprintf(&b, "@%g", c.AttackParam)
 	}
+	if len(c.RuleHyper) > 0 {
+		b.WriteString("/hyp=")
+		b.WriteString(formatHyper(c.RuleHyper, ","))
+	}
 	if c.NumByz >= 0 {
 		fmt.Fprintf(&b, "/byz=%d", c.NumByz)
+	}
+	if c.Participation != "" && c.Participation != ParticipationFull {
+		fmt.Fprintf(&b, "/part=%s", c.Participation)
+		if c.SampleK > 0 {
+			fmt.Fprintf(&b, ":%d", c.SampleK)
+		}
 	}
 	if c.NonIIDS > 0 {
 		fmt.Fprintf(&b, "/niid=%g", c.NonIIDS)
@@ -96,7 +136,27 @@ func (c Cell) ID() string {
 	if c.Probe != "" {
 		fmt.Fprintf(&b, "/probe=%s", c.Probe)
 	}
-	fmt.Fprintf(&b, "/seed=%d", c.Params.Seed)
+	if withSeed {
+		fmt.Fprintf(&b, "/seed=%d", c.Params.Seed)
+	}
+	return b.String()
+}
+
+// formatHyper renders a hyperparameter map as a stable sorted
+// "name:value" list — the one definition shared by cell IDs and exports.
+func formatHyper(h map[string]float64, sep string) string {
+	keys := make([]string, 0, len(h))
+	for k := range h {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteString(sep)
+		}
+		fmt.Fprintf(&b, "%s:%g", k, h[k])
+	}
 	return b.String()
 }
 
@@ -126,6 +186,35 @@ func Merge(name string, specs ...Spec) Spec {
 	out := Spec{Name: name}
 	for _, s := range specs {
 		out.Cells = append(out.Cells, s.Cells...)
+	}
+	return out
+}
+
+// EffectiveCohort returns the number of gradients submitted per round:
+// SampleK under uniform subsampling, the full client count otherwise.
+func (c Cell) EffectiveCohort() int {
+	if c.Participation == ParticipationUniform && c.SampleK > 0 {
+		return c.SampleK
+	}
+	return c.Params.Clients
+}
+
+// ReplicateSeeds expands every cell across the given seeds, producing the
+// seed-replica grid the paper's run averaging assumes. The result keeps
+// cell order grouped by the original grid (all seeds of cell 0, then cell
+// 1, ...) so seed groups stay contiguous in exports. An empty seed list
+// returns the spec unchanged.
+func ReplicateSeeds(s Spec, seeds []int64) Spec {
+	if len(seeds) == 0 {
+		return s
+	}
+	out := Spec{Name: s.Name, Cells: make([]Cell, 0, len(s.Cells)*len(seeds))}
+	for _, c := range s.Cells {
+		for _, seed := range seeds {
+			r := c
+			r.Params.Seed = seed
+			out.Cells = append(out.Cells, r)
+		}
 	}
 	return out
 }

@@ -15,6 +15,7 @@ import (
 	"github.com/signguard/signguard/internal/campaign"
 	"github.com/signguard/signguard/internal/core"
 	"github.com/signguard/signguard/internal/data"
+	"github.com/signguard/signguard/internal/defense"
 	"github.com/signguard/signguard/internal/fl"
 	"github.com/signguard/signguard/internal/nn"
 )
@@ -37,12 +38,28 @@ func testRegistry() *campaign.Registry {
 			return nn.NewMLP(rng, 16, 12, 4)
 		},
 	})
-	reg.RegisterRule("Mean", func(_ campaign.Cell, n, f int, seed int64) (aggregate.Rule, error) {
+	defs := defense.NewRegistry()
+	if err := defs.Register(defense.Spec{Name: "Mean", Build: func(defense.Params) (aggregate.Rule, error) {
 		return aggregate.NewMean(), nil
-	})
-	reg.RegisterRule("SignGuard", func(_ campaign.Cell, n, f int, seed int64) (aggregate.Rule, error) {
-		return core.NewPlain(seed), nil
-	})
+	}}); err != nil {
+		panic(err)
+	}
+	if err := defs.Register(defense.Spec{Name: "TrMean", Build: func(p defense.Params) (aggregate.Rule, error) {
+		return aggregate.NewTrimmedMean(p.F), nil
+	}}); err != nil {
+		panic(err)
+	}
+	if err := defs.Register(defense.Spec{Name: "SignGuard", Hyper: []string{"coord_fraction"}, Build: func(p defense.Params) (aggregate.Rule, error) {
+		cfg := core.DefaultConfig()
+		cfg.Seed = p.Seed
+		if v, ok := p.Hyper["coord_fraction"]; ok {
+			cfg.CoordFraction = v
+		}
+		return core.New(cfg)
+	}}); err != nil {
+		panic(err)
+	}
+	reg.RegisterDefenses(defs)
 	reg.RegisterAttack("NoAttack", func(_ campaign.Cell, _ int64) (attack.Attack, error) {
 		return attack.NewNone(), nil
 	})

@@ -245,6 +245,15 @@ func (e *Engine) Run(ctx context.Context, spec Spec) (*Report, error) {
 		}
 	})
 
+	// Persist the index updates accumulated by the workers' Puts in one
+	// write — even when the campaign failed or was interrupted, so the
+	// completed cells stay indexed. Best-effort: the index is advisory
+	// (a failed write is rebuilt by the next membership query), so it
+	// must never fail a campaign whose results are all safely stored.
+	if e.Store != nil {
+		_ = e.Store.Flush()
+	}
+
 	if firstErr != nil {
 		return nil, firstErr
 	}
@@ -283,11 +292,7 @@ func (e *Engine) executeCell(c Cell, key string, datasets *dsCache, simWorkers i
 	}
 
 	numByz := c.EffectiveByz()
-	buildRule, err := e.Registry.rule(c.Rule)
-	if err != nil {
-		return nil, err
-	}
-	rule, err := buildRule(c, p.Clients, numByz, p.Seed+11)
+	rule, err := e.Registry.buildDefense(c, numByz, p.Seed+11)
 	if err != nil {
 		return nil, fmt.Errorf("building rule %s: %w", c.Rule, err)
 	}
@@ -316,17 +321,22 @@ func (e *Engine) executeCell(c Cell, key string, datasets *dsCache, simWorkers i
 	if c.NonIIDS > 0 {
 		nonIID = &fl.NonIID{S: c.NonIIDS, ShardsPerClient: c.NonIIDShards}
 	}
+	participation, err := participationFor(c)
+	if err != nil {
+		return nil, err
+	}
 
 	x := &CellExec{
-		Dataset:    dataset,
-		NewModel:   db.NewModel,
-		LR:         db.LR,
-		Rule:       rule,
-		Attack:     att,
-		NumByz:     numByz,
-		NonIID:     nonIID,
-		Params:     p,
-		SimWorkers: simWorkers,
+		Dataset:       dataset,
+		NewModel:      db.NewModel,
+		LR:            db.LR,
+		Rule:          rule,
+		Attack:        att,
+		NumByz:        numByz,
+		NonIID:        nonIID,
+		Participation: participation,
+		Params:        p,
+		SimWorkers:    simWorkers,
 	}
 	if probe != nil {
 		x.Hook = probe.Hook

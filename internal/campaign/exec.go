@@ -23,8 +23,11 @@ type CellExec struct {
 	Attack   attack.Attack
 	NumByz   int
 	NonIID   *fl.NonIID
-	Hook     func(*fl.RoundState)
-	Params   Params
+	// Participation overrides the round pipeline's client-selection stage
+	// (nil = full participation).
+	Participation fl.Participation
+	Hook          func(*fl.RoundState)
+	Params        Params
 	// SimWorkers bounds the in-simulation parallelism (0 = automatic,
 	// 1 = sequential): the per-client gradient phase and the aggregation
 	// rule's kernels (threaded through fl.Config.Workers into
@@ -49,6 +52,7 @@ func (x *CellExec) Run() (*fl.RunResult, error) {
 		EvalEvery:   x.Params.EvalEvery,
 		EvalSamples: x.Params.EvalSamples,
 		NonIID:      x.NonIID,
+		Pipeline:    fl.Pipeline{Participation: x.Participation},
 		Seed:        x.Params.Seed,
 		RoundHook:   x.Hook,
 		Workers:     x.SimWorkers,

@@ -10,7 +10,8 @@ import (
 
 // csvHeader is the column layout of WriteCSV, one row per cell result.
 var csvHeader = []string{
-	"key", "id", "dataset", "rule", "attack", "attack_param",
+	"key", "id", "dataset", "rule", "attack", "attack_param", "rule_hyper",
+	"participation", "sample_k",
 	"num_byz", "noniid_s", "seed", "clients", "rounds",
 	"best_acc", "final_acc", "diverged",
 	"sel_honest", "sel_malicious", "duration_ms", "cached",
@@ -32,6 +33,7 @@ func WriteCSV(w io.Writer, results []*CellResult) error {
 		}
 		row := []string{
 			r.Key, c.ID(), c.Dataset, c.Rule, c.Attack, f(c.AttackParam),
+			formatHyper(c.RuleHyper, " "), c.Participation, strconv.Itoa(c.SampleK),
 			strconv.Itoa(r.Cell.EffectiveByz()), f(c.NonIIDS),
 			strconv.FormatInt(c.Params.Seed, 10),
 			strconv.Itoa(c.Params.Clients), strconv.Itoa(c.Params.Rounds),
@@ -58,14 +60,19 @@ func WriteJSON(w io.Writer, results []*CellResult) error {
 	return enc.Encode(results)
 }
 
-// WriteExport dispatches on format ("csv" or "json").
+// WriteExport dispatches on format: per-cell rows ("csv", "json") or
+// seed-group aggregates with mean/std/95% CI ("group-csv", "group-json").
 func WriteExport(w io.Writer, format string, results []*CellResult) error {
 	switch format {
 	case "csv":
 		return WriteCSV(w, results)
 	case "json":
 		return WriteJSON(w, results)
+	case "group-csv":
+		return WriteGroupCSV(w, results)
+	case "group-json":
+		return WriteGroupJSON(w, results)
 	default:
-		return fmt.Errorf("campaign: unknown export format %q (want csv|json)", format)
+		return fmt.Errorf("campaign: unknown export format %q (want csv|json|group-csv|group-json)", format)
 	}
 }

@@ -23,8 +23,13 @@ func hashJSON(v any) (string, error) {
 }
 
 // Key returns the cell's content hash: the identity under which its result
-// is stored and resumed. Two cells with equal specs share a key.
+// is stored and resumed. Two cells with equal specs share a key. The
+// documented-equivalent participation spellings "" and "full" normalize to
+// one identity.
 func (c Cell) Key() (string, error) {
+	if c.Participation == ParticipationFull {
+		c.Participation = ""
+	}
 	envelope := struct {
 		Version int
 		Cell    Cell

@@ -8,6 +8,7 @@ import (
 	"github.com/signguard/signguard/internal/aggregate"
 	"github.com/signguard/signguard/internal/attack"
 	"github.com/signguard/signguard/internal/data"
+	"github.com/signguard/signguard/internal/defense"
 	"github.com/signguard/signguard/internal/fl"
 	"github.com/signguard/signguard/internal/nn"
 )
@@ -22,10 +23,6 @@ type DatasetBuilder struct {
 	NewModel func(rng *rand.Rand) (nn.Classifier, error)
 }
 
-// RuleBuilder constructs a fresh aggregation rule for a cell. n is the
-// client count, f the Byzantine count granted to the baselines.
-type RuleBuilder func(c Cell, n, f int, seed int64) (aggregate.Rule, error)
-
 // AttackBuilder constructs a fresh attack for a cell.
 type AttackBuilder func(c Cell, seed int64) (attack.Attack, error)
 
@@ -39,20 +36,24 @@ type ProbeInstance struct {
 // ProbeBuilder constructs a probe instance for a cell.
 type ProbeBuilder func(c Cell) (*ProbeInstance, error)
 
-// Registry resolves the names inside cells to concrete builders. The zero
-// value is unusable; use NewRegistry.
+// Registry resolves the names inside cells to concrete builders. Defenses
+// resolve through a shared defense.Registry — the same catalog the CLIs
+// list — so SignGuard and the baseline aggregation rules are built through
+// one door, hyperparameters included. The zero value is unusable; use
+// NewRegistry.
 type Registry struct {
 	datasets map[string]DatasetBuilder
-	rules    map[string]RuleBuilder
+	defenses *defense.Registry
 	attacks  map[string]AttackBuilder
 	probes   map[string]ProbeBuilder
 }
 
-// NewRegistry returns an empty registry.
+// NewRegistry returns an empty registry (no defenses; call
+// RegisterDefenses).
 func NewRegistry() *Registry {
 	return &Registry{
 		datasets: map[string]DatasetBuilder{},
-		rules:    map[string]RuleBuilder{},
+		defenses: defense.NewRegistry(),
 		attacks:  map[string]AttackBuilder{},
 		probes:   map[string]ProbeBuilder{},
 	}
@@ -61,8 +62,12 @@ func NewRegistry() *Registry {
 // RegisterDataset binds key to a dataset builder.
 func (r *Registry) RegisterDataset(key string, b DatasetBuilder) { r.datasets[key] = b }
 
-// RegisterRule binds name to a rule builder.
-func (r *Registry) RegisterRule(name string, b RuleBuilder) { r.rules[name] = b }
+// RegisterDefenses installs the defense catalog cells resolve their Rule
+// names and RuleHyper parameters against.
+func (r *Registry) RegisterDefenses(d *defense.Registry) { r.defenses = d }
+
+// Defenses returns the installed defense catalog.
+func (r *Registry) Defenses() *defense.Registry { return r.defenses }
 
 // RegisterAttack binds name to an attack builder.
 func (r *Registry) RegisterAttack(name string, b AttackBuilder) { r.attacks[name] = b }
@@ -78,12 +83,23 @@ func (r *Registry) dataset(key string) (DatasetBuilder, error) {
 	return b, nil
 }
 
-func (r *Registry) rule(name string) (RuleBuilder, error) {
-	b, ok := r.rules[name]
-	if !ok {
-		return nil, fmt.Errorf("campaign: unknown rule %q", name)
+// buildDefense constructs the cell's defense through the shared registry,
+// sized to the per-round cohort the participation policy produces.
+func (r *Registry) buildDefense(c Cell, f int, seed int64) (aggregate.Rule, error) {
+	n := c.EffectiveCohort()
+	// Under subsampling the population-level Byzantine count can exceed
+	// what a per-round cohort can absorb (TrMean needs n > 2f); grant the
+	// baselines the paper's Byzantine-majority bound f ≤ (n−1)/2 instead.
+	// Full-participation cells keep the historical f untouched, so their
+	// cached results stay byte-valid.
+	if n < c.Params.Clients {
+		if maxF := (n - 1) / 2; f > maxF {
+			f = maxF
+		}
 	}
-	return b, nil
+	return r.defenses.Build(c.Rule, defense.Params{
+		N: n, F: f, Seed: seed, Hyper: c.RuleHyper,
+	})
 }
 
 func (r *Registry) attack(name string) (AttackBuilder, error) {
@@ -102,17 +118,40 @@ func (r *Registry) probe(name string) (ProbeBuilder, error) {
 	return b, nil
 }
 
-// Validate checks that every name referenced by the spec's cells resolves,
-// so a campaign fails before any cell has trained rather than mid-sweep.
+// participationFor maps a cell's participation fields to the fl stage
+// (nil = engine default, i.e. full participation).
+func participationFor(c Cell) (fl.Participation, error) {
+	switch c.Participation {
+	case "", ParticipationFull:
+		if c.SampleK != 0 {
+			return nil, fmt.Errorf("campaign: SampleK=%d requires %q participation", c.SampleK, ParticipationUniform)
+		}
+		return nil, nil
+	case ParticipationUniform:
+		if c.SampleK < 1 || c.SampleK > c.Params.Clients {
+			return nil, fmt.Errorf("campaign: SampleK %d out of [1,%d]", c.SampleK, c.Params.Clients)
+		}
+		return fl.UniformSubsample{K: c.SampleK}, nil
+	default:
+		return nil, fmt.Errorf("campaign: unknown participation policy %q", c.Participation)
+	}
+}
+
+// Validate checks that every name referenced by the spec's cells resolves
+// (defense names and their hyperparameters included), so a campaign fails
+// before any cell has trained rather than mid-sweep.
 func (r *Registry) Validate(spec Spec) error {
 	for i, c := range spec.Cells {
 		if _, err := r.dataset(c.Dataset); err != nil {
 			return fmt.Errorf("cell %d (%s): %w", i, c.ID(), err)
 		}
-		if _, err := r.rule(c.Rule); err != nil {
+		if err := r.defenses.ValidateHyper(c.Rule, c.RuleHyper); err != nil {
 			return fmt.Errorf("cell %d (%s): %w", i, c.ID(), err)
 		}
 		if _, err := r.attack(c.Attack); err != nil {
+			return fmt.Errorf("cell %d (%s): %w", i, c.ID(), err)
+		}
+		if _, err := participationFor(c); err != nil {
 			return fmt.Errorf("cell %d (%s): %w", i, c.ID(), err)
 		}
 		if c.Probe != "" {

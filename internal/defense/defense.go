@@ -1,0 +1,232 @@
+// Package defense is the unified defense registry of the reproduction: one
+// catalog mapping defense names to constructors with typed hyperparameters,
+// covering the paper's own SignGuard variants (internal/core) and every
+// baseline gradient aggregation rule (internal/aggregate).
+//
+// Before this package, SignGuard reached the engine only by masquerading as
+// an aggregate.Rule through ad-hoc closure tables in internal/experiments.
+// Now a single Registry is consumed uniformly by the campaign engine, the
+// experiments harness and both CLIs, and defense hyperparameters
+// (SignGuard's coordinate fraction, DnC's subsampling dimension, ...) are
+// plain named values — which makes hyperparameter sweeps ordinary grid
+// axes.
+package defense
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/signguard/signguard/internal/aggregate"
+	"github.com/signguard/signguard/internal/core"
+)
+
+// Params is the typed constructor input of every defense: the cohort
+// geometry the paper grants the baselines plus optional named
+// hyperparameters.
+type Params struct {
+	// N is the number of gradients submitted per round, F the Byzantine
+	// count granted to the baselines (SignGuard ignores it).
+	N, F int
+	// Seed drives any randomness inside the defense.
+	Seed int64
+	// Hyper holds optional defense-specific hyperparameters by name.
+	// Absent keys fall back to the defense's default; unknown keys are
+	// rejected by Registry.Build so a typo cannot silently run defaults.
+	Hyper map[string]float64
+}
+
+// hyper returns the named hyperparameter or def when absent.
+func (p Params) hyper(name string, def float64) float64 {
+	if v, ok := p.Hyper[name]; ok {
+		return v
+	}
+	return def
+}
+
+// Spec declares one registered defense.
+type Spec struct {
+	// Name is the stable registry key (the paper's table row label).
+	Name string
+	// Hyper lists the hyperparameter names the constructor accepts.
+	Hyper []string
+	// Build constructs a fresh instance for one training run.
+	Build func(p Params) (aggregate.Rule, error)
+}
+
+// Registry is an ordered name → defense catalog. The zero value is
+// unusable; use NewRegistry or Builtin.
+type Registry struct {
+	order []string
+	specs map[string]Spec
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{specs: map[string]Spec{}}
+}
+
+// Register adds a defense spec. Re-registering a name replaces the spec
+// but keeps its original position, so presentation order stays stable.
+func (r *Registry) Register(s Spec) error {
+	if s.Name == "" {
+		return fmt.Errorf("defense: spec with empty name")
+	}
+	if s.Build == nil {
+		return fmt.Errorf("defense: %s has no constructor", s.Name)
+	}
+	if _, ok := r.specs[s.Name]; !ok {
+		r.order = append(r.order, s.Name)
+	}
+	r.specs[s.Name] = s
+	return nil
+}
+
+// mustRegister is Register for the package's own statically-valid specs.
+func (r *Registry) mustRegister(s Spec) {
+	if err := r.Register(s); err != nil {
+		panic(err)
+	}
+}
+
+// Names returns the registered defense names in registration order (the
+// paper's Table I row order for Builtin).
+func (r *Registry) Names() []string {
+	return append([]string(nil), r.order...)
+}
+
+// Has reports whether name is registered.
+func (r *Registry) Has(name string) bool {
+	_, ok := r.specs[name]
+	return ok
+}
+
+// Lookup returns the spec registered under name.
+func (r *Registry) Lookup(name string) (Spec, error) {
+	s, ok := r.specs[name]
+	if !ok {
+		return Spec{}, fmt.Errorf("defense: unknown defense %q", name)
+	}
+	return s, nil
+}
+
+// Build constructs the named defense. Hyperparameter keys not declared by
+// the spec are an error: a sweep axis that silently fell back to defaults
+// would corrupt a whole grid.
+func (r *Registry) Build(name string, p Params) (aggregate.Rule, error) {
+	s, err := r.Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	if err := checkHyper(s, p.Hyper); err != nil {
+		return nil, err
+	}
+	return s.Build(p)
+}
+
+// ValidateHyper checks that name is registered and accepts every given
+// hyperparameter, without building anything — the pre-flight check grid
+// validation runs before a sweep starts.
+func (r *Registry) ValidateHyper(name string, hyper map[string]float64) error {
+	s, err := r.Lookup(name)
+	if err != nil {
+		return err
+	}
+	return checkHyper(s, hyper)
+}
+
+// checkHyper rejects hyperparameter names the spec does not declare.
+func checkHyper(s Spec, hyper map[string]float64) error {
+	if len(hyper) == 0 {
+		return nil
+	}
+	declared := map[string]bool{}
+	for _, h := range s.Hyper {
+		declared[h] = true
+	}
+	var bad []string
+	for k := range hyper {
+		if !declared[k] {
+			bad = append(bad, k)
+		}
+	}
+	if len(bad) > 0 {
+		sort.Strings(bad)
+		return fmt.Errorf("defense: %s does not accept hyperparameter(s) %v (accepts %v)", s.Name, bad, s.Hyper)
+	}
+	return nil
+}
+
+// signGuardConfig assembles a core.Config from Params and the shared
+// SignGuard hyperparameters.
+func signGuardConfig(p Params, sim core.Similarity) core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Similarity = sim
+	cfg.Seed = p.Seed
+	cfg.CoordFraction = p.hyper("coord_fraction", cfg.CoordFraction)
+	cfg.LowerBound = p.hyper("lower_bound", cfg.LowerBound)
+	cfg.UpperBound = p.hyper("upper_bound", cfg.UpperBound)
+	return cfg
+}
+
+// signGuardHyper is the hyperparameter set shared by the three SignGuard
+// variants.
+var signGuardHyper = []string{"coord_fraction", "lower_bound", "upper_bound"}
+
+// Builtin returns the registry of the paper's ten Table I defenses, in row
+// order. Callers may extend the returned registry freely (e.g. the Table
+// III ablation variants); each call returns a fresh copy.
+func Builtin() *Registry {
+	r := NewRegistry()
+	r.mustRegister(Spec{Name: "Mean", Build: func(Params) (aggregate.Rule, error) {
+		return aggregate.NewMean(), nil
+	}})
+	r.mustRegister(Spec{Name: "TrMean", Hyper: []string{"trim"}, Build: func(p Params) (aggregate.Rule, error) {
+		return aggregate.NewTrimmedMean(int(p.hyper("trim", float64(p.F)))), nil
+	}})
+	r.mustRegister(Spec{Name: "Median", Build: func(Params) (aggregate.Rule, error) {
+		return aggregate.NewMedian(), nil
+	}})
+	r.mustRegister(Spec{Name: "GeoMed", Build: func(Params) (aggregate.Rule, error) {
+		return aggregate.NewGeoMed(), nil
+	}})
+	r.mustRegister(Spec{Name: "Multi-Krum", Build: func(p Params) (aggregate.Rule, error) {
+		// Krum needs n >= 2F+3; cap the assumed F for small cohorts with
+		// large Byzantine fractions, as implementations do.
+		f := p.F
+		if maxF := (p.N - 3) / 2; f > maxF {
+			f = maxF
+		}
+		if f < 0 {
+			f = 0
+		}
+		return aggregate.NewMultiKrum(f, p.N-f), nil
+	}})
+	r.mustRegister(Spec{Name: "Bulyan", Build: func(p Params) (aggregate.Rule, error) {
+		// Bulyan requires n >= 4f+2; cap the assumed f like the original
+		// implementation does for large Byzantine fractions.
+		f := p.F
+		if maxF := (p.N - 2) / 4; f > maxF {
+			f = maxF
+		}
+		return aggregate.NewBulyan(f), nil
+	}})
+	r.mustRegister(Spec{Name: "DnC", Hyper: []string{"subdim", "niters"}, Build: func(p Params) (aggregate.Rule, error) {
+		d := aggregate.NewDnC(p.F, p.Seed)
+		// Subsample fewer coordinates than the reference default: our
+		// models are orders of magnitude smaller than ResNet-18, and the
+		// sweep budget is dominated by the power iteration.
+		d.SubDim = int(p.hyper("subdim", 2000))
+		d.NIters = int(p.hyper("niters", float64(d.NIters)))
+		return d, nil
+	}})
+	r.mustRegister(Spec{Name: "SignGuard", Hyper: signGuardHyper, Build: func(p Params) (aggregate.Rule, error) {
+		return core.New(signGuardConfig(p, core.NoSimilarity))
+	}})
+	r.mustRegister(Spec{Name: "SignGuard-Sim", Hyper: signGuardHyper, Build: func(p Params) (aggregate.Rule, error) {
+		return core.New(signGuardConfig(p, core.CosineSimilarity))
+	}})
+	r.mustRegister(Spec{Name: "SignGuard-Dist", Hyper: signGuardHyper, Build: func(p Params) (aggregate.Rule, error) {
+		return core.New(signGuardConfig(p, core.DistanceSimilarity))
+	}})
+	return r
+}

@@ -1,0 +1,156 @@
+package defense
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/signguard/signguard/internal/aggregate"
+	"github.com/signguard/signguard/internal/core"
+	"github.com/signguard/signguard/internal/tensor"
+)
+
+func TestBuiltinNamesOrder(t *testing.T) {
+	want := []string{
+		"Mean", "TrMean", "Median", "GeoMed", "Multi-Krum", "Bulyan",
+		"DnC", "SignGuard", "SignGuard-Sim", "SignGuard-Dist",
+	}
+	got := Builtin().Names()
+	if len(got) != len(want) {
+		t.Fatalf("Builtin has %d defenses, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Names()[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestBuiltinConstructorsBuildAndAggregate(t *testing.T) {
+	reg := Builtin()
+	rng := tensor.NewRNG(3)
+	grads := make([][]float64, 12)
+	for i := range grads {
+		grads[i] = tensor.RandNormal(rng, 40, 0, 1)
+	}
+	for _, name := range reg.Names() {
+		rule, err := reg.Build(name, Params{N: 12, F: 2, Seed: 5})
+		if err != nil {
+			t.Fatalf("%s: build: %v", name, err)
+		}
+		if rule.Name() != name {
+			t.Errorf("%s: rule reports name %q", name, rule.Name())
+		}
+		res, err := rule.Aggregate(grads)
+		if err != nil {
+			t.Fatalf("%s: aggregate: %v", name, err)
+		}
+		if len(res.Gradient) != 40 {
+			t.Errorf("%s: aggregate dimension %d", name, len(res.Gradient))
+		}
+	}
+}
+
+func TestBuildUnknownDefense(t *testing.T) {
+	if _, err := Builtin().Build("NoSuchDefense", Params{N: 10, F: 2}); err == nil {
+		t.Fatal("unknown defense accepted")
+	}
+}
+
+func TestBuildRejectsUndeclaredHyper(t *testing.T) {
+	_, err := Builtin().Build("Mean", Params{N: 10, F: 2, Hyper: map[string]float64{"coord_fraction": 0.5}})
+	if err == nil || !strings.Contains(err.Error(), "coord_fraction") {
+		t.Fatalf("undeclared hyperparameter not rejected: %v", err)
+	}
+	// Typo on a defense that does declare hypers.
+	_, err = Builtin().Build("SignGuard", Params{N: 10, F: 2, Hyper: map[string]float64{"coordfraction": 0.5}})
+	if err == nil {
+		t.Fatal("misspelled hyperparameter accepted")
+	}
+}
+
+func TestSignGuardHyperApplied(t *testing.T) {
+	rule, err := Builtin().Build("SignGuard", Params{
+		N: 10, F: 2, Seed: 9,
+		Hyper: map[string]float64{"coord_fraction": 0.37, "upper_bound": 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := rule.(*core.SignGuard); !ok {
+		t.Fatalf("SignGuard entry built a %T", rule)
+	}
+	// An out-of-range hyperparameter must surface the core validation.
+	if _, err := Builtin().Build("SignGuard", Params{
+		N: 10, F: 2, Hyper: map[string]float64{"coord_fraction": 1.5},
+	}); err == nil {
+		t.Fatal("coord_fraction 1.5 accepted")
+	}
+}
+
+func TestDnCHyperApplied(t *testing.T) {
+	rule, err := Builtin().Build("DnC", Params{N: 10, F: 2, Seed: 4, Hyper: map[string]float64{"subdim": 123}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, ok := rule.(*aggregate.DnC)
+	if !ok {
+		t.Fatalf("DnC entry built a %T", rule)
+	}
+	if d.SubDim != 123 {
+		t.Errorf("SubDim = %d, want 123", d.SubDim)
+	}
+	// Default preserved when the hyperparameter is absent.
+	rule, err = Builtin().Build("DnC", Params{N: 10, F: 2, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := rule.(*aggregate.DnC); d.SubDim != 2000 {
+		t.Errorf("default SubDim = %d, want 2000", d.SubDim)
+	}
+}
+
+func TestKrumBulyanCapAssumedF(t *testing.T) {
+	// n=8, f=4 violates both rules' preconditions; the builders must cap.
+	reg := Builtin()
+	rng := tensor.NewRNG(8)
+	grads := make([][]float64, 8)
+	for i := range grads {
+		grads[i] = tensor.RandNormal(rng, 10, 0, 1)
+	}
+	for _, name := range []string{"Multi-Krum", "Bulyan"} {
+		rule, err := reg.Build(name, Params{N: 8, F: 4, Seed: 2})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if _, err := rule.Aggregate(grads); err != nil {
+			t.Errorf("%s with capped f failed: %v", name, err)
+		}
+	}
+}
+
+func TestRegisterReplacesKeepingOrder(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Register(Spec{Name: "A", Build: func(Params) (aggregate.Rule, error) { return aggregate.NewMean(), nil }}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register(Spec{Name: "B", Build: func(Params) (aggregate.Rule, error) { return aggregate.NewMean(), nil }}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register(Spec{Name: "A", Build: func(Params) (aggregate.Rule, error) { return aggregate.NewMedian(), nil }}); err != nil {
+		t.Fatal(err)
+	}
+	names := r.Names()
+	if len(names) != 2 || names[0] != "A" || names[1] != "B" {
+		t.Fatalf("order after re-register: %v", names)
+	}
+	rule, err := r.Build("A", Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rule.Name() != "Median" {
+		t.Errorf("re-registered spec not used: built %s", rule.Name())
+	}
+	if err := r.Register(Spec{Name: "", Build: nil}); err == nil {
+		t.Error("empty spec accepted")
+	}
+}

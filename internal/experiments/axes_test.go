@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/signguard/signguard/internal/campaign"
+)
+
+// axesParams are toy-scale simulation parameters for the axis sweeps.
+func axesParams() Params {
+	return Params{
+		Clients: 8, ByzFraction: 0.25, Rounds: 4, BatchSize: 4,
+		EvalEvery: 2, EvalSamples: 40, TrainSize: 200, TestSize: 60, Seed: 1,
+	}
+}
+
+// TestSubsampleSweepThroughEngine is one of the new-axes acceptance paths:
+// a client-subsampling sweep running end to end through the campaign
+// engine and its renderer.
+func TestSubsampleSweepThroughEngine(t *testing.T) {
+	p := axesParams()
+	spec := SubsampleSpec(p)
+	subsampled := 0
+	for _, c := range spec.Cells {
+		if c.Participation == campaign.ParticipationUniform {
+			if c.SampleK < 1 || c.SampleK >= p.Clients {
+				t.Fatalf("cell %s has cohort %d of %d", c.ID(), c.SampleK, p.Clients)
+			}
+			subsampled++
+		}
+	}
+	if subsampled == 0 {
+		t.Fatal("subsample spec contains no subsampled cells")
+	}
+	tbl, err := Subsample(NewEngine(0, nil, nil), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != len(subsampleRules) {
+		t.Errorf("%d rows, want %d", len(tbl.Rows), len(subsampleRules))
+	}
+	if len(tbl.Header) != 1+len(subsampleFractions) {
+		t.Errorf("%d columns", len(tbl.Header))
+	}
+}
+
+// TestCoordFracSweepThroughEngine covers the defense-hyperparameter axis:
+// SignGuard's CoordFraction as a plain grid dimension.
+func TestCoordFracSweepThroughEngine(t *testing.T) {
+	p := axesParams()
+	for _, c := range CoordFracSpec(p).Cells {
+		if _, ok := c.RuleHyper["coord_fraction"]; !ok {
+			t.Fatalf("cell %s missing the sweep hyperparameter", c.ID())
+		}
+	}
+	tbl, err := CoordFrac(NewEngine(0, nil, nil), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != len(coordFracAttacks) || len(tbl.Header) != 1+len(coordFractions) {
+		t.Errorf("rendered %dx%d", len(tbl.Rows), len(tbl.Header))
+	}
+}
+
+// TestAdaptiveAttackThroughEngine exercises the registered adaptive attack
+// end to end: Adaptive-Min-Max resolves through the registry and trains.
+func TestAdaptiveAttackThroughEngine(t *testing.T) {
+	p := axesParams()
+	spec := AdaptiveSpec(p).Filter("SignGuard")
+	rep, err := NewEngine(0, nil, nil).Run(t.Context(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawAdaptive bool
+	for _, r := range rep.Results {
+		if r.AttackName == "Adaptive-Min-Max" {
+			sawAdaptive = true
+		}
+	}
+	if !sawAdaptive {
+		t.Fatal("adaptive attack never ran")
+	}
+}
+
+func TestSeedGroupTable(t *testing.T) {
+	p := axesParams()
+	base := campaign.NewCell("mnist", "Mean", "LIE", p)
+	mk := func(seed int64, best float64) *campaign.CellResult {
+		c := base
+		c.Params.Seed = seed
+		return &campaign.CellResult{Cell: c, BestAccuracy: best, FinalAccuracy: best}
+	}
+	tbl := SeedGroupTable("t", []*campaign.CellResult{mk(1, 80), mk(2, 84)})
+	if len(tbl.Rows) != 1 {
+		t.Fatalf("%d rows, want 1", len(tbl.Rows))
+	}
+	if tbl.Rows[0][1] != "2" {
+		t.Errorf("runs column %q", tbl.Rows[0][1])
+	}
+	if !strings.Contains(tbl.Rows[0][2], "±") {
+		t.Errorf("best column %q lacks the CI", tbl.Rows[0][2])
+	}
+}

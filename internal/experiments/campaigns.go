@@ -8,16 +8,18 @@ import (
 	"github.com/signguard/signguard/internal/aggregate"
 	"github.com/signguard/signguard/internal/attack"
 	"github.com/signguard/signguard/internal/campaign"
+	"github.com/signguard/signguard/internal/defense"
 	"github.com/signguard/signguard/internal/fl"
 	"github.com/signguard/signguard/internal/stats"
 	"github.com/signguard/signguard/internal/tensor"
 )
 
 // Registry returns the campaign registry covering the paper's full
-// evaluation grid: the four dataset analogs, the ten defenses of Table I
-// plus the six Table III ablation variants, the nine attack columns plus
-// the parameterized Reverse and TimeVarying attacks, and the Fig. 2
-// sign-statistics probe.
+// evaluation grid: the four dataset analogs, the unified defense catalog
+// (the ten Table I defenses from internal/defense plus the six Table III
+// ablation variants), the nine attack columns plus the parameterized
+// Reverse and TimeVarying attacks and the adaptive round-aware attacks,
+// and the Fig. 2 sign-statistics probe.
 func Registry() *campaign.Registry {
 	reg := campaign.NewRegistry()
 	for _, ds := range Datasets() {
@@ -25,19 +27,8 @@ func Registry() *campaign.Registry {
 			LR: ds.LR, Load: ds.Load, NewModel: ds.NewModel,
 		})
 	}
-	for _, r := range Rules() {
-		r := r
-		reg.RegisterRule(r.Name, func(_ campaign.Cell, n, f int, seed int64) (aggregate.Rule, error) {
-			return r.New(n, f, seed)
-		})
-	}
-	for _, combo := range ablationCombos() {
-		combo := combo
-		reg.RegisterRule(ablationRuleName(combo), func(_ campaign.Cell, n, f int, seed int64) (aggregate.Rule, error) {
-			return newAblationRule(combo, seed)
-		})
-	}
-	for _, a := range Attacks() {
+	reg.RegisterDefenses(Defenses())
+	for _, a := range append(Attacks(), ExtraAttacks()...) {
 		a := a
 		reg.RegisterAttack(a.Name, func(_ campaign.Cell, seed int64) (attack.Attack, error) {
 			return a.New(seed), nil
@@ -64,6 +55,24 @@ func Registry() *campaign.Registry {
 	})
 	reg.RegisterProbe(SignStatsProbe, newSignStatsProbe)
 	return reg
+}
+
+// Defenses returns the experiment harness's defense catalog: the builtin
+// Table I registry extended with the Table III ablation variants.
+func Defenses() *defense.Registry {
+	defs := defense.Builtin()
+	for _, combo := range ablationCombos() {
+		combo := combo
+		if err := defs.Register(defense.Spec{
+			Name: ablationRuleName(combo),
+			Build: func(p defense.Params) (aggregate.Rule, error) {
+				return newAblationRule(combo, p.Seed)
+			},
+		}); err != nil {
+			panic(err) // statically-valid spec
+		}
+	}
+	return defs
 }
 
 // NewEngine builds a campaign engine over the paper's registry. workers
@@ -138,9 +147,14 @@ func newSignStatsProbe(c campaign.Cell) (*campaign.ProbeInstance, error) {
 	return &campaign.ProbeInstance{Hook: hook, Finish: finish}, nil
 }
 
-// CampaignNames lists the named campaigns the CLI can run.
+// CampaignNames lists the named campaigns the CLI can run: the paper's
+// tables and figures plus the post-paper scenario axes (client
+// subsampling, defense hyperparameter sweeps, adaptive attacks).
 func CampaignNames() []string {
-	return []string{"table1", "table2", "table3", "fig2", "fig4", "fig5", "fig6", "all"}
+	return []string{
+		"table1", "table2", "table3", "fig2", "fig4", "fig5", "fig6",
+		"subsample", "coordfrac", "dncsubdim", "adaptive", "all",
+	}
 }
 
 // CampaignByName expands a named campaign to its cell grid at the given
@@ -167,6 +181,14 @@ func CampaignByName(name string, p Params) (campaign.Spec, error) {
 		return Fig5Spec(p), nil
 	case "fig6":
 		return Fig6Spec(p), nil
+	case "subsample":
+		return SubsampleSpec(p), nil
+	case "coordfrac":
+		return CoordFracSpec(p), nil
+	case "dncsubdim":
+		return DnCSubDimSpec(p), nil
+	case "adaptive":
+		return AdaptiveSpec(p), nil
 	case "all":
 		names := CampaignNames()
 		specs := make([]campaign.Spec, 0, len(names)-1)

@@ -15,8 +15,8 @@ import (
 	"github.com/signguard/signguard/internal/aggregate"
 	"github.com/signguard/signguard/internal/attack"
 	"github.com/signguard/signguard/internal/campaign"
-	"github.com/signguard/signguard/internal/core"
 	"github.com/signguard/signguard/internal/data"
+	"github.com/signguard/signguard/internal/defense"
 	"github.com/signguard/signguard/internal/nn"
 )
 
@@ -151,65 +151,30 @@ func DatasetByKey(key string) (DatasetSpec, error) {
 
 // RuleSpec names a defense and builds a fresh instance per run. f is the
 // Byzantine count the paper grants the baselines (SignGuard ignores it).
+// RuleSpecs are views over the central defense registry (internal/defense)
+// — the hand-written per-rule closure table this package used to carry now
+// lives there, shared with the campaign engine and the CLIs.
 type RuleSpec struct {
 	Name string
 	New  func(n, f int, seed int64) (aggregate.Rule, error)
 }
 
-// Rules returns all ten defenses of Table I, in its row order.
+// Rules returns all ten defenses of Table I, in its row order, backed by
+// the builtin defense registry.
 func Rules() []RuleSpec {
-	return []RuleSpec{
-		{Name: "Mean", New: func(n, f int, seed int64) (aggregate.Rule, error) {
-			return aggregate.NewMean(), nil
-		}},
-		{Name: "TrMean", New: func(n, f int, seed int64) (aggregate.Rule, error) {
-			return aggregate.NewTrimmedMean(f), nil
-		}},
-		{Name: "Median", New: func(n, f int, seed int64) (aggregate.Rule, error) {
-			return aggregate.NewMedian(), nil
-		}},
-		{Name: "GeoMed", New: func(n, f int, seed int64) (aggregate.Rule, error) {
-			return aggregate.NewGeoMed(), nil
-		}},
-		{Name: "Multi-Krum", New: func(n, f int, seed int64) (aggregate.Rule, error) {
-			// Krum needs n >= 2F+3; cap the assumed F for small cohorts
-			// with large Byzantine fractions, as implementations do.
-			maxF := (n - 3) / 2
-			if f > maxF {
-				f = maxF
-			}
-			if f < 0 {
-				f = 0
-			}
-			return aggregate.NewMultiKrum(f, n-f), nil
-		}},
-		{Name: "Bulyan", New: func(n, f int, seed int64) (aggregate.Rule, error) {
-			// Bulyan requires n >= 4f+2; cap the assumed f like the
-			// original implementation does for large Byzantine fractions.
-			maxF := (n - 2) / 4
-			if f > maxF {
-				f = maxF
-			}
-			return aggregate.NewBulyan(f), nil
-		}},
-		{Name: "DnC", New: func(n, f int, seed int64) (aggregate.Rule, error) {
-			d := aggregate.NewDnC(f, seed)
-			// Subsample fewer coordinates than the reference default: our
-			// models are orders of magnitude smaller than ResNet-18, and
-			// the sweep budget is dominated by the power iteration.
-			d.SubDim = 2000
-			return d, nil
-		}},
-		{Name: "SignGuard", New: func(n, f int, seed int64) (aggregate.Rule, error) {
-			return core.NewPlain(seed), nil
-		}},
-		{Name: "SignGuard-Sim", New: func(n, f int, seed int64) (aggregate.Rule, error) {
-			return core.NewSim(seed), nil
-		}},
-		{Name: "SignGuard-Dist", New: func(n, f int, seed int64) (aggregate.Rule, error) {
-			return core.NewDist(seed), nil
-		}},
+	reg := defense.Builtin()
+	names := reg.Names()
+	out := make([]RuleSpec, 0, len(names))
+	for _, name := range names {
+		name := name
+		out = append(out, RuleSpec{
+			Name: name,
+			New: func(n, f int, seed int64) (aggregate.Rule, error) {
+				return reg.Build(name, defense.Params{N: n, F: f, Seed: seed})
+			},
+		})
 	}
+	return out
 }
 
 // RuleByName looks up a single rule spec.
@@ -256,9 +221,19 @@ func Attacks() []AttackSpec {
 	}
 }
 
-// AttackByName looks up a single attack spec.
+// ExtraAttacks returns the attack strategies beyond the paper's Table I
+// columns: the adaptive round-aware attacks enabled by the pipeline's
+// filtering-feedback channel.
+func ExtraAttacks() []AttackSpec {
+	return []AttackSpec{
+		{Name: "Adaptive-Min-Max", New: func(int64) attack.Attack { return attack.NewAdaptiveMinMax() }},
+	}
+}
+
+// AttackByName looks up a single attack spec (Table I columns and the
+// extra adaptive attacks).
 func AttackByName(name string) (AttackSpec, error) {
-	for _, a := range Attacks() {
+	for _, a := range append(Attacks(), ExtraAttacks()...) {
 		if a.Name == name {
 			return a, nil
 		}

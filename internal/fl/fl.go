@@ -1,8 +1,15 @@
 // Package fl is the federated-learning engine of the reproduction: a
 // deterministic in-process simulation of the paper's system — one parameter
 // server, n clients (a β-fraction Byzantine and controlled by an omniscient
-// adversary), synchronous full-participation rounds (Algorithm 1), robust
-// gradient aggregation, and server-side momentum SGD.
+// adversary), synchronous aggregation rounds (Algorithm 1), robust gradient
+// aggregation, and server-side momentum SGD.
+//
+// Every round flows through the explicit five-stage pipeline declared in
+// pipeline.go (Participation → LocalCompute → Adversary → Defense →
+// ServerUpdate); the default stages reproduce the paper's protocol — full
+// participation, a static attack, the configured aggregation rule — while
+// scenario axes like client subsampling or adaptive round-aware attacks
+// plug in as alternative stages.
 //
 // The engine is the substrate under every table and figure: it exposes the
 // per-round gradients, filtering decisions, and accuracy traces the
@@ -32,9 +39,13 @@ type NonIID struct {
 }
 
 // RoundState is passed to the optional per-round hook: everything observed
-// and decided in one aggregation round.
+// and decided in one aggregation round. It is materialized only when a
+// RoundHook is installed; hook-free runs skip the per-round allocation.
 type RoundState struct {
 	Round int
+	// Participants lists the client ids selected by the participation
+	// stage, ascending.
+	Participants []int
 	// Grads holds all submitted gradients in server arrival order.
 	Grads [][]float64
 	// ByzMask marks which arrival positions carry malicious gradients.
@@ -52,11 +63,17 @@ type Config struct {
 	// NewModel constructs the global model (required). It is called once
 	// with a seeded RNG.
 	NewModel func(rng *rand.Rand) (nn.Classifier, error)
-	// Rule is the gradient aggregation rule under test (required).
+	// Rule is the gradient aggregation rule under test (required unless
+	// Pipeline.Defense is set).
 	Rule aggregate.Rule
 	// Attack is the adversary's strategy; nil or attack.None means no
-	// attack.
+	// attack. Attacks implementing attack.Adversary receive the round
+	// index and filtering history in their Context.
 	Attack attack.Attack
+
+	// Pipeline overrides individual round-pipeline stages; the zero value
+	// runs the paper's protocol (see Pipeline).
+	Pipeline Pipeline
 
 	// Clients is the total client count n (paper default 50).
 	Clients int
@@ -82,8 +99,10 @@ type Config struct {
 	// NonIID, when non-nil, uses the paper's non-IID partition.
 	NonIID *NonIID
 
-	// Seed drives every random choice of the run (model init, partition,
-	// batching, attack randomness).
+	// Seed drives every random choice of the run. Each pipeline stage
+	// derives its own RNG stream from it (model init, partition, attack
+	// randomness, arrival permutation, participation, client batching), so
+	// changing one stage's policy perturbs no other stream.
 	Seed int64
 
 	// Workers bounds the in-round parallelism (0 = GOMAXPROCS,
@@ -107,7 +126,7 @@ func (c *Config) validate() error {
 		return errors.New("fl: Config.Dataset is required")
 	case c.NewModel == nil:
 		return errors.New("fl: Config.NewModel is required")
-	case c.Rule == nil:
+	case c.Rule == nil && c.Pipeline.Defense == nil:
 		return errors.New("fl: Config.Rule is required")
 	case c.Clients <= 0:
 		return fmt.Errorf("fl: %d clients invalid", c.Clients)
@@ -117,38 +136,43 @@ func (c *Config) validate() error {
 		return fmt.Errorf("fl: %d rounds invalid", c.Rounds)
 	case c.BatchSize <= 0:
 		return fmt.Errorf("fl: batch size %d invalid", c.BatchSize)
-	case c.LR <= 0:
+	case c.LR <= 0 && c.Pipeline.Update == nil:
 		return fmt.Errorf("fl: learning rate %v invalid", c.LR)
 	}
+	if p, ok := c.Pipeline.Participation.(UniformSubsample); ok {
+		if p.K < 1 || p.K > c.Clients {
+			return fmt.Errorf("fl: subsample size %d out of [1,%d]", p.K, c.Clients)
+		}
+	}
 	return nil
-}
-
-// client is one simulated participant.
-type client struct {
-	id        int
-	byzantine bool
-	sampler   *data.Sampler
 }
 
 // Simulation is a configured, ready-to-run federated training session.
 type Simulation struct {
 	cfg     Config
 	model   nn.Classifier
-	clients []*client
-	opt     *nn.SGD
-	attack  attack.Attack
+	clients []*Client
+	pipe    Pipeline
 	attRng  *rand.Rand
 	permRng *rand.Rand
+	partRng *rand.Rand
 	global  []float64
 	workers int
 	// replicas are the per-worker model copies of the parallel gradient
 	// path; replicas[0] is the main model.
 	replicas []nn.Classifier
+
+	// Adaptive-adversary feedback, recorded only when the adversary
+	// declares NeedsHistory (static attacks pay nothing).
+	adaptive bool
+	history  []attack.Observation
+	prevAgg  []float64
+	prevSel  []int
 }
 
-// New prepares a simulation: builds the model, partitions the data and
+// New prepares a simulation: builds the model, partitions the data,
 // provisions the clients (poisoning Byzantine local data when the attack
-// is a data poisoner).
+// is a data poisoner), and resolves the round pipeline's default stages.
 func New(cfg Config) (*Simulation, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
@@ -165,6 +189,10 @@ func New(cfg Config) (*Simulation, error) {
 	partRng := tensor.NewRNG(cfg.Seed + 2)
 	attRng := tensor.NewRNG(cfg.Seed + 3)
 	permRng := tensor.NewRNG(cfg.Seed + 4)
+	// The participation stage draws from its own derived stream, so
+	// enabling subsampling perturbs neither the attack nor the arrival
+	// permutation. FullParticipation never draws from it.
+	participationRng := tensor.NewRNG(cfg.Seed + 5)
 
 	model, err := cfg.NewModel(modelRng)
 	if err != nil {
@@ -186,7 +214,7 @@ func New(cfg Config) (*Simulation, error) {
 	}
 
 	poisoner, _ := att.(attack.DataPoisoner)
-	clients := make([]*client, cfg.Clients)
+	clients := make([]*Client, cfg.Clients)
 	for i := range clients {
 		local, err := data.Subset(cfg.Dataset.Train, parts[i])
 		if err != nil {
@@ -203,14 +231,37 @@ func New(cfg Config) (*Simulation, error) {
 		if err != nil {
 			return nil, fmt.Errorf("fl: client %d: %w", i, err)
 		}
-		clients[i] = &client{id: i, byzantine: byz, sampler: sampler}
+		clients[i] = &Client{ID: i, Byzantine: byz, Sampler: sampler}
+	}
+
+	// Resolve the pipeline: nil stages fall back to the classic engine
+	// behavior.
+	pipe := cfg.Pipeline
+	if pipe.Participation == nil {
+		pipe.Participation = FullParticipation{}
+	}
+	if pipe.Local == nil {
+		pipe.Local = ReplicaCompute{}
+	}
+	if pipe.Adversary == nil {
+		pipe.Adversary = attack.Promote(att)
+	}
+	if pipe.Defense == nil {
+		pipe.Defense = RuleDefense{Rule: cfg.Rule}
+	}
+	if pipe.Update == nil {
+		pipe.Update = SGDUpdate{Opt: nn.NewSGD(cfg.LR, cfg.Momentum, cfg.WeightDecay)}
 	}
 
 	// The aggregation kernels parallelize over gradient coordinates as well
 	// as clients, so they get the unclamped worker count; the gradient
 	// phase is bounded by one replica per client.
 	resolved := parallel.Resolve(cfg.Workers)
-	aggregate.SetWorkers(cfg.Rule, resolved)
+	if rd, ok := pipe.Defense.(RuleDefense); ok {
+		aggregate.SetWorkers(rd.Rule, resolved)
+	} else if cfg.Rule != nil {
+		aggregate.SetWorkers(cfg.Rule, resolved)
+	}
 	workers := resolved
 	if workers > cfg.Clients {
 		workers = cfg.Clients
@@ -233,118 +284,130 @@ func New(cfg Config) (*Simulation, error) {
 		cfg:      cfg,
 		model:    model,
 		clients:  clients,
-		opt:      nn.NewSGD(cfg.LR, cfg.Momentum, cfg.WeightDecay),
-		attack:   att,
+		pipe:     pipe,
 		attRng:   attRng,
 		permRng:  permRng,
+		partRng:  participationRng,
 		global:   model.ParamVector(),
 		workers:  workers,
 		replicas: replicas,
+		adaptive: pipe.Adversary.NeedsHistory(),
 	}, nil
 }
 
 // Model returns the global model (parameters reflect the latest round).
 func (s *Simulation) Model() nn.Classifier { return s.model }
 
-// localGradient computes one client's honest stochastic gradient at the
-// current global parameters, on the given model replica.
-func (s *Simulation) localGradient(m nn.Classifier, c *client) ([]float64, float64, error) {
-	batch := c.sampler.Batch(s.cfg.BatchSize)
-	in, labels, err := BatchInput(s.cfg.Dataset, batch)
-	if err != nil {
-		return nil, 0, err
+// Pipeline returns the resolved round pipeline.
+func (s *Simulation) Pipeline() Pipeline { return s.pipe }
+
+// resolveParticipants validates the participation stage's output and maps
+// it to clients.
+func (s *Simulation) resolveParticipants(ids []int) ([]*Client, error) {
+	if len(ids) == 0 {
+		return nil, fmt.Errorf("fl: participation %s selected no clients", s.pipe.Participation.Name())
 	}
-	m.ZeroGrad()
-	loss, _, err := m.LossAndGrad(in, labels)
-	if err != nil {
-		return nil, 0, fmt.Errorf("fl: client %d gradient: %w", c.id, err)
+	out := make([]*Client, len(ids))
+	prev := -1
+	for i, id := range ids {
+		if id < 0 || id >= len(s.clients) {
+			return nil, fmt.Errorf("fl: participation %s selected invalid client %d", s.pipe.Participation.Name(), id)
+		}
+		if id <= prev {
+			return nil, fmt.Errorf("fl: participation %s output not strictly ascending at %d", s.pipe.Participation.Name(), id)
+		}
+		prev = id
+		out[i] = s.clients[id]
 	}
-	return m.GradVector(), loss, nil
+	return out, nil
 }
 
-// gradOut is one client's gradient-phase output.
-type gradOut struct {
-	g    []float64
-	loss float64
-	err  error
-}
-
-// computeGradients runs the local-gradient phase for every client,
-// sequentially or across the worker replicas. Each client is visited by
-// exactly one worker and draws from its own sampler RNG, so the outputs
-// are identical for any worker count; only wall-clock time changes.
-func (s *Simulation) computeGradients() []gradOut {
-	outs := make([]gradOut, len(s.clients))
-	if s.workers <= 1 {
-		for i, c := range s.clients {
-			outs[i].g, outs[i].loss, outs[i].err = s.localGradient(s.model, c)
-		}
-		return outs
-	}
-	parallel.For(s.workers, len(s.clients), func(w, start, end int) {
-		m := s.replicas[w]
-		if err := m.SetParamVector(s.global); err != nil {
-			for i := start; i < end; i++ {
-				outs[i].err = err
-			}
-			return
-		}
-		for i := start; i < end; i++ {
-			outs[i].g, outs[i].loss, outs[i].err = s.localGradient(m, s.clients[i])
-		}
-	})
-	return outs
-}
-
-// Step executes one synchronous round: local gradients, attack crafting,
-// robust aggregation and the server SGD update. It returns the round
-// metrics.
+// Step executes one synchronous round through the five pipeline stages:
+// participant selection, local gradients, attack crafting, robust
+// aggregation and the server update. It returns the round metrics.
 func (s *Simulation) Step(round int) (*RoundMetrics, error) {
 	if err := s.model.SetParamVector(s.global); err != nil {
 		return nil, err
 	}
 
-	outs := s.computeGradients()
+	// Stage 1: participation.
+	ids, err := s.pipe.Participation.Select(s.partRng, round, len(s.clients))
+	if err != nil {
+		return nil, fmt.Errorf("fl: participation %s: %w", s.pipe.Participation.Name(), err)
+	}
+	participants, err := s.resolveParticipants(ids)
+	if err != nil {
+		return nil, err
+	}
 
-	// Reduce in client-index order so the loss accumulation, gradient
+	// Stage 2: local compute.
+	env := &LocalEnv{
+		Dataset:   s.cfg.Dataset,
+		BatchSize: s.cfg.BatchSize,
+		Global:    s.global,
+		Replicas:  s.replicas,
+		Workers:   s.workers,
+	}
+	outs, err := s.pipe.Local.Compute(env, participants)
+	if err != nil {
+		return nil, fmt.Errorf("fl: local stage %s: %w", s.pipe.Local.Name(), err)
+	}
+	if len(outs) != len(participants) {
+		return nil, fmt.Errorf("fl: local stage %s produced %d gradients, want %d",
+			s.pipe.Local.Name(), len(outs), len(participants))
+	}
+
+	// Reduce in participant order so the loss accumulation, gradient
 	// grouping and first-divergence detection are independent of how the
-	// gradient phase was scheduled.
+	// local stage was scheduled.
 	var benign, byzOwn [][]float64
 	var lossSum float64
 	var lossCnt int
-	for i, c := range s.clients {
-		g, loss, err := outs[i].g, outs[i].loss, outs[i].err
-		if err != nil {
-			return nil, err
+	for i, c := range participants {
+		o := outs[i]
+		if o.Err != nil {
+			return nil, o.Err
 		}
-		if !gradientHealthy(g) {
+		if !gradientHealthy(o.Grad) {
 			// The model has left the numerically usable range (a successful
 			// destructive attack in an earlier round). Detect it before the
 			// adversary — whose distance computations would overflow or
 			// propagate NaNs — sees it.
 			return nil, fmt.Errorf("%w: unusable gradient from client %d in round %d",
-				ErrDiverged, c.id, round)
+				ErrDiverged, c.ID, round)
 		}
-		if c.byzantine {
-			byzOwn = append(byzOwn, g)
+		if c.Byzantine {
+			byzOwn = append(byzOwn, o.Grad)
 		} else {
-			benign = append(benign, g)
-			lossSum += loss
+			benign = append(benign, o.Grad)
+			lossSum += o.Loss
 			lossCnt++
 		}
 	}
 
+	// Stage 3: adversary.
 	var malicious [][]float64
-	if len(byzOwn) > 0 {
-		ctx := &attack.Context{Benign: benign, ByzOwn: byzOwn, Rng: s.attRng}
-		var err error
-		malicious, err = s.attack.Craft(ctx)
+	switch {
+	case len(byzOwn) == 0:
+		// No Byzantine client participates this round.
+	case len(benign) == 0:
+		// A subsampled round with no benign gradients in sight: the
+		// omniscient adversary has no statistics to mimic, so the cohort
+		// submits its own honest gradients.
+		malicious = tensor.CloneAll(byzOwn)
+	default:
+		ctx := &attack.Context{
+			Benign: benign, ByzOwn: byzOwn, Rng: s.attRng,
+			Round: round, History: s.history,
+			PrevAggregate: s.prevAgg, PrevSelected: s.prevSel,
+		}
+		malicious, err = s.pipe.Adversary.Craft(ctx)
 		if err != nil {
-			return nil, fmt.Errorf("fl: attack %s: %w", s.attack.Name(), err)
+			return nil, fmt.Errorf("fl: attack %s: %w", s.pipe.Adversary.Name(), err)
 		}
 		if len(malicious) != len(byzOwn) {
 			return nil, fmt.Errorf("fl: attack %s produced %d gradients, want %d",
-				s.attack.Name(), len(malicious), len(byzOwn))
+				s.pipe.Adversary.Name(), len(malicious), len(byzOwn))
 		}
 	}
 
@@ -370,31 +433,67 @@ func (s *Simulation) Step(round int) (*RoundMetrics, error) {
 			return nil, fmt.Errorf("%w: unusable submitted gradient in round %d", ErrDiverged, round)
 		}
 	}
-	res, err := s.cfg.Rule.Aggregate(grads)
+
+	// Stage 4: defense.
+	res, err := s.pipe.Defense.Aggregate(round, grads)
 	if err != nil {
-		return nil, fmt.Errorf("fl: rule %s: %w", s.cfg.Rule.Name(), err)
+		return nil, fmt.Errorf("fl: rule %s: %w", s.pipe.Defense.Name(), err)
 	}
 	if !tensor.AllFinite(res.Gradient) {
 		return nil, fmt.Errorf("%w: rule %s produced a non-finite aggregate in round %d",
-			ErrDiverged, s.cfg.Rule.Name(), round)
+			ErrDiverged, s.pipe.Defense.Name(), round)
 	}
-	if err := s.opt.Step(s.global, res.Gradient); err != nil {
+
+	// Stage 5: server update.
+	if err := s.pipe.Update.Apply(round, s.global, res.Gradient); err != nil {
 		return nil, err
 	}
 
+	if s.adaptive {
+		s.observe(round, res, byzMask)
+	}
+
 	if s.cfg.RoundHook != nil {
+		// RoundState is materialized only for hooked runs.
 		s.cfg.RoundHook(&RoundState{
-			Round:   round,
-			Grads:   grads,
-			ByzMask: byzMask,
-			Honest:  benign,
-			Result:  res,
+			Round:        round,
+			Participants: ids,
+			Grads:        grads,
+			ByzMask:      byzMask,
+			Honest:       benign,
+			Result:       res,
 		})
 	}
 
 	m := &RoundMetrics{Round: round, TrainLoss: lossSum / float64(max(lossCnt, 1))}
 	m.countSelection(res.Selected, byzMask)
 	return m, nil
+}
+
+// observe feeds the round's filtering outcome back to an adaptive
+// adversary: the omniscient attacker knows which arrival positions were
+// its own, so it can count how many survived selection.
+func (s *Simulation) observe(round int, res *aggregate.Result, byzMask []bool) {
+	obs := attack.Observation{Round: round, HasSelection: res.Selected != nil}
+	for _, b := range byzMask {
+		if b {
+			obs.TotalByz++
+		} else {
+			obs.TotalHonest++
+		}
+	}
+	for _, i := range res.Selected {
+		if i >= 0 && i < len(byzMask) && byzMask[i] {
+			obs.SelectedByz++
+		} else {
+			obs.SelectedHonest++
+		}
+	}
+	s.history = append(s.history, obs)
+	// Fresh copies every round: the adversary may retain what Craft saw,
+	// so the engine must never mutate a previously handed-out slice.
+	s.prevAgg = tensor.Clone(res.Gradient)
+	s.prevSel = append([]int(nil), res.Selected...)
 }
 
 // ErrDiverged marks a training run whose model left the finite range —
@@ -416,7 +515,7 @@ func gradientHealthy(g []float64) bool {
 // model diverges (ErrDiverged) stops early with Diverged set and keeps the
 // metrics collected so far: a destroyed model is a result, not an error.
 func (s *Simulation) Run() (*RunResult, error) {
-	result := &RunResult{RuleName: s.cfg.Rule.Name(), AttackName: s.attack.Name()}
+	result := &RunResult{RuleName: s.pipe.Defense.Name(), AttackName: s.pipe.Adversary.Name()}
 	for t := 0; t < s.cfg.Rounds; t++ {
 		m, err := s.Step(t)
 		if errors.Is(err, ErrDiverged) {

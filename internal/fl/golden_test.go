@@ -1,0 +1,137 @@
+package fl
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"hash"
+	"math"
+	"testing"
+
+	"github.com/signguard/signguard/internal/aggregate"
+	"github.com/signguard/signguard/internal/attack"
+	"github.com/signguard/signguard/internal/core"
+)
+
+// goldenTraces pin the engine's exact numerical behavior: a SHA-256 over
+// the Float64bits of every per-round aggregated gradient, every per-round
+// training loss, and the full accuracy trace of a fixed-seed run. The
+// constants were captured from the monolithic pre-pipeline engine (PR 2),
+// so they prove the composable round pipeline's default configuration —
+// full participation, static attack, existing defenses — reproduces the
+// old engine bit for bit.
+var goldenTraces = map[string]string{
+	"Mean/NoAttack":      "08f48178a460890273043fe12fece1616bfc58e8d911913e1fb60441acd8c3a9",
+	"SignGuard/LIE":      "f4c73cb769d21ad429b0026a772016993206b3aa81936c8769e78db724185cd5",
+	"TrMean/SignFlip":    "c22b87bf64c5eca43aa663a3b49c451e3dc825ff1930ac9a6a391d8b242b6610",
+	"Multi-Krum/Min-Max": "8328035aa6ff52f0fdd4f534a35d2b8b5ae04fce684ea137ba7deb8b480c147d",
+}
+
+// goldenScenario builds each pinned scenario on the shared tiny dataset.
+func goldenScenario(t *testing.T, name string) Config {
+	t.Helper()
+	cfg := baseConfig(tinyDataset(t))
+	cfg.Rounds = 12
+	cfg.EvalEvery = 4
+	cfg.EvalSamples = 60
+	switch name {
+	case "Mean/NoAttack":
+		// baseConfig defaults: Mean rule, no Byzantine clients.
+	case "SignGuard/LIE":
+		cfg.NumByz = 2
+		cfg.Attack = attack.NewLIE(0.3)
+		cfg.Rule = core.NewPlain(7)
+	case "TrMean/SignFlip":
+		cfg.NumByz = 2
+		cfg.Attack = attack.NewSignFlip()
+		cfg.Rule = aggregate.NewTrimmedMean(2)
+	case "Multi-Krum/Min-Max":
+		cfg.NumByz = 2
+		cfg.Attack = attack.NewMinMax()
+		cfg.Rule = aggregate.NewMultiKrum(2, 8)
+	default:
+		t.Fatalf("unknown golden scenario %q", name)
+	}
+	return cfg
+}
+
+func hashFloats(h hash.Hash, vals ...float64) {
+	var buf [8]byte
+	for _, v := range vals {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		h.Write(buf[:])
+	}
+}
+
+// traceDigest runs the configuration and digests everything the paper's
+// experiments consume: the aggregated gradient and selected set of every
+// round, the per-round losses, and the evaluated accuracy trace.
+func traceDigest(t *testing.T, cfg Config) string {
+	t.Helper()
+	h := sha256.New()
+	cfg.RoundHook = func(st *RoundState) {
+		hashFloats(h, float64(st.Round))
+		hashFloats(h, st.Result.Gradient...)
+		for _, i := range st.Result.Selected {
+			hashFloats(h, float64(i))
+		}
+		for _, b := range st.ByzMask {
+			if b {
+				h.Write([]byte{1})
+			} else {
+				h.Write([]byte{0})
+			}
+		}
+	}
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Diverged {
+		t.Fatal("golden scenario diverged")
+	}
+	for _, m := range res.History {
+		hashFloats(h, m.TrainLoss)
+	}
+	rounds, accs := res.AccuracyTrace()
+	for i := range rounds {
+		hashFloats(h, float64(rounds[i]), accs[i])
+	}
+	hashFloats(h, res.BestAccuracy, res.FinalAccuracy)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// TestGoldenDeterminism proves the default pipeline reproduces the
+// pre-refactor engine byte for byte (accuracy traces, aggregated gradients,
+// selection decisions) for a fixed seed.
+func TestGoldenDeterminism(t *testing.T) {
+	for name, want := range goldenTraces {
+		t.Run(name, func(t *testing.T) {
+			got := traceDigest(t, goldenScenario(t, name))
+			if want == "" {
+				t.Fatalf("golden hash not yet recorded; computed %s", got)
+			}
+			if got != want {
+				t.Errorf("engine trace drifted from the pre-pipeline engine:\n got %s\nwant %s", got, want)
+			}
+		})
+	}
+}
+
+// TestGoldenWorkerInvariance re-runs one golden scenario with explicit
+// worker counts: the digest must not depend on parallelism.
+func TestGoldenWorkerInvariance(t *testing.T) {
+	want := goldenTraces["SignGuard/LIE"]
+	for _, workers := range []int{1, 3} {
+		cfg := goldenScenario(t, "SignGuard/LIE")
+		cfg.Rule = core.NewPlain(7) // fresh stateful rule per run
+		cfg.Workers = workers
+		if got := traceDigest(t, cfg); got != want {
+			t.Errorf("workers=%d: trace digest %s, want %s", workers, got, want)
+		}
+	}
+}

@@ -1,0 +1,215 @@
+package fl
+
+// The round pipeline: every aggregation round flows through five explicit,
+// individually pluggable stages —
+//
+//	Participation → LocalCompute → Adversary → Defense → ServerUpdate
+//
+// Each stage is a small interface whose default implementation reproduces
+// the classic monolithic engine byte for byte (full participation, the
+// configured static attack, the configured aggregation rule, server
+// momentum SGD). Every stage with randomness draws from its own derived
+// RNG stream, so swapping one stage (e.g. enabling client subsampling)
+// perturbs no other stage's random choices.
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"github.com/signguard/signguard/internal/aggregate"
+	"github.com/signguard/signguard/internal/attack"
+	"github.com/signguard/signguard/internal/data"
+	"github.com/signguard/signguard/internal/nn"
+	"github.com/signguard/signguard/internal/parallel"
+)
+
+// Pipeline overrides individual round-pipeline stages; nil fields fall
+// back to the defaults derived from Config (FullParticipation,
+// ReplicaCompute, the promoted Config.Attack, Config.Rule wrapped as a
+// RuleDefense, and momentum SGDUpdate).
+type Pipeline struct {
+	Participation Participation
+	Local         LocalCompute
+	Adversary     attack.Adversary
+	Defense       Defense
+	Update        ServerUpdate
+}
+
+// Client is one simulated participant, visible to pipeline stages.
+type Client struct {
+	// ID is the stable client index in [0, Config.Clients).
+	ID int
+	// Byzantine marks the adversary-controlled clients.
+	Byzantine bool
+	// Sampler draws the client's local mini-batches (its own RNG stream).
+	Sampler *data.Sampler
+}
+
+// Participation is stage 1: it selects which clients take part in a round.
+type Participation interface {
+	Name() string
+	// Select returns the participating client ids for the round in strictly
+	// ascending order. Implementations must draw randomness only from rng —
+	// the stage's own derived stream.
+	Select(rng *rand.Rand, round, clients int) ([]int, error)
+}
+
+// FullParticipation selects every client every round — the paper's
+// synchronous protocol and the default. It never draws from the stage RNG.
+type FullParticipation struct{}
+
+// Name implements Participation.
+func (FullParticipation) Name() string { return "full" }
+
+// Select implements Participation.
+func (FullParticipation) Select(_ *rand.Rand, _, clients int) ([]int, error) {
+	ids := make([]int, clients)
+	for i := range ids {
+		ids[i] = i
+	}
+	return ids, nil
+}
+
+// UniformSubsample selects K distinct clients uniformly at random each
+// round, the partial-participation protocol of cross-device FL.
+type UniformSubsample struct {
+	// K is the per-round cohort size, 1 <= K <= Config.Clients.
+	K int
+}
+
+// Name implements Participation.
+func (u UniformSubsample) Name() string { return fmt.Sprintf("uniform(%d)", u.K) }
+
+// Select implements Participation.
+func (u UniformSubsample) Select(rng *rand.Rand, _, clients int) ([]int, error) {
+	if u.K < 1 || u.K > clients {
+		return nil, fmt.Errorf("fl: subsample size %d out of [1,%d]", u.K, clients)
+	}
+	ids := append([]int(nil), rng.Perm(clients)[:u.K]...)
+	sort.Ints(ids)
+	return ids, nil
+}
+
+// ClientGrad is one participant's local-compute output.
+type ClientGrad struct {
+	Grad []float64
+	Loss float64
+	Err  error
+}
+
+// LocalEnv is the engine state handed to the LocalCompute stage.
+type LocalEnv struct {
+	// Dataset supplies the example store the samplers index into.
+	Dataset *data.Dataset
+	// BatchSize is the per-client mini-batch size.
+	BatchSize int
+	// Global is the current global parameter vector.
+	Global []float64
+	// Replicas are the per-worker model copies; Replicas[0] is the main
+	// model and is already positioned at Global.
+	Replicas []nn.Classifier
+	// Workers bounds the stage's parallelism (1 = sequential).
+	Workers int
+}
+
+// LocalCompute is stage 2: it computes the participants' honest local
+// gradients at the current global parameters. The output must have one
+// entry per participant, in participant order, regardless of scheduling.
+type LocalCompute interface {
+	Name() string
+	Compute(env *LocalEnv, participants []*Client) ([]ClientGrad, error)
+}
+
+// ReplicaCompute is the default local stage: one stochastic gradient per
+// participant, partitioned contiguously over the worker model replicas.
+// Each participant is visited by exactly one worker and draws from its own
+// sampler stream, so the outputs are identical for any worker count.
+type ReplicaCompute struct{}
+
+// Name implements LocalCompute.
+func (ReplicaCompute) Name() string { return "replica-sgd" }
+
+// Compute implements LocalCompute.
+func (ReplicaCompute) Compute(env *LocalEnv, participants []*Client) ([]ClientGrad, error) {
+	outs := make([]ClientGrad, len(participants))
+	workers := env.Workers
+	if workers > len(participants) {
+		workers = len(participants)
+	}
+	if workers <= 1 {
+		m := env.Replicas[0]
+		for i, c := range participants {
+			outs[i] = localGradient(env, m, c)
+		}
+		return outs, nil
+	}
+	parallel.For(workers, len(participants), func(w, start, end int) {
+		m := env.Replicas[w]
+		if err := m.SetParamVector(env.Global); err != nil {
+			for i := start; i < end; i++ {
+				outs[i].Err = err
+			}
+			return
+		}
+		for i := start; i < end; i++ {
+			outs[i] = localGradient(env, m, participants[i])
+		}
+	})
+	return outs, nil
+}
+
+// localGradient computes one client's honest stochastic gradient at the
+// current global parameters, on the given model replica.
+func localGradient(env *LocalEnv, m nn.Classifier, c *Client) ClientGrad {
+	batch := c.Sampler.Batch(env.BatchSize)
+	in, labels, err := BatchInput(env.Dataset, batch)
+	if err != nil {
+		return ClientGrad{Err: err}
+	}
+	m.ZeroGrad()
+	loss, _, err := m.LossAndGrad(in, labels)
+	if err != nil {
+		return ClientGrad{Err: fmt.Errorf("fl: client %d gradient: %w", c.ID, err)}
+	}
+	return ClientGrad{Grad: m.GradVector(), Loss: loss}
+}
+
+// Defense is stage 4: it filters and aggregates the round's submitted
+// gradients. Implementations may be stateful across rounds (SignGuard
+// keeps the previous aggregate as its similarity reference).
+type Defense interface {
+	Name() string
+	Aggregate(round int, grads [][]float64) (*aggregate.Result, error)
+}
+
+// RuleDefense adapts an aggregate.Rule as the Defense stage (the default,
+// wrapping Config.Rule).
+type RuleDefense struct{ Rule aggregate.Rule }
+
+// Name implements Defense.
+func (d RuleDefense) Name() string { return d.Rule.Name() }
+
+// Aggregate implements Defense.
+func (d RuleDefense) Aggregate(_ int, grads [][]float64) (*aggregate.Result, error) {
+	return d.Rule.Aggregate(grads)
+}
+
+// ServerUpdate is stage 5: it folds the aggregated gradient into the
+// global parameter vector in place.
+type ServerUpdate interface {
+	Name() string
+	Apply(round int, global, grad []float64) error
+}
+
+// SGDUpdate is the default server stage: momentum SGD with weight decay
+// (the paper's server optimizer).
+type SGDUpdate struct{ Opt *nn.SGD }
+
+// Name implements ServerUpdate.
+func (SGDUpdate) Name() string { return "sgd" }
+
+// Apply implements ServerUpdate.
+func (u SGDUpdate) Apply(_ int, global, grad []float64) error {
+	return u.Opt.Step(global, grad)
+}

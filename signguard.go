@@ -173,6 +173,37 @@ func NewTimeVaryingAttack(pool []Attack, switchEvery int, seed int64) (Attack, e
 // DefaultAttackPool returns the Fig. 5 candidate pool (incl. no-attack).
 func DefaultAttackPool() []Attack { return attack.DefaultTimeVaryingPool() }
 
+// Adversary is the round-aware attacker interface of the pipeline: its
+// Context carries the round index and the previous rounds' filtering
+// history when the attack declares it needs them.
+type Adversary = attack.Adversary
+
+// AttackObservation is one round's filtering feedback as seen by an
+// omniscient adaptive adversary.
+type AttackObservation = attack.Observation
+
+// NewAdaptiveMinMaxAttack returns the history-aware Min-Max port: it
+// tightens or relaxes its distance constraint from the defense's observed
+// filtering decisions.
+func NewAdaptiveMinMaxAttack() Adversary { return attack.NewAdaptiveMinMax() }
+
+// ---- Round pipeline ----
+
+// Pipeline overrides individual stages of the engine's five-stage round
+// pipeline (Participation → LocalCompute → Adversary → Defense →
+// ServerUpdate); zero value = the paper's protocol.
+type Pipeline = fl.Pipeline
+
+// Participation selects the clients of each round.
+type Participation = fl.Participation
+
+// FullParticipation selects every client every round (the default).
+type FullParticipation = fl.FullParticipation
+
+// UniformSubsample selects K distinct clients uniformly at random each
+// round, from the participation stage's own RNG stream.
+type UniformSubsample = fl.UniformSubsample
+
 // ---- Datasets ----
 
 // Dataset bundles a train/test split with model-facing metadata.
