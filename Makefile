@@ -6,14 +6,16 @@ GO ?= go
 # the BENCH_PR.json artifact).
 BENCHFLAGS ?=
 
-.PHONY: all build test race bench cover fmt-check vet
+.PHONY: all build test race bench cover fmt-check vet dist
 
-all: fmt-check vet build test
+all: fmt-check build test
 
 build:
 	$(GO) build ./...
 
-test:
+# vet is part of the test gate: `make test` locally runs exactly what the
+# CI test job enforces.
+test: vet
 	$(GO) test -short -timeout 10m ./...
 
 race:
@@ -41,3 +43,11 @@ fmt-check:
 
 vet:
 	$(GO) vet ./...
+
+# Work-stealing cell scheduler (queue + HTTP coordinator/worker): the
+# failure-injection suite — lease expiry, duplicate uploads, coordinator
+# restarts — must stay clean under the race detector. -count=3 repeats the
+# suite to shake out schedule-dependent flakes a single pass (the race
+# target already runs one) would miss; this is the CI dist job.
+dist:
+	$(GO) test -race -count 3 -timeout 10m ./internal/campaign/...

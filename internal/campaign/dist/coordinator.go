@@ -1,0 +1,286 @@
+package dist
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"github.com/signguard/signguard/internal/campaign"
+)
+
+// Defaults of the coordinator's tunables.
+const (
+	// DefaultTTL is the lease lifetime: a worker that stops heartbeating
+	// for this long has its cells requeued.
+	DefaultTTL = 2 * time.Minute
+	// DefaultLeaseMax caps how many cells one /lease call can take,
+	// whatever the request asks for, so a single greedy worker cannot
+	// starve late joiners.
+	DefaultLeaseMax = 16
+	// maxResultBytes bounds a /result body; a full evaluation trace is a
+	// few kilobytes, so this is generous headroom, not a practical limit.
+	maxResultBytes = 64 << 20
+)
+
+// Config describes a coordinator.
+type Config struct {
+	// Spec is the resolved grid to distribute (required, non-empty).
+	Spec campaign.Spec
+	// Store persists uploaded results and pre-answers cached cells
+	// (required — a distributed campaign without a store would discard its
+	// own output).
+	Store *campaign.Store
+	// TTL is the lease lifetime (0 = DefaultTTL).
+	TTL time.Duration
+	// LeaseMax caps the per-request lease batch (0 = DefaultLeaseMax).
+	LeaseMax int
+	// Now supplies the scheduler clock (nil = time.Now). Injectable so
+	// failure tests expire leases by advancing a fake clock, not sleeping.
+	Now func() time.Time
+	// Logf, when non-nil, receives scheduling events (leases, completions,
+	// requeues).
+	Logf func(format string, args ...any)
+}
+
+// Coordinator owns a campaign's scheduling state and serves the
+// work-stealing protocol. Create one with New, mount Handler on an HTTP
+// server, and Wait for completion.
+type Coordinator struct {
+	cfg   Config
+	name  string
+	cells map[string]campaign.Cell
+	spec  SpecResponse // precomputed GET /spec payload
+
+	total     int
+	cacheHits int
+	queue     *campaign.Queue
+
+	mu         sync.Mutex
+	completed  int
+	duplicates int
+	doneCh     chan struct{}
+	doneClosed bool
+}
+
+// New builds a coordinator over the spec: it deduplicates the grid by
+// content hash, serves every cell already present in the store as a cache
+// hit (those cells are never leased — the same resume rule the local engine
+// applies), and queues the rest.
+func New(cfg Config) (*Coordinator, error) {
+	if len(cfg.Spec.Cells) == 0 {
+		return nil, fmt.Errorf("dist: campaign %q has no cells", cfg.Spec.Name)
+	}
+	if cfg.Store == nil {
+		return nil, fmt.Errorf("dist: coordinator requires a store")
+	}
+	if cfg.TTL <= 0 {
+		cfg.TTL = DefaultTTL
+	}
+	if cfg.LeaseMax <= 0 {
+		cfg.LeaseMax = DefaultLeaseMax
+	}
+
+	c := &Coordinator{
+		cfg:    cfg,
+		name:   cfg.Spec.Name,
+		cells:  map[string]campaign.Cell{},
+		doneCh: make(chan struct{}),
+	}
+	var pending []string
+	for i, cell := range cfg.Spec.Cells {
+		key, err := cell.Key()
+		if err != nil {
+			return nil, fmt.Errorf("dist: hashing cell %d: %w", i, err)
+		}
+		if _, seen := c.cells[key]; seen {
+			continue
+		}
+		c.cells[key] = cell
+		c.spec.Cells = append(c.spec.Cells, SpecCell{Key: key, Cell: cell})
+		if _, ok := cfg.Store.Get(key); ok {
+			c.cacheHits++
+			continue
+		}
+		pending = append(pending, key)
+	}
+	c.total = len(c.cells)
+	c.spec.Name = c.name
+	c.spec.TTLMillis = cfg.TTL.Milliseconds()
+	c.queue = campaign.NewQueue(pending, cfg.TTL, cfg.Now)
+	if len(pending) == 0 {
+		close(c.doneCh)
+		c.doneClosed = true
+	}
+	c.logf("dist: %s: %d cells (%d cached, %d pending), lease ttl %v",
+		c.name, c.total, c.cacheHits, len(pending), cfg.TTL)
+	return c, nil
+}
+
+func (c *Coordinator) logf(format string, args ...any) {
+	if c.cfg.Logf != nil {
+		c.cfg.Logf(format, args...)
+	}
+}
+
+// Done reports whether every cell of the grid is in the store.
+func (c *Coordinator) Done() bool {
+	return c.queue.Done()
+}
+
+// Wait blocks until the campaign completes or ctx is cancelled. On
+// completion it flushes the store index.
+func (c *Coordinator) Wait(ctx context.Context) error {
+	select {
+	case <-c.doneCh:
+		return c.cfg.Store.Flush()
+	case <-ctx.Done():
+		// Keep whatever finished indexed; a re-serve resumes from it.
+		_ = c.cfg.Store.Flush()
+		return ctx.Err()
+	}
+}
+
+// Status snapshots the scheduling counters.
+func (c *Coordinator) Status() StatusResponse {
+	pending, leased, done, _ := c.queue.Stats()
+	c.mu.Lock()
+	dup := c.duplicates
+	c.mu.Unlock()
+	return StatusResponse{
+		Name:       c.name,
+		Total:      c.total,
+		Pending:    pending,
+		Leased:     leased,
+		Completed:  done,
+		CacheHits:  c.cacheHits,
+		Duplicates: dup,
+		Done:       done+c.cacheHits == c.total,
+	}
+}
+
+// Handler returns the coordinator's HTTP API.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET "+PathSpec, c.handleSpec)
+	mux.HandleFunc("POST "+PathLease, c.handleLease)
+	mux.HandleFunc("POST "+PathHeartbeat, c.handleHeartbeat)
+	mux.HandleFunc("POST "+PathResult, c.handleResult)
+	mux.HandleFunc("GET "+PathStatus, c.handleStatus)
+	return mux
+}
+
+// writeJSON encodes v as the response body.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// readJSON decodes the request body into v, rejecting trailing garbage.
+func readJSON(w http.ResponseWriter, r *http.Request, limit int64, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, limit))
+	if err := dec.Decode(v); err != nil {
+		http.Error(w, fmt.Sprintf("bad request body: %v", err), http.StatusBadRequest)
+		return false
+	}
+	if dec.More() {
+		http.Error(w, "bad request body: trailing data after JSON value", http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+func (c *Coordinator) handleSpec(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, c.spec)
+}
+
+func (c *Coordinator) handleStatus(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, c.Status())
+}
+
+func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
+	var req LeaseRequest
+	if !readJSON(w, r, 1<<20, &req) {
+		return
+	}
+	if req.WorkerID == "" {
+		http.Error(w, "lease requires a WorkerID", http.StatusBadRequest)
+		return
+	}
+	max := req.Max
+	if max > c.cfg.LeaseMax {
+		max = c.cfg.LeaseMax
+	}
+	keys := c.queue.Lease(req.WorkerID, max)
+	if len(keys) > 0 {
+		c.logf("dist: %s: leased %d cells to %s", c.name, len(keys), req.WorkerID)
+	}
+	writeJSON(w, LeaseResponse{
+		Keys:      keys,
+		TTLMillis: c.cfg.TTL.Milliseconds(),
+		Done:      c.queue.Done(),
+	})
+}
+
+func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req HeartbeatRequest
+	if !readJSON(w, r, 1<<20, &req) {
+		return
+	}
+	if req.WorkerID == "" {
+		http.Error(w, "heartbeat requires a WorkerID", http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, HeartbeatResponse{
+		Renewed: c.queue.Heartbeat(req.WorkerID),
+		Done:    c.queue.Done(),
+	})
+}
+
+func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
+	var res campaign.CellResult
+	if !readJSON(w, r, maxResultBytes, &res) {
+		return
+	}
+	cell, known := c.cells[res.Key]
+	if !known {
+		http.Error(w, fmt.Sprintf("result key %q is not a cell of campaign %s", res.Key, c.name), http.StatusNotFound)
+		return
+	}
+	// Integrity: the uploaded cell must hash to the key it claims — a
+	// worker whose cell hashing diverged from the coordinator's must not
+	// poison the shared store.
+	wantKey, err := res.Cell.Key()
+	if err != nil || wantKey != res.Key {
+		http.Error(w, fmt.Sprintf("result cell %s does not hash to its key", res.Cell.ID()), http.StatusBadRequest)
+		return
+	}
+
+	// Put before Complete: a cell is only retired once its result is
+	// durable. Duplicate uploads re-Put identical content — harmless, and
+	// simpler than racing Complete against the store write.
+	if err := c.cfg.Store.Put(&res); err != nil {
+		http.Error(w, fmt.Sprintf("storing result: %v", err), http.StatusInternalServerError)
+		return
+	}
+	fresh := c.queue.Complete(res.Key)
+	done := c.queue.Done()
+
+	c.mu.Lock()
+	if fresh {
+		c.completed++
+		c.logf("dist: %s: %d/%d %s", c.name, c.completed+c.cacheHits, c.total, cell.ID())
+	} else {
+		c.duplicates++
+		c.logf("dist: %s: duplicate result for %s discarded", c.name, cell.ID())
+	}
+	if done && !c.doneClosed {
+		c.doneClosed = true
+		close(c.doneCh)
+	}
+	c.mu.Unlock()
+
+	writeJSON(w, ResultResponse{Duplicate: !fresh, Done: done})
+}

@@ -1,0 +1,482 @@
+package dist_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/signguard/signguard/internal/aggregate"
+	"github.com/signguard/signguard/internal/attack"
+	"github.com/signguard/signguard/internal/campaign"
+	"github.com/signguard/signguard/internal/campaign/dist"
+	"github.com/signguard/signguard/internal/data"
+	"github.com/signguard/signguard/internal/defense"
+	"github.com/signguard/signguard/internal/nn"
+)
+
+// testRegistry is a minimal self-contained registry: one tiny synthetic
+// dataset, two rules, one attack — enough to exercise every scheduler path
+// in well under a second per cell.
+func testRegistry() *campaign.Registry {
+	reg := campaign.NewRegistry()
+	reg.RegisterDataset("tiny", campaign.DatasetBuilder{
+		LR: 0.1,
+		Load: func(seed int64, train, test int) (*data.Dataset, error) {
+			return data.GenerateSynthImage(data.SynthImageConfig{
+				Name: "tiny", Classes: 4, C: 1, H: 4, W: 4, Train: train, Test: test,
+				Margin: 4, NoiseStd: 0.4, SmoothPass: 1, Seed: seed,
+			})
+		},
+		NewModel: func(rng *rand.Rand) (nn.Classifier, error) {
+			return nn.NewMLP(rng, 16, 12, 4)
+		},
+	})
+	defs := defense.NewRegistry()
+	if err := defs.Register(defense.Spec{Name: "Mean", Build: func(defense.Params) (aggregate.Rule, error) {
+		return aggregate.NewMean(), nil
+	}}); err != nil {
+		panic(err)
+	}
+	if err := defs.Register(defense.Spec{Name: "TrMean", Build: func(p defense.Params) (aggregate.Rule, error) {
+		return aggregate.NewTrimmedMean(p.F), nil
+	}}); err != nil {
+		panic(err)
+	}
+	reg.RegisterDefenses(defs)
+	reg.RegisterAttack("SignFlip", func(_ campaign.Cell, _ int64) (attack.Attack, error) {
+		return attack.NewSignFlip(), nil
+	})
+	return reg
+}
+
+func tinyParams(seed int64) campaign.Params {
+	return campaign.Params{
+		Clients: 6, ByzFraction: 0.34, Rounds: 4, BatchSize: 4,
+		EvalEvery: 2, EvalSamples: 30, TrainSize: 120, TestSize: 40, Seed: seed,
+	}
+}
+
+// testSpec is a 2 rules × 2 seeds grid: 4 unique cells.
+func testSpec() campaign.Spec {
+	spec := campaign.Spec{Name: "dist-test"}
+	for _, rule := range []string{"Mean", "TrMean"} {
+		for _, seed := range []int64{1, 2} {
+			spec.Cells = append(spec.Cells, campaign.NewCell("tiny", rule, "SignFlip", tinyParams(seed)))
+		}
+	}
+	return spec
+}
+
+func openStore(t *testing.T) *campaign.Store {
+	t.Helper()
+	store, err := campaign.OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return store
+}
+
+// fakeClock drives lease expiry without sleeping.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock { return &fakeClock{t: time.Unix(1_000_000, 0)} }
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// post sends a JSON request directly to the coordinator's test server —
+// the raw protocol, for simulating misbehaving or crashing workers.
+func post[T any](t *testing.T, url string, body any) (int, T) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out T
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode, out
+}
+
+func newWorker(url, id string, reg *campaign.Registry, slots int) *dist.Worker {
+	return &dist.Worker{
+		URL:      url,
+		ID:       id,
+		Runner:   &campaign.Runner{Registry: reg, SimWorkers: 1},
+		Registry: reg,
+		Slots:    slots,
+		Poll:     time.Millisecond,
+	}
+}
+
+// keysOf returns the spec's unique cell keys in spec order.
+func keysOf(t *testing.T, spec campaign.Spec) []string {
+	t.Helper()
+	var keys []string
+	seen := map[string]bool{}
+	for _, c := range spec.Cells {
+		k, err := c.Key()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+		}
+	}
+	return keys
+}
+
+// exportGroupJSON renders the spec's stored results (spec order) through
+// the seed-group JSON exporter — the byte-level artifact the determinism
+// acceptance criterion compares.
+func exportGroupJSON(t *testing.T, store *campaign.Store, spec campaign.Spec) []byte {
+	t.Helper()
+	var results []*campaign.CellResult
+	for _, key := range keysOf(t, spec) {
+		res, ok := store.Get(key)
+		if !ok {
+			t.Fatalf("store is missing cell %s", key)
+		}
+		results = append(results, res)
+	}
+	var buf bytes.Buffer
+	if err := campaign.WriteGroupJSON(&buf, results); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestDistributedMatchesLocal is the determinism acceptance criterion: the
+// same grid run by the in-process engine and by an in-process coordinator
+// with three concurrent workers must export byte-identical group-json, and
+// every per-cell result must hash identically.
+func TestDistributedMatchesLocal(t *testing.T) {
+	spec := testSpec()
+
+	localStore := openStore(t)
+	e := &campaign.Engine{Registry: testRegistry(), Store: localStore, Workers: 2, SimWorkers: 1}
+	if _, err := e.Run(context.Background(), spec); err != nil {
+		t.Fatal(err)
+	}
+
+	distStore := openStore(t)
+	coord, err := dist.New(dist.Config{Spec: spec, Store: distStore, TTL: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(coord.Handler())
+	defer ts.Close()
+
+	var wg sync.WaitGroup
+	errs := make([]error, 3)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = newWorker(ts.URL, fmt.Sprintf("w%d", i), testRegistry(), 1).Run(context.Background())
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+	}
+	if !coord.Done() {
+		t.Fatal("coordinator not done after all workers exited")
+	}
+
+	// Per-cell: identical content hashes (DurationMS excluded by Hash).
+	for _, key := range keysOf(t, spec) {
+		lr, ok := localStore.Get(key)
+		if !ok {
+			t.Fatalf("local store missing %s", key)
+		}
+		dr, ok := distStore.Get(key)
+		if !ok {
+			t.Fatalf("dist store missing %s", key)
+		}
+		lh, err := lr.Hash()
+		if err != nil {
+			t.Fatal(err)
+		}
+		dh, err := dr.Hash()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lh != dh {
+			t.Errorf("cell %s: local hash %s != distributed %s", lr.Cell.ID(), lh, dh)
+		}
+	}
+
+	// Whole artifact: byte-identical group-json exports.
+	local := exportGroupJSON(t, localStore, spec)
+	distributed := exportGroupJSON(t, distStore, spec)
+	if !bytes.Equal(local, distributed) {
+		t.Errorf("group-json exports differ:\nlocal:\n%s\ndistributed:\n%s", local, distributed)
+	}
+}
+
+// TestWorkerCrashLeaseExpiry injects the headline failure: a worker leases
+// cells and dies mid-cell without ever uploading. After the TTL its cells
+// are requeued and a second worker completes the whole grid.
+func TestWorkerCrashLeaseExpiry(t *testing.T) {
+	spec := testSpec()
+	store := openStore(t)
+	clock := newFakeClock()
+	coord, err := dist.New(dist.Config{Spec: spec, Store: store, TTL: time.Minute, Now: clock.Now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(coord.Handler())
+	defer ts.Close()
+
+	// The crasher takes two cells and is never heard from again.
+	code, lease := post[dist.LeaseResponse](t, ts.URL+dist.PathLease, dist.LeaseRequest{WorkerID: "crasher", Max: 2})
+	if code != http.StatusOK || len(lease.Keys) != 2 {
+		t.Fatalf("crasher lease: code %d keys %v", code, lease.Keys)
+	}
+	st := coord.Status()
+	if st.Leased != 2 || st.Pending != 2 {
+		t.Fatalf("after crash lease: %+v", st)
+	}
+
+	// Before the TTL the crashed cells stay held: a rescuer that drains
+	// the queue completes only the two free cells... (sanity via status)
+	clock.Advance(59 * time.Second)
+	if st := coord.Status(); st.Leased != 2 {
+		t.Fatalf("leases expired before TTL: %+v", st)
+	}
+
+	// ...but past the TTL they requeue, and the rescuer finishes the grid.
+	clock.Advance(2 * time.Second)
+	stats, err := newWorker(ts.URL, "rescuer", testRegistry(), 2).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Executed != 4 {
+		t.Errorf("rescuer executed %d cells, want all 4 (crashed cells requeued)", stats.Executed)
+	}
+	if stats.Duplicates != 0 {
+		t.Errorf("rescuer saw %d duplicates, want 0", stats.Duplicates)
+	}
+	if !coord.Done() {
+		t.Error("campaign not done after rescue")
+	}
+	for _, key := range keysOf(t, spec) {
+		if _, ok := store.Get(key); !ok {
+			t.Errorf("store missing cell %s after rescue", key)
+		}
+	}
+}
+
+// TestDuplicateResultUpload injects the expired-but-alive race: a worker's
+// lease expires, another worker completes the cell, and the original upload
+// arrives late. The store Put is idempotent and the coordinator reports a
+// duplicate instead of failing either worker.
+func TestDuplicateResultUpload(t *testing.T) {
+	spec := campaign.Spec{Name: "dup", Cells: []campaign.Cell{
+		campaign.NewCell("tiny", "Mean", "SignFlip", tinyParams(1)),
+	}}
+	store := openStore(t)
+	coord, err := dist.New(dist.Config{Spec: spec, Store: store, TTL: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(coord.Handler())
+	defer ts.Close()
+
+	key := keysOf(t, spec)[0]
+	runner := &campaign.Runner{Registry: testRegistry(), SimWorkers: 1}
+	res, err := runner.RunCell(spec.Cells[0], key)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	code, first := post[dist.ResultResponse](t, ts.URL+dist.PathResult, res)
+	if code != http.StatusOK || first.Duplicate {
+		t.Fatalf("first upload: code %d, %+v", code, first)
+	}
+	if !first.Done {
+		t.Fatal("single-cell campaign not done after first upload")
+	}
+	code, second := post[dist.ResultResponse](t, ts.URL+dist.PathResult, res)
+	if code != http.StatusOK || !second.Duplicate {
+		t.Fatalf("second upload: code %d, %+v (want acknowledged duplicate)", code, second)
+	}
+	st := coord.Status()
+	if st.Completed != 1 || st.Duplicates != 1 || !st.Done {
+		t.Errorf("status after duplicate: %+v", st)
+	}
+	if _, ok := store.Get(key); !ok {
+		t.Error("result missing from store")
+	}
+}
+
+// TestResultUploadRejectsForeignAndForgedCells: results for keys outside
+// the grid are 404, and a result whose cell does not hash to its claimed
+// key (mismatched builds) is 400 — neither reaches the store.
+func TestResultUploadRejectsForeignAndForgedCells(t *testing.T) {
+	spec := testSpec()
+	store := openStore(t)
+	coord, err := dist.New(dist.Config{Spec: spec, Store: store, TTL: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(coord.Handler())
+	defer ts.Close()
+
+	foreign := &campaign.CellResult{Key: "deadbeef", Cell: spec.Cells[0]}
+	if code, _ := post[dist.ResultResponse](t, ts.URL+dist.PathResult, foreign); code != http.StatusNotFound {
+		t.Errorf("foreign key upload: code %d, want 404", code)
+	}
+
+	key := keysOf(t, spec)[0]
+	forged := &campaign.CellResult{Key: key, Cell: spec.Cells[1]} // wrong cell under a real key
+	if code, _ := post[dist.ResultResponse](t, ts.URL+dist.PathResult, forged); code != http.StatusBadRequest {
+		t.Errorf("forged cell upload: code %d, want 400", code)
+	}
+	if _, ok := store.Get(key); ok {
+		t.Error("rejected upload reached the store")
+	}
+	if st := coord.Status(); st.Completed != 0 {
+		t.Errorf("rejected uploads completed cells: %+v", st)
+	}
+}
+
+// TestCoordinatorRestartWarmStore injects a coordinator crash: a fresh
+// coordinator over the same spec and store must resume exactly like the
+// local engine — fully-cached grids are done on arrival and workers joining
+// them exit immediately with zero executions.
+func TestCoordinatorRestartWarmStore(t *testing.T) {
+	spec := testSpec()
+	store := openStore(t)
+
+	first, err := dist.New(dist.Config{Spec: spec, Store: store, TTL: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(first.Handler())
+	if _, err := newWorker(ts.URL, "w0", testRegistry(), 2).Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ts.Close() // coordinator "crashes" after completion
+
+	// Restart: same grid, same (now warm) store.
+	second, err := dist.New(dist.Config{Spec: spec, Store: store, TTL: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Done() {
+		t.Fatal("restarted coordinator not done against a warm store")
+	}
+	st := second.Status()
+	if st.CacheHits != 4 || st.Pending != 0 || st.Completed != 0 {
+		t.Fatalf("restart status: %+v", st)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := second.Wait(ctx); err != nil {
+		t.Fatalf("Wait on a done coordinator: %v", err)
+	}
+
+	ts2 := httptest.NewServer(second.Handler())
+	defer ts2.Close()
+	stats, err := newWorker(ts2.URL, "late", testRegistry(), 1).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Executed != 0 {
+		t.Errorf("worker executed %d cells against a fully-cached grid", stats.Executed)
+	}
+}
+
+// TestPartialResume: a coordinator restart over a store holding a strict
+// subset of results schedules only the missing cells.
+func TestPartialResume(t *testing.T) {
+	spec := testSpec()
+	store := openStore(t)
+
+	// Warm exactly one cell.
+	keys := keysOf(t, spec)
+	runner := &campaign.Runner{Registry: testRegistry(), SimWorkers: 1}
+	res, err := runner.RunCell(spec.Cells[0], keys[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Put(res); err != nil {
+		t.Fatal(err)
+	}
+
+	coord, err := dist.New(dist.Config{Spec: spec, Store: store, TTL: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := coord.Status(); st.CacheHits != 1 || st.Pending != 3 {
+		t.Fatalf("partial resume status: %+v", st)
+	}
+	ts := httptest.NewServer(coord.Handler())
+	defer ts.Close()
+	stats, err := newWorker(ts.URL, "resumer", testRegistry(), 2).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Executed != 3 {
+		t.Errorf("resumer executed %d cells, want 3", stats.Executed)
+	}
+	if !coord.Done() {
+		t.Error("campaign not done after partial resume")
+	}
+}
+
+// TestWorkerRejectsUnknownGrid: a worker whose registry cannot build the
+// grid fails on join, before leasing anything.
+func TestWorkerRejectsUnknownGrid(t *testing.T) {
+	spec := campaign.Spec{Name: "alien", Cells: []campaign.Cell{
+		campaign.NewCell("tiny", "Mean", "SignFlip", tinyParams(1)),
+	}}
+	store := openStore(t)
+	coord, err := dist.New(dist.Config{Spec: spec, Store: store, TTL: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(coord.Handler())
+	defer ts.Close()
+
+	// A registry without the "tiny" dataset cannot run this grid.
+	empty := campaign.NewRegistry()
+	if _, err := newWorker(ts.URL, "naive", empty, 1).Run(context.Background()); err == nil {
+		t.Fatal("worker with an incompatible registry joined anyway")
+	}
+	if st := coord.Status(); st.Leased != 0 {
+		t.Errorf("rejected worker holds leases: %+v", st)
+	}
+}

@@ -1,0 +1,118 @@
+// Package dist distributes a campaign's cell grid over multiple hosts with
+// an HTTP+JSON work-stealing protocol, removing the single-machine ceiling
+// of the in-process engine while preserving its semantics exactly.
+//
+// One Coordinator owns the resolved grid and the content-addressed result
+// Store. Any number of Workers join it over HTTP, lease batches of pending
+// cell keys with a TTL, execute them through the same campaign.CellRunner
+// path the local engine uses, and upload the results. The coordinator skips
+// cells already present in the store before workers ever see them — resume
+// semantics are byte-for-byte those of a local run — and requeues the cells
+// of workers whose heartbeats stop, so a crashed worker costs the campaign
+// its in-flight cells' wall-clock time, never their results.
+//
+// The protocol has five endpoints:
+//
+//	GET  /spec       → the resolved grid (name, unique cells + keys, lease TTL)
+//	POST /lease      → lease up to Max pending cell keys for the TTL
+//	POST /heartbeat  → renew every lease the calling worker holds
+//	POST /result     → upload one CellResult (idempotent: duplicates are
+//	                   acknowledged and discarded)
+//	GET  /status     → scheduling counters, for dashboards and polling
+//
+// Determinism: cell results do not depend on which worker executes a cell
+// or in what order cells run, so a grid distributed over N workers produces
+// results identical to a local run — the equivalence is asserted by this
+// package's tests down to the exported group-json bytes.
+package dist
+
+import "github.com/signguard/signguard/internal/campaign"
+
+// Endpoint paths of the coordinator protocol.
+const (
+	PathSpec      = "/spec"
+	PathLease     = "/lease"
+	PathHeartbeat = "/heartbeat"
+	PathResult    = "/result"
+	PathStatus    = "/status"
+)
+
+// SpecCell is one unique grid cell with its precomputed content hash.
+// Workers recompute the hash from the cell and refuse to run on mismatch —
+// a coordinator and a worker built from diverged sources must not share a
+// store.
+type SpecCell struct {
+	Key  string
+	Cell campaign.Cell
+}
+
+// SpecResponse is the GET /spec payload: the fully-resolved grid, so a
+// worker needs only the coordinator URL (plus its own builder registry) to
+// join a campaign.
+type SpecResponse struct {
+	// Name is the campaign name.
+	Name string
+	// Cells lists every unique cell of the grid in spec order, cached ones
+	// included (they are never leased, but workers may want the full grid).
+	Cells []SpecCell
+	// TTLMillis is the lease lifetime; workers heartbeat a few times per
+	// TTL to keep their leases alive.
+	TTLMillis int64
+}
+
+// LeaseRequest asks for up to Max pending cells on behalf of WorkerID.
+type LeaseRequest struct {
+	WorkerID string
+	// Max caps the batch (values < 1 lease a single cell; the coordinator
+	// also applies its own LeaseMax cap).
+	Max int
+}
+
+// LeaseResponse carries the leased keys. An empty Keys with Done false
+// means every remaining cell is leased to other workers: poll again (the
+// keys come back if their holder dies). Done true means the campaign is
+// complete and the worker can exit.
+type LeaseResponse struct {
+	Keys      []string
+	TTLMillis int64
+	Done      bool
+}
+
+// HeartbeatRequest renews every lease WorkerID holds.
+type HeartbeatRequest struct {
+	WorkerID string
+}
+
+// HeartbeatResponse reports the renewal. Renewed == 0 tells a live worker
+// its leases expired (its cells may already be re-leased elsewhere, and its
+// uploads may be acknowledged as duplicates).
+type HeartbeatResponse struct {
+	Renewed int
+	Done    bool
+}
+
+// ResultResponse acknowledges a POST /result upload (the request body is
+// the campaign.CellResult JSON itself).
+type ResultResponse struct {
+	// Duplicate reports that the cell had already been completed — the
+	// upload was acknowledged and discarded. Uploads after a lease expiry
+	// are normal, not errors: completion is idempotent.
+	Duplicate bool
+	Done      bool
+}
+
+// StatusResponse is the GET /status payload.
+type StatusResponse struct {
+	Name string
+	// Total = CacheHits + Completed + Leased + Pending.
+	Total     int
+	Pending   int
+	Leased    int
+	Completed int
+	// CacheHits counts cells served from the store when the coordinator
+	// started — never scheduled at all.
+	CacheHits int
+	// Duplicates counts discarded re-uploads of already-completed cells.
+	Duplicates int
+	Done       bool
+}

@@ -7,7 +7,6 @@ import (
 	"time"
 
 	"github.com/signguard/signguard/internal/data"
-	"github.com/signguard/signguard/internal/fl"
 	"github.com/signguard/signguard/internal/parallel"
 )
 
@@ -147,22 +146,16 @@ func (e *Engine) Run(ctx context.Context, spec Spec) (*Report, error) {
 		j.indices = append(j.indices, i)
 	}
 
-	cellWorkers := e.workers()
-	if cellWorkers > len(jobs) {
-		cellWorkers = len(jobs)
-	}
-	if cellWorkers < 1 {
-		cellWorkers = 1
-	}
-	simWorkers := e.simWorkers(cellWorkers)
-
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
+	// cellWorkers is clamped to the pending cell count once the cache has
+	// been consulted below; the complete closure only reads it for ETA
+	// estimates, which never fire before the first executed cell.
+	cellWorkers := e.workers()
+
 	var (
-		start    = time.Now()
-		datasets = &dsCache{m: map[dsKey]*dsEntry{}}
-		jobCh    = make(chan *job, len(jobs))
+		start = time.Now()
 
 		mu        sync.Mutex
 		firstErr  error
@@ -207,39 +200,57 @@ func (e *Engine) Run(ctx context.Context, spec Spec) (*Report, error) {
 		mu.Unlock()
 	}
 
-	// The buffered channel is pre-filled, so the shared parallel.Run pool
-	// replaces the hand-rolled WaitGroup workers: each worker drains jobs
-	// until the channel is empty (work-stealing order; the per-job results
-	// land in pre-assigned slots so completion order never matters).
+	// Serve cached cells before any scheduling: the resume decision is made
+	// scheduler-side — exactly as the distributed coordinator skips cached
+	// cells before workers ever lease them — so the queue only ever holds
+	// cells that genuinely need computing.
+	pending := make([]string, 0, len(jobs))
 	for _, j := range jobs {
-		jobCh <- j
-	}
-	close(jobCh)
-	parallel.Run(cellWorkers, func(int) {
-		for j := range jobCh {
-			if ctx.Err() != nil {
-				continue // drain without working
-			}
-			if e.Store != nil {
-				if res, ok := e.Store.Get(j.key); ok {
-					j.res = res
-					complete(j, true, 0)
-					continue
-				}
-			}
-			t0 := time.Now()
-			res, err := e.executeCell(j.cell, j.key, datasets, simWorkers)
-			if err != nil {
-				fail(fmt.Errorf("campaign %s: cell %s: %w", spec.Name, j.cell.ID(), err))
+		if e.Store != nil {
+			if res, ok := e.Store.Get(j.key); ok {
+				j.res = res
+				complete(j, true, 0)
 				continue
 			}
-			res.DurationMS = time.Since(t0).Milliseconds()
+		}
+		pending = append(pending, j.key)
+	}
+
+	if cellWorkers > len(pending) {
+		cellWorkers = len(pending)
+	}
+	if cellWorkers < 1 {
+		cellWorkers = 1
+	}
+	runner := &Runner{Registry: e.Registry, SimWorkers: e.simWorkers(cellWorkers)}
+
+	// Local execution is the degenerate case of the work-stealing cell
+	// scheduler: every worker leases one cell at a time from the shared
+	// queue until it drains. With a zero TTL leases never expire — a failed
+	// cell fails the whole run instead of being requeued — and the per-job
+	// results land in pre-assigned slots so completion order never matters.
+	queue := NewQueue(pending, 0, nil)
+	parallel.Run(cellWorkers, func(w int) {
+		worker := fmt.Sprintf("local-%d", w)
+		for ctx.Err() == nil {
+			keys := queue.Lease(worker, 1)
+			if len(keys) == 0 {
+				return
+			}
+			j := byKey[keys[0]]
+			t0 := time.Now()
+			res, err := runner.RunCell(j.cell, j.key)
+			if err != nil {
+				fail(fmt.Errorf("campaign %s: cell %s: %w", spec.Name, j.cell.ID(), err))
+				return
+			}
 			if e.Store != nil {
 				if err := e.Store.Put(res); err != nil {
 					fail(err)
-					continue
+					return
 				}
 			}
+			queue.Complete(j.key)
 			j.res = res
 			complete(j, false, time.Since(t0))
 		}
@@ -274,84 +285,4 @@ func (e *Engine) Run(ctx context.Context, spec Spec) (*Report, error) {
 		}
 	}
 	return rep, nil
-}
-
-// executeCell resolves one cell through the registry and trains it.
-func (e *Engine) executeCell(c Cell, key string, datasets *dsCache, simWorkers int) (*CellResult, error) {
-	db, err := e.Registry.dataset(c.Dataset)
-	if err != nil {
-		return nil, err
-	}
-	p := c.Params
-	dataset, err := datasets.get(
-		dsKey{name: c.Dataset, seed: p.Seed + 7, train: p.TrainSize, test: p.TestSize},
-		func() (*data.Dataset, error) { return db.Load(p.Seed+7, p.TrainSize, p.TestSize) },
-	)
-	if err != nil {
-		return nil, fmt.Errorf("loading dataset %s: %w", c.Dataset, err)
-	}
-
-	numByz := c.EffectiveByz()
-	rule, err := e.Registry.buildDefense(c, numByz, p.Seed+11)
-	if err != nil {
-		return nil, fmt.Errorf("building rule %s: %w", c.Rule, err)
-	}
-	buildAttack, err := e.Registry.attack(c.Attack)
-	if err != nil {
-		return nil, err
-	}
-	att, err := buildAttack(c, p.Seed+13)
-	if err != nil {
-		return nil, fmt.Errorf("building attack %s: %w", c.Attack, err)
-	}
-
-	var probe *ProbeInstance
-	if c.Probe != "" {
-		buildProbe, err := e.Registry.probe(c.Probe)
-		if err != nil {
-			return nil, err
-		}
-		probe, err = buildProbe(c)
-		if err != nil {
-			return nil, fmt.Errorf("building probe %s: %w", c.Probe, err)
-		}
-	}
-
-	var nonIID *fl.NonIID
-	if c.NonIIDS > 0 {
-		nonIID = &fl.NonIID{S: c.NonIIDS, ShardsPerClient: c.NonIIDShards}
-	}
-	participation, err := participationFor(c)
-	if err != nil {
-		return nil, err
-	}
-
-	x := &CellExec{
-		Dataset:       dataset,
-		NewModel:      db.NewModel,
-		LR:            db.LR,
-		Rule:          rule,
-		Attack:        att,
-		NumByz:        numByz,
-		NonIID:        nonIID,
-		Participation: participation,
-		Params:        p,
-		SimWorkers:    simWorkers,
-	}
-	if probe != nil {
-		x.Hook = probe.Hook
-	}
-	res, err := x.Run()
-	if err != nil {
-		return nil, err
-	}
-	out := newCellResult(c, key, res)
-	if probe != nil && probe.Finish != nil {
-		raw, err := probe.Finish()
-		if err != nil {
-			return nil, fmt.Errorf("probe %s: %w", c.Probe, err)
-		}
-		out.Probe = raw
-	}
-	return out, nil
 }

@@ -68,6 +68,70 @@ func TestGroupBySeedStats(t *testing.T) {
 	}
 }
 
+// TestGroupBySeedSingleSeedNoCI: a singleton group reports the value as its
+// mean with zero spread — FormatMeanCI then prints it without a ±.
+func TestGroupBySeedSingleSeedNoCI(t *testing.T) {
+	groups := campaign.GroupBySeed([]*campaign.CellResult{fakeResult("Mean", 7, 81.5, 80)})
+	if len(groups) != 1 {
+		t.Fatalf("%d groups, want 1", len(groups))
+	}
+	g := groups[0]
+	if g.N != 1 || g.Best.Mean != 81.5 {
+		t.Fatalf("singleton group: %+v", g)
+	}
+	if g.Best.Std != 0 || g.Best.CI95 != 0 || g.Final.Std != 0 || g.Final.CI95 != 0 {
+		t.Errorf("singleton group has spread: best %+v final %+v", g.Best, g.Final)
+	}
+	if got := campaign.FormatMeanCI(g.Best, 1); got != "81.5" {
+		t.Errorf("singleton formatted %q, want bare mean", got)
+	}
+}
+
+// TestGroupBySeedNaNMetrics: NaN accuracies (a diverged run whose
+// evaluation collapsed) must not panic and must poison the group mean the
+// way IEEE arithmetic says — visible, not silently dropped.
+func TestGroupBySeedNaNMetrics(t *testing.T) {
+	r1 := fakeResult("Mean", 1, math.NaN(), math.NaN())
+	r1.Diverged = true
+	r2 := fakeResult("Mean", 2, 80, 78)
+	groups := campaign.GroupBySeed([]*campaign.CellResult{r1, r2})
+	if len(groups) != 1 {
+		t.Fatalf("%d groups, want 1", len(groups))
+	}
+	g := groups[0]
+	if g.N != 2 || g.Diverged != 1 {
+		t.Fatalf("group: N=%d diverged=%d", g.N, g.Diverged)
+	}
+	if !math.IsNaN(g.Best.Mean) || !math.IsNaN(g.Final.Mean) {
+		t.Errorf("NaN member did not propagate: best=%v final=%v", g.Best.Mean, g.Final.Mean)
+	}
+}
+
+// TestGroupBySeedMismatchedTraces: seed replicas evaluated on different
+// schedules (mismatched round counts, e.g. grids merged across EvalEvery
+// changes) still group on the scalar summaries without panicking.
+func TestGroupBySeedMismatchedTraces(t *testing.T) {
+	r1 := fakeResult("Mean", 1, 80, 78)
+	r1.EvalRounds = []int{0, 2, 4}
+	r1.EvalAccuracies = []float64{10, 50, 78}
+	r1.TrainLoss = []float64{2, 1, 0.5, 0.4, 0.3}
+	r2 := fakeResult("Mean", 2, 82, 80)
+	r2.EvalRounds = []int{0, 5}
+	r2.EvalAccuracies = []float64{12, 80}
+	r2.TrainLoss = []float64{2, 0.9}
+	groups := campaign.GroupBySeed([]*campaign.CellResult{r1, r2, nil})
+	if len(groups) != 1 {
+		t.Fatalf("%d groups, want 1 (nil results skipped)", len(groups))
+	}
+	g := groups[0]
+	if g.N != 2 || g.Best.Mean != 81 || g.Final.Mean != 79 {
+		t.Fatalf("group over mismatched traces: %+v", g)
+	}
+	if len(g.Seeds) != 2 {
+		t.Errorf("seeds: %v", g.Seeds)
+	}
+}
+
 func TestGroupExportFormats(t *testing.T) {
 	results := []*campaign.CellResult{
 		fakeResult("Mean", 1, 80, 78),

@@ -1,0 +1,189 @@
+package campaign
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Queue is the lease-based cell scheduler shared by the in-process engine
+// and the distributed coordinator (internal/campaign/dist). Pending cell
+// keys are handed out in FIFO order as leases bound to a named worker;
+// Complete retires a key, Heartbeat renews a worker's leases, and — when
+// the queue was built with a nonzero TTL — leases whose holder stopped
+// heartbeating expire and their keys return to the pending queue, so cells
+// held by a crashed worker are re-executed elsewhere. The in-process engine
+// is the degenerate case: TTL zero (leases never expire) and a failure
+// aborting the whole run.
+//
+// All methods are safe for concurrent use.
+type Queue struct {
+	mu  sync.Mutex
+	ttl time.Duration
+	now func() time.Time
+
+	pending []string
+	queued  map[string]bool // membership of pending
+	leases  map[string]cellLease
+	done    map[string]bool
+	total   int
+}
+
+// cellLease records who holds a cell and until when (zero expiry = never).
+type cellLease struct {
+	worker string
+	expiry time.Time
+}
+
+// NewQueue builds a queue over keys (deduplicated, FIFO in the given
+// order). ttl == 0 disables lease expiry. now supplies the clock (nil =
+// time.Now); it is injectable so failure-injection tests can expire leases
+// by advancing a fake clock instead of sleeping.
+func NewQueue(keys []string, ttl time.Duration, now func() time.Time) *Queue {
+	if now == nil {
+		now = time.Now
+	}
+	q := &Queue{
+		ttl:    ttl,
+		now:    now,
+		queued: make(map[string]bool, len(keys)),
+		leases: map[string]cellLease{},
+		done:   map[string]bool{},
+	}
+	for _, k := range keys {
+		if q.queued[k] {
+			continue
+		}
+		q.queued[k] = true
+		q.pending = append(q.pending, k)
+	}
+	q.total = len(q.pending)
+	return q
+}
+
+// expireLocked requeues every lease past its expiry. Expired keys are
+// re-appended in sorted order so recovery behavior does not depend on map
+// iteration order. Callers hold q.mu.
+func (q *Queue) expireLocked() {
+	if q.ttl == 0 {
+		return
+	}
+	now := q.now()
+	var expired []string
+	for k, l := range q.leases {
+		if now.After(l.expiry) {
+			expired = append(expired, k)
+		}
+	}
+	sort.Strings(expired)
+	for _, k := range expired {
+		delete(q.leases, k)
+		q.queued[k] = true
+		q.pending = append(q.pending, k)
+	}
+}
+
+// Lease hands worker up to max pending keys (FIFO), each leased for the
+// queue's TTL. Expired leases are swept first, so a single polling worker
+// is enough to recover a dead peer's cells. An empty result with Done()
+// false means every remaining cell is currently leased elsewhere.
+func (q *Queue) Lease(worker string, max int) []string {
+	if max < 1 {
+		max = 1
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.expireLocked()
+	n := max
+	if n > len(q.pending) {
+		n = len(q.pending)
+	}
+	if n == 0 {
+		return nil
+	}
+	var expiry time.Time
+	if q.ttl > 0 {
+		expiry = q.now().Add(q.ttl)
+	}
+	keys := make([]string, n)
+	copy(keys, q.pending[:n])
+	q.pending = q.pending[n:]
+	for _, k := range keys {
+		delete(q.queued, k)
+		q.leases[k] = cellLease{worker: worker, expiry: expiry}
+	}
+	return keys
+}
+
+// Heartbeat renews every lease held by worker and reports how many it
+// renewed. A zero return tells a live worker its leases already expired
+// (and may be running elsewhere).
+func (q *Queue) Heartbeat(worker string) int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.expireLocked()
+	if q.ttl == 0 {
+		// Leases never expire; count them anyway so callers see liveness.
+		n := 0
+		for _, l := range q.leases {
+			if l.worker == worker {
+				n++
+			}
+		}
+		return n
+	}
+	expiry := q.now().Add(q.ttl)
+	n := 0
+	for k, l := range q.leases {
+		if l.worker == worker {
+			l.expiry = expiry
+			q.leases[k] = l
+			n++
+		}
+	}
+	return n
+}
+
+// Complete retires key, whether it is currently pending, leased, or was
+// leased by a worker presumed dead. The first call returns true; repeats
+// (duplicate uploads after a lease expired and the cell ran twice) return
+// false and change nothing — completion is idempotent. Keys the queue never
+// held also return false.
+func (q *Queue) Complete(key string) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.done[key] {
+		return false
+	}
+	if _, leased := q.leases[key]; leased {
+		delete(q.leases, key)
+	} else if q.queued[key] {
+		delete(q.queued, key)
+		for i, k := range q.pending {
+			if k == key {
+				q.pending = append(q.pending[:i], q.pending[i+1:]...)
+				break
+			}
+		}
+	} else {
+		return false
+	}
+	q.done[key] = true
+	return true
+}
+
+// Stats reports the queue's population: cells still pending, currently
+// leased, completed, and the fixed total.
+func (q *Queue) Stats() (pending, leased, done, total int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.expireLocked()
+	return len(q.pending), len(q.leases), len(q.done), q.total
+}
+
+// Done reports whether every cell has completed.
+func (q *Queue) Done() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.done) == q.total
+}

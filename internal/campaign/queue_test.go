@@ -1,0 +1,144 @@
+package campaign_test
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/signguard/signguard/internal/campaign"
+)
+
+// fakeClock is a manually-advanced clock for lease-expiry tests: no real
+// sleeps anywhere in the scheduler suite.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock { return &fakeClock{t: time.Unix(1_000_000, 0)} }
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func TestQueueFIFOAndDedup(t *testing.T) {
+	q := campaign.NewQueue([]string{"a", "b", "a", "c"}, 0, nil)
+	if got := q.Lease("w1", 2); !reflect.DeepEqual(got, []string{"a", "b"}) {
+		t.Fatalf("first lease = %v, want [a b]", got)
+	}
+	if got := q.Lease("w2", 5); !reflect.DeepEqual(got, []string{"c"}) {
+		t.Fatalf("second lease = %v, want [c]", got)
+	}
+	if got := q.Lease("w2", 1); got != nil {
+		t.Fatalf("empty queue leased %v", got)
+	}
+	pending, leased, done, total := q.Stats()
+	if pending != 0 || leased != 3 || done != 0 || total != 3 {
+		t.Fatalf("stats = %d/%d/%d/%d, want 0/3/0/3", pending, leased, done, total)
+	}
+}
+
+func TestQueueCompleteIdempotent(t *testing.T) {
+	q := campaign.NewQueue([]string{"a", "b"}, 0, nil)
+	q.Lease("w1", 1) // a leased, b pending
+	if !q.Complete("a") {
+		t.Error("completing a leased key should be fresh")
+	}
+	if q.Complete("a") {
+		t.Error("second completion should be a duplicate")
+	}
+	// Completing a still-pending key (result uploaded after the holder's
+	// lease expired and the key was requeued) retires it too.
+	if !q.Complete("b") {
+		t.Error("completing a pending key should be fresh")
+	}
+	if q.Complete("nope") {
+		t.Error("unknown keys must not complete")
+	}
+	if !q.Done() {
+		t.Error("queue should be done")
+	}
+	if got := q.Lease("w2", 1); got != nil {
+		t.Errorf("done queue leased %v", got)
+	}
+}
+
+func TestQueueLeaseExpiryRequeues(t *testing.T) {
+	clock := newFakeClock()
+	q := campaign.NewQueue([]string{"a", "b", "c"}, time.Minute, clock.Now)
+	if got := q.Lease("crasher", 2); len(got) != 2 {
+		t.Fatalf("leased %v", got)
+	}
+	// TTL not yet reached: nothing comes back.
+	clock.Advance(59 * time.Second)
+	if got := q.Lease("rescuer", 3); !reflect.DeepEqual(got, []string{"c"}) {
+		t.Fatalf("pre-expiry lease = %v, want [c]", got)
+	}
+	// Past the TTL the crasher's cells return, in sorted order, and are
+	// leasable again.
+	clock.Advance(2 * time.Second)
+	if got := q.Lease("rescuer", 3); !reflect.DeepEqual(got, []string{"a", "b"}) {
+		t.Fatalf("post-expiry lease = %v, want [a b]", got)
+	}
+	pending, leased, done, total := q.Stats()
+	if pending != 0 || leased != 3 || done != 0 || total != 3 {
+		t.Fatalf("stats = %d/%d/%d/%d, want 0/3/0/3", pending, leased, done, total)
+	}
+}
+
+func TestQueueHeartbeatRenews(t *testing.T) {
+	clock := newFakeClock()
+	q := campaign.NewQueue([]string{"a"}, time.Minute, clock.Now)
+	q.Lease("w1", 1)
+	clock.Advance(50 * time.Second)
+	if n := q.Heartbeat("w1"); n != 1 {
+		t.Fatalf("heartbeat renewed %d leases, want 1", n)
+	}
+	// 50s past the original expiry but only 50s past the renewal: held.
+	clock.Advance(50 * time.Second)
+	if got := q.Lease("w2", 1); got != nil {
+		t.Fatalf("renewed lease stolen: %v", got)
+	}
+	// Past the renewed expiry with no further heartbeat: requeued.
+	clock.Advance(11 * time.Second)
+	if n := q.Heartbeat("w1"); n != 0 {
+		t.Fatalf("expired worker still renewed %d leases", n)
+	}
+	if got := q.Lease("w2", 1); !reflect.DeepEqual(got, []string{"a"}) {
+		t.Fatalf("expired lease not requeued: %v", got)
+	}
+}
+
+func TestQueueZeroTTLNeverExpires(t *testing.T) {
+	clock := newFakeClock()
+	q := campaign.NewQueue([]string{"a"}, 0, clock.Now)
+	q.Lease("w1", 1)
+	clock.Advance(1000 * time.Hour)
+	if got := q.Lease("w2", 1); got != nil {
+		t.Fatalf("zero-TTL lease expired: %v", got)
+	}
+	if n := q.Heartbeat("w1"); n != 1 {
+		t.Fatalf("zero-TTL heartbeat counted %d leases, want 1", n)
+	}
+}
+
+func TestQueueCompletedCellsStayRetired(t *testing.T) {
+	clock := newFakeClock()
+	q := campaign.NewQueue([]string{"a", "b"}, time.Minute, clock.Now)
+	q.Lease("w1", 2)
+	q.Complete("a")
+	// Even after the worker dies, the completed cell must not reappear.
+	clock.Advance(2 * time.Minute)
+	if got := q.Lease("w2", 2); !reflect.DeepEqual(got, []string{"b"}) {
+		t.Fatalf("post-expiry lease = %v, want [b]", got)
+	}
+}

@@ -21,7 +21,7 @@ func TestClientContextCancellation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer srv.ln.Close()
+	defer srv.Close()
 
 	serverCtx, serverCancel := context.WithCancel(context.Background())
 	defer serverCancel()
@@ -55,7 +55,7 @@ func TestClientContextCancellation(t *testing.T) {
 		t.Fatal("client did not unblock after context cancellation")
 	}
 	serverCancel()
-	srv.ln.Close()
+	srv.Close()
 	wg.Wait()
 }
 

@@ -97,6 +97,13 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 // Addr returns the bound listen address (useful with ":0").
 func (s *Server) Addr() net.Addr { return s.ln.Addr() }
 
+// Close shuts the listen socket down, unblocking a Serve call waiting in
+// Accept. Serve also closes the listener when it returns; Close exists for
+// callers — tests above all — that must abort registration from outside
+// without reaching into server internals. Closing an already-closed server
+// returns the listener's error and is otherwise harmless.
+func (s *Server) Close() error { return s.ln.Close() }
+
 // FinalParams returns a copy of the current global parameters.
 func (s *Server) FinalParams() []float64 {
 	s.mu.Lock()

@@ -150,7 +150,7 @@ func TestServerConfigValidation(t *testing.T) {
 	if err != nil {
 		t.Fatalf("valid config rejected: %v", err)
 	}
-	srv.ln.Close()
+	srv.Close()
 }
 
 func TestClientRequiresCompute(t *testing.T) {
