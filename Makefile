@@ -6,9 +6,9 @@ GO ?= go
 # the BENCH_PR.json artifact).
 BENCHFLAGS ?=
 
-.PHONY: all build test race bench cover fmt-check vet dist
+.PHONY: all build test race bench cover fmt-check doc-check vet dist
 
-all: fmt-check build test
+all: fmt-check doc-check build test
 
 build:
 	$(GO) build ./...
@@ -40,6 +40,20 @@ fmt-check:
 	if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
+
+# Every library package must open with a "// Package <name> ..." doc
+# comment (cmd binaries: "// Command <name> ..."), so `go doc` renders a
+# useful summary for each. The grep keeps new packages honest; CI runs it
+# in the test job next to fmt-check.
+doc-check:
+	@fail=0; \
+	for dir in . $$(find internal -type d) $$(find cmd -mindepth 1 -maxdepth 1 -type d); do \
+		ls $$dir/*.go >/dev/null 2>&1 || continue; \
+		name=$$(basename $$dir); [ "$$dir" = "." ] && name=signguard; \
+		case $$dir in cmd/*) pat="^// Command $$name ";; *) pat="^// Package $$name ";; esac; \
+		grep -qs "$$pat" $$dir/*.go || { echo "missing package doc comment ($$pat) in $$dir"; fail=1; }; \
+	done; \
+	exit $$fail
 
 vet:
 	$(GO) vet ./...

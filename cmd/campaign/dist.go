@@ -123,6 +123,8 @@ func cmdWork(args []string) error {
 	id := fs.String("id", "", "worker name in leases/heartbeats (default: hostname-pid)")
 	workers := fs.Int("workers", parallel.Default(), "concurrent cells on this worker (default: all CPUs)")
 	batch := fs.Int("batch", 1, "cells leased per request and slot")
+	batchClients := fs.Bool("batch-clients", false,
+		"compute client gradients in one stacked batch per simulation worker (byte-identical, so uploaded results match any other worker's)")
 	poll := fs.Duration("poll", 2*time.Second, "idle wait when every pending cell is leased elsewhere")
 	verbose := fs.Bool("v", false, "log every finished cell")
 	fs.Parse(args)
@@ -147,7 +149,7 @@ func cmdWork(args []string) error {
 	w := &dist.Worker{
 		URL:      *coordURL,
 		ID:       *id,
-		Runner:   &campaign.Runner{Registry: experiments.Registry(), SimWorkers: simWorkers},
+		Runner:   &campaign.Runner{Registry: experiments.Registry(), SimWorkers: simWorkers, BatchClients: *batchClients},
 		Registry: experiments.Registry(),
 		Slots:    *workers,
 		Batch:    *batch,

@@ -10,7 +10,8 @@
 //	reproduce -exp all -scale standard -workers 8 -cache-dir .campaign-cache -out results.md
 //
 // Experiments: table1, table2, table3, fig2, fig4, fig5, fig6, the
-// post-paper scenario axes (subsample, coordfrac, adaptive), and all.
+// post-paper scenario axes (subsample, coordfrac, adaptive, batched), and
+// all.
 package main
 
 import (
@@ -28,25 +29,26 @@ import (
 
 func main() {
 	var (
-		expFlag     = flag.String("exp", "table1", "experiment id: table1|table2|table3|fig2|fig4|fig5|fig6|subsample|coordfrac|adaptive|all")
+		expFlag     = flag.String("exp", "table1", "experiment id: table1|table2|table3|fig2|fig4|fig5|fig6|subsample|coordfrac|adaptive|batched|all")
 		datasetFlag = flag.String("dataset", "", "table1 only: restrict to one dataset (mnist|fashion|cifar|agnews)")
 		scaleFlag   = flag.String("scale", "bench", "scale preset: bench|standard|full")
 		formatFlag  = flag.String("format", "md", "output format: md|tsv")
 		outFlag     = flag.String("out", "", "output file (default stdout)")
 		seedFlag    = flag.Int64("seed", 1, "experiment seed")
 		workersFlag = flag.Int("workers", parallel.Default(), "concurrent experiment cells (default: all CPUs)")
+		batchFlag   = flag.Bool("batch-clients", false, "compute client gradients in one stacked batch per simulation worker (byte-identical to the per-client path)")
 		cacheFlag   = flag.String("cache-dir", "", "cell result cache directory (empty = no cache)")
 		verbose     = flag.Bool("v", false, "log per-cell progress to stderr")
 	)
 	flag.Parse()
 
 	if err := run(*expFlag, *datasetFlag, *scaleFlag, *formatFlag, *outFlag, *seedFlag,
-		*workersFlag, *cacheFlag, *verbose); err != nil {
+		*workersFlag, *batchFlag, *cacheFlag, *verbose); err != nil {
 		log.Fatalf("reproduce: %v", err)
 	}
 }
 
-func run(exp, dataset, scaleName, format, outPath string, seed int64, workers int, cacheDir string, verbose bool) error {
+func run(exp, dataset, scaleName, format, outPath string, seed int64, workers int, batchClients bool, cacheDir string, verbose bool) error {
 	if err := parallel.ValidateWorkers(workers); err != nil {
 		return fmt.Errorf("-workers: %w", err)
 	}
@@ -69,6 +71,7 @@ func run(exp, dataset, scaleName, format, outPath string, seed int64, workers in
 		}
 	}
 	engine := experiments.NewEngine(workers, store, logf)
+	engine.BatchClients = batchClients
 
 	var out io.Writer = os.Stdout
 	if outPath != "" {
@@ -185,6 +188,13 @@ func run(exp, dataset, scaleName, format, outPath string, seed int64, workers in
 		}
 		return emit(t)
 	}
+	runBatched := func() error {
+		t, err := experiments.Batched(engine, p)
+		if err != nil {
+			return err
+		}
+		return emit(t)
+	}
 
 	switch exp {
 	case "table1":
@@ -207,9 +217,11 @@ func run(exp, dataset, scaleName, format, outPath string, seed int64, workers in
 		return runCoordFrac()
 	case "adaptive":
 		return runAdaptive()
+	case "batched":
+		return runBatched()
 	case "all":
 		for _, f := range []func() error{runFig2, runTable1, runTable2, runFig4, runFig5, runFig6, runTable3,
-			runSubsample, runCoordFrac, runAdaptive} {
+			runSubsample, runCoordFrac, runAdaptive, runBatched} {
 			if err := f(); err != nil {
 				return err
 			}

@@ -77,6 +77,18 @@ type Cell struct {
 	// IID fraction s = NonIIDS and NonIIDShards shards per client.
 	NonIIDS      float64 `json:",omitempty"`
 	NonIIDShards int     `json:",omitempty"`
+	// BatchClients selects the batched local-compute engine: each
+	// simulation worker stacks its clients' minibatches into one matrix
+	// and runs a single forward/backward per layer. Results are
+	// byte-identical to the per-client engine, so the axis exists for
+	// wall-clock comparison grids; execution-level batching without a new
+	// cell identity goes through Runner.BatchClients instead.
+	BatchClients bool `json:",omitempty"`
+	// FastLocal additionally enables the batched engine's reassociated
+	// fast kernels. NOT byte-identical (results agree to float64
+	// accuracy), which is why it is cell identity: fast results must never
+	// share a cache entry with exact ones. Requires BatchClients.
+	FastLocal bool `json:",omitempty"`
 	// Probe names an optional registered per-round observer whose output
 	// is stored with the result (e.g. the Fig. 2 sign-statistics probe).
 	Probe      string  `json:",omitempty"`
@@ -132,6 +144,12 @@ func (c Cell) id(withSeed bool) string {
 	}
 	if c.NonIIDS > 0 {
 		fmt.Fprintf(&b, "/niid=%g", c.NonIIDS)
+	}
+	if c.BatchClients {
+		b.WriteString("/batched")
+		if c.FastLocal {
+			b.WriteString("-fast")
+		}
 	}
 	if c.Probe != "" {
 		fmt.Fprintf(&b, "/probe=%s", c.Probe)

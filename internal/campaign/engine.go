@@ -56,6 +56,10 @@ type Engine struct {
 	// cell-level pool has claimed the CPUs run single-threaded, and a
 	// single-worker engine hands all CPUs to the simulation instead.
 	SimWorkers int
+	// BatchClients computes every cell's local gradients through the
+	// batched engine (see Runner.BatchClients). Byte-identical to the
+	// per-client path, so cached results remain valid either way.
+	BatchClients bool
 	// Progress, when non-nil, observes every completed cell. It is called
 	// from worker goroutines under the engine's bookkeeping lock, so
 	// callbacks need no further synchronization.
@@ -222,7 +226,7 @@ func (e *Engine) Run(ctx context.Context, spec Spec) (*Report, error) {
 	if cellWorkers < 1 {
 		cellWorkers = 1
 	}
-	runner := &Runner{Registry: e.Registry, SimWorkers: e.simWorkers(cellWorkers)}
+	runner := &Runner{Registry: e.Registry, SimWorkers: e.simWorkers(cellWorkers), BatchClients: e.BatchClients}
 
 	// Local execution is the degenerate case of the work-stealing cell
 	// scheduler: every worker leases one cell at a time from the shared

@@ -154,6 +154,9 @@ func (r *Registry) Validate(spec Spec) error {
 		if _, err := participationFor(c); err != nil {
 			return fmt.Errorf("cell %d (%s): %w", i, c.ID(), err)
 		}
+		if c.FastLocal && !c.BatchClients {
+			return fmt.Errorf("cell %d (%s): FastLocal requires BatchClients", i, c.ID())
+		}
 		if c.Probe != "" {
 			if _, err := r.probe(c.Probe); err != nil {
 				return fmt.Errorf("cell %d (%s): %w", i, c.ID(), err)

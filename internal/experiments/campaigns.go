@@ -153,7 +153,7 @@ func newSignStatsProbe(c campaign.Cell) (*campaign.ProbeInstance, error) {
 func CampaignNames() []string {
 	return []string{
 		"table1", "table2", "table3", "fig2", "fig4", "fig5", "fig6",
-		"subsample", "coordfrac", "dncsubdim", "adaptive", "all",
+		"subsample", "coordfrac", "dncsubdim", "adaptive", "batched", "all",
 	}
 }
 
@@ -189,6 +189,8 @@ func CampaignByName(name string, p Params) (campaign.Spec, error) {
 		return DnCSubDimSpec(p), nil
 	case "adaptive":
 		return AdaptiveSpec(p), nil
+	case "batched":
+		return BatchedSpec(p), nil
 	case "all":
 		names := CampaignNames()
 		specs := make([]campaign.Spec, 0, len(names)-1)

@@ -1,0 +1,144 @@
+package fl
+
+import (
+	"fmt"
+
+	"github.com/signguard/signguard/internal/data"
+	"github.com/signguard/signguard/internal/nn"
+	"github.com/signguard/signguard/internal/parallel"
+)
+
+// BatchedCompute is the batched local stage: instead of one
+// forward/backward pass per client, it stacks the minibatches of all
+// clients assigned to a worker into one matrix, runs a single
+// forward/backward per layer (nn.BatchClassifier), and de-interleaves the
+// per-client gradients from the batch dimension.
+//
+// Equivalence contract: every client still draws from its own sampler
+// stream, segments are processed in participant order, and the segmented
+// kernels accumulate each client's gradient terms in the exact order the
+// per-client path uses — so the outputs are byte-identical
+// (math.Float64bits) to ReplicaCompute for any worker count, pinned by
+// TestGoldenBatchedEquivalence. Models that cannot batch (the text RNN)
+// fall back to the per-client path transparently.
+//
+// Fast trades that bit-identity for reassociated reduction kernels
+// (unrolled independent accumulators): results agree to normal float64
+// accuracy but golden traces will differ, which is why it is a separate,
+// explicit knob (Config.FastLocal).
+type BatchedCompute struct {
+	// Fast enables the non-bitwise fast kernels on supporting models.
+	Fast bool
+}
+
+// Name implements LocalCompute.
+func (bc BatchedCompute) Name() string {
+	if bc.Fast {
+		return "batched-sgd-fast"
+	}
+	return "batched-sgd"
+}
+
+// Compute implements LocalCompute: participants are partitioned
+// contiguously over the worker model replicas exactly like ReplicaCompute,
+// and each worker trains its whole client range in one stacked pass.
+func (bc BatchedCompute) Compute(env *LocalEnv, participants []*Client) ([]ClientGrad, error) {
+	outs := make([]ClientGrad, len(participants))
+	workers := env.Workers
+	if workers > len(participants) {
+		workers = len(participants)
+	}
+	if workers <= 1 {
+		// Replicas[0] is the main model, already positioned at Global.
+		bc.computeRange(env, env.Replicas[0], participants, outs, 0, len(participants))
+		return outs, nil
+	}
+	parallel.For(workers, len(participants), func(w, start, end int) {
+		m := env.Replicas[w]
+		if err := m.SetParamVector(env.Global); err != nil {
+			for i := start; i < end; i++ {
+				outs[i].Err = err
+			}
+			return
+		}
+		bc.computeRange(env, m, participants, outs, start, end)
+	})
+	return outs, nil
+}
+
+// batchTileRows caps how many stacked rows one forward/backward pass
+// carries. Stacking an entire 200-client cohort would push every layer's
+// activation matrix far past the cache sizes, making the pass memory-bound
+// and erasing the amortization win; tiles of this many rows keep the
+// working set L2-resident while still spreading the per-pass fixed costs
+// (matrix allocations, kernel setup) over dozens of clients. Tiling only
+// groups whole client segments, so it cannot affect results.
+const batchTileRows = 1024
+
+// computeRange trains participants [start,end) on one model replica:
+// stacked tile passes when the model supports them, the per-client path
+// otherwise.
+func (bc BatchedCompute) computeRange(env *LocalEnv, m nn.Classifier, participants []*Client, outs []ClientGrad, start, end int) {
+	bm, ok := m.(nn.BatchClassifier)
+	if !ok {
+		// No batched path for this model family (e.g. the text RNN): fall
+		// back to the per-client loop, which draws the same batches from
+		// the same sampler streams.
+		for i := start; i < end; i++ {
+			outs[i] = localGradient(env, m, participants[i])
+		}
+		return
+	}
+	if bc.Fast {
+		if fk, ok := m.(nn.FastKernels); ok {
+			fk.SetFastKernels(true)
+		}
+	}
+	for tile := start; tile < end; {
+		next := bc.computeTile(env, bm, participants, outs, tile, end)
+		if next <= tile { // a failed tile reports through outs; stop the range
+			return
+		}
+		tile = next
+	}
+}
+
+// computeTile stacks the minibatches of as many clients from [start,end)
+// as fit in batchTileRows (at least one), trains them in one pass, and
+// returns the index after the last client it consumed.
+func (bc BatchedCompute) computeTile(env *LocalEnv, bm nn.BatchClassifier, participants []*Client, outs []ClientGrad, start, end int) int {
+	// Draw minibatches in participant order (each from its own sampler
+	// stream) until the tile is full, recording the row segmentation. Tail
+	// batches at an epoch boundary may be smaller than BatchSize, so
+	// segments are not necessarily equal-sized.
+	batches := make([]data.Example, 0, min(batchTileRows+env.BatchSize, (end-start)*env.BatchSize))
+	bounds := []int{0}
+	last := start
+	for last < end && (last == start || len(batches)+env.BatchSize <= batchTileRows) {
+		b := participants[last].Sampler.Batch(env.BatchSize)
+		batches = append(batches, b...)
+		bounds = append(bounds, len(batches))
+		last++
+	}
+
+	fail := func(err error) {
+		for i := start; i < last; i++ {
+			outs[i] = ClientGrad{Err: err}
+		}
+	}
+	in, labels, err := BatchInput(env.Dataset, batches)
+	if err != nil {
+		fail(err)
+		return start
+	}
+	segs, err := bm.BatchedLossAndGrad(in, labels, bounds)
+	if err != nil {
+		fail(fmt.Errorf("fl: batched gradients for clients %d..%d: %w",
+			participants[start].ID, participants[last-1].ID, err))
+		return start
+	}
+	for k, s := range segs {
+		outs[start+k] = ClientGrad{Grad: s.Grad, Loss: s.Loss}
+	}
+	return last
+}

@@ -5,11 +5,75 @@ import (
 	"math/rand"
 	"testing"
 
+	"github.com/signguard/signguard/internal/aggregate"
 	"github.com/signguard/signguard/internal/attack"
 	"github.com/signguard/signguard/internal/core"
 	"github.com/signguard/signguard/internal/data"
 	"github.com/signguard/signguard/internal/nn"
 )
+
+// BenchmarkLocalCompute is the regression benchmark of the round's hottest
+// stage: the participants' gradient computation, isolated from the rest of
+// the pipeline. It sweeps cohort × workers × engine (per-client replica
+// loop vs stacked batched pass vs batched with the non-bitwise fast
+// kernels) on the ImageCNN model, so the BENCH_PR artifact covers the
+// per-client/batched comparison directly.
+func BenchmarkLocalCompute(b *testing.B) {
+	ds, err := data.GenerateSynthImage(data.SynthImageConfig{
+		Name: "bench", Classes: 8, C: 1, H: 8, W: 8, Train: 8000, Test: 200,
+		Margin: 4, NoiseStd: 0.4, SmoothPass: 1, Seed: 11,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	engines := []struct {
+		name  string
+		stage LocalCompute
+	}{
+		{"replica", ReplicaCompute{}},
+		{"batched", BatchedCompute{}},
+		{"batched-fast", BatchedCompute{Fast: true}},
+	}
+	for _, cohort := range []int{50, 200} {
+		for _, workers := range []int{1, 4} {
+			sim, err := New(Config{
+				Dataset: ds,
+				NewModel: func(rng *rand.Rand) (nn.Classifier, error) {
+					return nn.NewImageCNN(rng, 1, 8, 8, 6, 64, 8)
+				},
+				Rule:    aggregate.NewMean(),
+				Clients: cohort, NumByz: 0, Rounds: 1, BatchSize: 16,
+				LR: 0.03, EvalEvery: 1, Seed: 1, Workers: workers,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			env := &LocalEnv{
+				Dataset:   sim.cfg.Dataset,
+				BatchSize: sim.cfg.BatchSize,
+				Global:    sim.global,
+				Replicas:  sim.replicas,
+				Workers:   sim.workers,
+			}
+			for _, eng := range engines {
+				b.Run(fmt.Sprintf("cohort=%d/workers=%d/%s", cohort, workers, eng.name), func(b *testing.B) {
+					for i := 0; i < b.N; i++ {
+						outs, err := eng.stage.Compute(env, sim.clients)
+						if err != nil {
+							b.Fatal(err)
+						}
+						for _, o := range outs {
+							if o.Err != nil {
+								b.Fatal(o.Err)
+							}
+						}
+					}
+					b.ReportMetric(float64(cohort*b.N)/b.Elapsed().Seconds(), "clients/s")
+				})
+			}
+		}
+	}
+}
 
 // BenchmarkSimulationRun50Clients compares the sequential gradient phase
 // against the parallel worker pool at the paper's client count, the

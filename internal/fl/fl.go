@@ -115,6 +115,23 @@ type Config struct {
 	// byte-identical for any worker count.
 	Workers int
 
+	// BatchClients selects the batched local-compute engine
+	// (BatchedCompute): each worker stacks its clients' minibatches into
+	// one matrix and runs a single forward/backward per layer, then
+	// de-interleaves the per-client gradients from the batch dimension.
+	// Results are byte-identical to the default per-client engine for any
+	// worker count (see the golden tests); the knob trades nothing but
+	// wall-clock. Ignored when Pipeline.Local is set explicitly.
+	BatchClients bool
+	// FastLocal additionally switches the batched engine to the
+	// reassociated fast reduction kernels (unrolled independent
+	// accumulators). Results agree with the exact path to normal float64
+	// accuracy but are NOT bit-identical — traces, accuracy curves and
+	// cache hashes will differ — so the mode is a separate explicit knob.
+	// The toggle sticks to the model replicas, so evaluation passes of the
+	// run use the fast kernels too. Requires BatchClients.
+	FastLocal bool
+
 	// RoundHook, when non-nil, observes every round (used by the Fig. 2
 	// sign-statistics experiment and by tests).
 	RoundHook func(*RoundState)
@@ -138,6 +155,8 @@ func (c *Config) validate() error {
 		return fmt.Errorf("fl: batch size %d invalid", c.BatchSize)
 	case c.LR <= 0 && c.Pipeline.Update == nil:
 		return fmt.Errorf("fl: learning rate %v invalid", c.LR)
+	case c.FastLocal && !c.BatchClients:
+		return errors.New("fl: FastLocal requires BatchClients (fast kernels belong to the batched engine)")
 	}
 	if p, ok := c.Pipeline.Participation.(UniformSubsample); ok {
 		if p.K < 1 || p.K > c.Clients {
@@ -241,7 +260,11 @@ func New(cfg Config) (*Simulation, error) {
 		pipe.Participation = FullParticipation{}
 	}
 	if pipe.Local == nil {
-		pipe.Local = ReplicaCompute{}
+		if cfg.BatchClients {
+			pipe.Local = BatchedCompute{Fast: cfg.FastLocal}
+		} else {
+			pipe.Local = ReplicaCompute{}
+		}
 	}
 	if pipe.Adversary == nil {
 		pipe.Adversary = attack.Promote(att)

@@ -4,6 +4,7 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
+	"fmt"
 	"hash"
 	"math"
 	"testing"
@@ -132,6 +133,30 @@ func TestGoldenWorkerInvariance(t *testing.T) {
 		cfg.Workers = workers
 		if got := traceDigest(t, cfg); got != want {
 			t.Errorf("workers=%d: trace digest %s, want %s", workers, got, want)
+		}
+	}
+}
+
+// TestGoldenBatchedEquivalence proves the batched local-compute engine is
+// byte-identical (the digests cover the Float64bits of every per-round
+// aggregated gradient, selection, loss and accuracy) to the per-client
+// path across Workers ∈ {1, 2, 7} × BatchClients on/off, against the same
+// pinned pre-pipeline traces. The batched engine is a second execution
+// engine for the hottest loop in the system; this test is its equivalence
+// contract.
+func TestGoldenBatchedEquivalence(t *testing.T) {
+	for name, want := range goldenTraces {
+		for _, workers := range []int{1, 2, 7} {
+			for _, batched := range []bool{false, true} {
+				t.Run(fmt.Sprintf("%s/workers=%d/batched=%v", name, workers, batched), func(t *testing.T) {
+					cfg := goldenScenario(t, name)
+					cfg.Workers = workers
+					cfg.BatchClients = batched
+					if got := traceDigest(t, cfg); got != want {
+						t.Errorf("trace digest drifted from the per-client engine:\n got %s\nwant %s", got, want)
+					}
+				})
+			}
 		}
 	}
 }

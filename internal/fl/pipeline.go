@@ -26,8 +26,9 @@ import (
 
 // Pipeline overrides individual round-pipeline stages; nil fields fall
 // back to the defaults derived from Config (FullParticipation,
-// ReplicaCompute, the promoted Config.Attack, Config.Rule wrapped as a
-// RuleDefense, and momentum SGDUpdate).
+// ReplicaCompute — or BatchedCompute when Config.BatchClients is set —
+// the promoted Config.Attack, Config.Rule wrapped as a RuleDefense, and
+// momentum SGDUpdate).
 type Pipeline struct {
 	Participation Participation
 	Local         LocalCompute

@@ -1,0 +1,178 @@
+package nn
+
+// The batched local-compute path: several clients' minibatches, all taken
+// at the same parameter vector, are stacked along the batch dimension and
+// trained in ONE forward/backward pass per layer; the per-client gradients
+// are then de-interleaved from the row segments. Correctness rests on two
+// structural facts of this library:
+//
+//   - Every layer's forward pass and input gradient are row-independent:
+//     sample i's activations and dX row depend only on row i. Stacking
+//     rows therefore reproduces each client's activations bit for bit.
+//   - Parameter gradients are per-row sums. Accumulating a contiguous row
+//     segment's terms in ascending row order — which segmentedLayer
+//     implementations guarantee — is the exact float addition sequence the
+//     standalone per-client backward performs.
+//
+// Together these make BatchedLossAndGrad byte-identical (Float64bits) to
+// looping LossAndGrad over the segments, for any segmentation. The
+// explicitly opt-in fast mode (SetFastKernels) trades that bit-identity
+// for reassociated reduction kernels.
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/signguard/signguard/internal/tensor"
+)
+
+// SegmentGrad is one row segment's (client's) share of a batched
+// forward/backward pass.
+type SegmentGrad struct {
+	// Loss is the segment's mean cross-entropy loss.
+	Loss float64
+	// Correct counts the segment's correct argmax predictions.
+	Correct int
+	// Grad is the segment's flat parameter gradient, laid out exactly like
+	// GradVector.
+	Grad []float64
+}
+
+// BatchClassifier is implemented by models that can compute per-client
+// gradients from one stacked batch. bounds holds len(segments)+1 ascending
+// row offsets (bounds[0] = 0, bounds[len-1] = batch rows); segment s spans
+// rows [bounds[s], bounds[s+1]) and every segment must be non-empty. The
+// result is byte-identical to calling LossAndGrad per segment.
+type BatchClassifier interface {
+	Classifier
+	BatchedLossAndGrad(in Input, labels []int, bounds []int) ([]SegmentGrad, error)
+}
+
+// FastKernels is implemented by models whose layers can switch to the
+// reassociated (non-bitwise) fast kernels.
+type FastKernels interface {
+	SetFastKernels(on bool)
+}
+
+// segmentedLayer is implemented by parameter-carrying layers that can
+// segment their parameter gradients by row range in a single backward
+// pass: segGrads[s][k] receives the gradient of Params()[k] accumulated
+// over rows [bounds[s], bounds[s+1]) alone, byte-identical to a standalone
+// Backward over that segment.
+type segmentedLayer interface {
+	Layer
+	backwardSegmented(grad *tensor.Matrix, bounds []int, segGrads [][][]float64) (*tensor.Matrix, error)
+}
+
+// fastKernelLayer is implemented by layers with a fast-kernel toggle.
+type fastKernelLayer interface {
+	setFastKernels(on bool)
+}
+
+// validateBounds checks a segmentation against a batch of the given row
+// count: ascending offsets from 0 to rows with no empty segment.
+func validateBounds(bounds []int, rows int) error {
+	if len(bounds) < 2 {
+		return fmt.Errorf("%w: segmentation needs >= 2 bounds, got %d", ErrShape, len(bounds))
+	}
+	if bounds[0] != 0 || bounds[len(bounds)-1] != rows {
+		return fmt.Errorf("%w: segmentation [%d..%d] does not cover %d rows",
+			ErrShape, bounds[0], bounds[len(bounds)-1], rows)
+	}
+	for s := 0; s+1 < len(bounds); s++ {
+		if bounds[s] >= bounds[s+1] {
+			return fmt.Errorf("%w: empty or descending segment %d: [%d,%d)", ErrShape, s, bounds[s], bounds[s+1])
+		}
+	}
+	return nil
+}
+
+var _ BatchClassifier = (*FeedForward)(nil)
+var _ FastKernels = (*FeedForward)(nil)
+
+// SetFastKernels toggles the fast reduction kernels (unrolled independent
+// accumulators) in every layer that supports them. Fast kernels
+// reassociate floating-point sums: results agree with the exact kernels to
+// normal float64 accuracy but are NOT bit-identical, so the toggle is
+// opt-in and off by default. It affects every subsequent pass on this
+// model — training and inference alike.
+func (ff *FeedForward) SetFastKernels(on bool) {
+	for _, l := range ff.layers {
+		if f, ok := l.(fastKernelLayer); ok {
+			f.setFastKernels(on)
+		}
+	}
+}
+
+// BatchedLossAndGrad implements BatchClassifier: one forward and one
+// backward pass per layer over the stacked batch, de-interleaving
+// per-segment losses, prediction counts and flat parameter gradients. It
+// does not touch the model's own accumulated gradients (ZeroGrad /
+// GradVector state is unaffected).
+func (ff *FeedForward) BatchedLossAndGrad(in Input, labels []int, bounds []int) ([]SegmentGrad, error) {
+	if in.Dense == nil {
+		return nil, errors.New("nn: FeedForward requires dense input")
+	}
+	if err := validateBounds(bounds, in.Dense.Rows); err != nil {
+		return nil, err
+	}
+	logits, err := ff.forward(in.Dense)
+	if err != nil {
+		return nil, err
+	}
+	losses, grad, correct, err := SoftmaxCrossEntropySegmented(logits, labels, bounds)
+	if err != nil {
+		return nil, err
+	}
+
+	// One flat gradient vector per segment, in GradVector layout; each
+	// layer's params get per-segment sub-slice views at their flat offsets.
+	segs := len(bounds) - 1
+	total := ff.NumParams()
+	flat := make([]float64, segs*total)
+	out := make([]SegmentGrad, segs)
+	for s := range out {
+		// Full three-index slice: the segments share one backing array, so
+		// capping each slice's capacity keeps a consumer's append from
+		// silently overwriting the next client's gradient.
+		out[s] = SegmentGrad{Loss: losses[s], Correct: correct[s], Grad: flat[s*total : (s+1)*total : (s+1)*total]}
+	}
+	layerSegGrads := make([][][][]float64, len(ff.layers)) // [layer][segment][param]
+	off := 0
+	for li, l := range ff.layers {
+		params := l.Params()
+		if len(params) == 0 {
+			continue
+		}
+		layerSegGrads[li] = make([][][]float64, segs)
+		for s := 0; s < segs; s++ {
+			views := make([][]float64, len(params))
+			o := off
+			for k, p := range params {
+				views[k] = out[s].Grad[o : o+len(p.W)]
+				o += len(p.W)
+			}
+			layerSegGrads[li][s] = views
+		}
+		for _, p := range params {
+			off += len(p.W)
+		}
+	}
+
+	for i := len(ff.layers) - 1; i >= 0; i-- {
+		l := ff.layers[i]
+		if len(l.Params()) == 0 {
+			// Parameter-free layers have nothing to segment; their input
+			// gradient is row-independent already.
+			grad, err = l.Backward(grad)
+		} else if sl, ok := l.(segmentedLayer); ok {
+			grad, err = sl.backwardSegmented(grad, bounds, layerSegGrads[i])
+		} else {
+			return nil, fmt.Errorf("nn: layer %d (%T) does not support batched per-client gradients", i, l)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("layer %d backward: %w", i, err)
+		}
+	}
+	return out, nil
+}

@@ -21,11 +21,16 @@ type Conv2D struct {
 	weight *Param // OutC x (InC*K*K), row-major
 	bias   *Param // OutC
 
+	// fast selects the reassociated (non-bitwise) reduction loops; see
+	// FeedForward.SetFastKernels.
+	fast bool
+
 	lastInput *tensor.Matrix
 	lastCols  []*tensor.Matrix // per-sample im2col buffers from Forward
 }
 
 var _ Layer = (*Conv2D)(nil)
+var _ segmentedLayer = (*Conv2D)(nil)
 
 // NewConv2D builds a stride-1 convolution layer with He-uniform init.
 func NewConv2D(rng *rand.Rand, inC, inH, inW, outC, k, pad int) (*Conv2D, error) {
@@ -51,6 +56,8 @@ func NewConv2D(rng *rand.Rand, inC, inH, inW, outC, k, pad int) (*Conv2D, error)
 
 // OutputSize returns the flattened per-sample output length OutC*OutH*OutW.
 func (c *Conv2D) OutputSize() int { return c.OutC * c.OutH * c.OutW }
+
+func (c *Conv2D) setFastKernels(on bool) { c.fast = on }
 
 // im2col unrolls one CHW sample into a (InC*K*K) x (OutH*OutW) matrix.
 func (c *Conv2D) im2col(sample []float64) *tensor.Matrix {
@@ -126,6 +133,10 @@ func (c *Conv2D) Forward(x *tensor.Matrix) (*tensor.Matrix, error) {
 			for p := range dst {
 				dst[p] = b
 			}
+			if c.fast {
+				forwardAccFast(dst, w, cols)
+				continue
+			}
 			for r, wv := range w {
 				if wv == 0 {
 					continue
@@ -140,8 +151,49 @@ func (c *Conv2D) Forward(x *tensor.Matrix) (*tensor.Matrix, error) {
 	return out, nil
 }
 
+// forwardAccFast accumulates the filter response with four im2col rows per
+// pass: one load/store of dst buys four multiply-adds. Grouping the four
+// products before the add reassociates the sum — non-bitwise, fast mode
+// only.
+func forwardAccFast(dst, w []float64, cols *tensor.Matrix) {
+	r := 0
+	for ; r+4 <= len(w); r += 4 {
+		w0, w1, w2, w3 := w[r], w[r+1], w[r+2], w[r+3]
+		s0, s1, s2, s3 := cols.Row(r), cols.Row(r+1), cols.Row(r+2), cols.Row(r+3)
+		for p := range dst {
+			dst[p] += ((w0*s0[p] + w1*s1[p]) + w2*s2[p]) + w3*s3[p]
+		}
+	}
+	for ; r < len(w); r++ {
+		wv := w[r]
+		if wv == 0 {
+			continue
+		}
+		src := cols.Row(r)
+		for p, sv := range src {
+			dst[p] += wv * sv
+		}
+	}
+}
+
 // Backward accumulates filter/bias gradients and returns the input gradient.
 func (c *Conv2D) Backward(grad *tensor.Matrix) (*tensor.Matrix, error) {
+	return c.backward(grad, nil, func(int) (w, b []float64) { return c.weight.Grad, c.bias.Grad })
+}
+
+// backwardSegmented implements segmentedLayer: one backward pass over the
+// whole batch, with each sample's parameter gradients accumulated into the
+// buffers of the row segment it belongs to. Samples are visited in
+// ascending order, so segment s's buffers are byte-identical to a
+// standalone Backward over rows [bounds[s], bounds[s+1]).
+func (c *Conv2D) backwardSegmented(grad *tensor.Matrix, bounds []int, segGrads [][][]float64) (*tensor.Matrix, error) {
+	return c.backward(grad, bounds, func(s int) (w, b []float64) { return segGrads[s][0], segGrads[s][1] })
+}
+
+// backward is the shared gradient computation. sink maps a segment index
+// to the filter and bias gradient buffers; bounds is nil for the
+// unsegmented path (one segment spanning the batch).
+func (c *Conv2D) backward(grad *tensor.Matrix, bounds []int, sink func(s int) (w, b []float64)) (*tensor.Matrix, error) {
 	if c.lastInput == nil {
 		return nil, fmt.Errorf("nn: Conv2D.Backward before Forward")
 	}
@@ -153,7 +205,15 @@ func (c *Conv2D) Backward(grad *tensor.Matrix) (*tensor.Matrix, error) {
 	spatial := c.OutH * c.OutW
 	colRows := c.InC * c.K * c.K
 	dcols := tensor.NewMatrix(colRows, spatial)
+	seg := 0
+	gw, bg := sink(0)
 	for n := 0; n < grad.Rows; n++ {
+		if bounds != nil {
+			for n >= bounds[seg+1] {
+				seg++
+				gw, bg = sink(seg)
+			}
+		}
 		cols := c.lastCols[n]
 		gRow := grad.Row(n)
 		for i := range dcols.Data {
@@ -162,28 +222,46 @@ func (c *Conv2D) Backward(grad *tensor.Matrix) (*tensor.Matrix, error) {
 		for oc := 0; oc < c.OutC; oc++ {
 			g := gRow[oc*spatial : (oc+1)*spatial]
 			// Bias gradient: sum over spatial positions.
-			var bg float64
-			for _, gv := range g {
-				bg += gv
-			}
-			c.bias.Grad[oc] += bg
+			bg[oc] += sumReduce(g, c.fast)
 			w := c.weight.W[oc*colRows : (oc+1)*colRows]
-			gw := c.weight.Grad[oc*colRows : (oc+1)*colRows]
+			gwoc := gw[oc*colRows : (oc+1)*colRows]
 			for r := 0; r < colRows; r++ {
 				src := cols.Row(r)
 				drow := dcols.Row(r)
-				var wgrad float64
 				wv := w[r]
+				if c.fast {
+					gwoc[r] += tensor.DotFast(g, src)
+					if wv != 0 {
+						for p, gv := range g {
+							drow[p] += gv * wv
+						}
+					}
+					continue
+				}
+				var wgrad float64
 				for p, gv := range g {
 					wgrad += gv * src[p]
 					drow[p] += gv * wv
 				}
-				gw[r] += wgrad
+				gwoc[r] += wgrad
 			}
 		}
 		c.col2im(dcols, dx.Row(n))
 	}
 	return dx, nil
+}
+
+// sumReduce sums v: sequentially (bit-stable) or with the shared
+// reassociated fast reduction (tensor.SumFast).
+func sumReduce(v []float64, fast bool) float64 {
+	if fast {
+		return tensor.SumFast(v)
+	}
+	var s float64
+	for _, x := range v {
+		s += x
+	}
+	return s
 }
 
 // Params returns the filter weights and biases.
@@ -220,11 +298,19 @@ func (p *MaxPool2D) Forward(x *tensor.Matrix) (*tensor.Matrix, error) {
 	}
 	p.inRows = x.Rows
 	p.lastArgmax = make([][]int, x.Rows)
+	// One backing array for every sample's argmax slice: len(batch) fewer
+	// allocations per pass.
+	backing := make([]int, x.Rows*p.OutputSize())
 	out := tensor.NewMatrix(x.Rows, p.OutputSize())
 	for n := 0; n < x.Rows; n++ {
 		sample := x.Row(n)
 		oRow := out.Row(n)
-		argmax := make([]int, p.OutputSize())
+		argmax := backing[n*p.OutputSize() : (n+1)*p.OutputSize()]
+		if p.Size == 2 {
+			p.forward2x2(sample, oRow, argmax)
+			p.lastArgmax[n] = argmax
+			continue
+		}
 		for c := 0; c < p.C; c++ {
 			chOff := c * p.H * p.W
 			for oi := 0; oi < p.OutH; oi++ {
@@ -248,6 +334,42 @@ func (p *MaxPool2D) Forward(x *tensor.Matrix) (*tensor.Matrix, error) {
 		p.lastArgmax[n] = argmax
 	}
 	return out, nil
+}
+
+// forward2x2 is the unrolled pooling pass for the ubiquitous 2x2 window:
+// the four candidates are compared in the exact (di,dj) order of the
+// generic loop — same strict-greater tie-breaking, same argmax — so the
+// specialization is byte-identical, only branch- and index-cheaper.
+func (p *MaxPool2D) forward2x2(sample, oRow []float64, argmax []int) {
+	for c := 0; c < p.C; c++ {
+		chOff := c * p.H * p.W
+		for oi := 0; oi < p.OutH; oi++ {
+			top := chOff + 2*oi*p.W
+			bot := top + p.W
+			outBase := (c*p.OutH + oi) * p.OutW
+			for oj := 0; oj < p.OutW; oj++ {
+				i0 := top + 2*oj
+				i2 := bot + 2*oj
+				// Start from -Inf like the generic loop so NaN candidates
+				// lose every strict-greater comparison identically.
+				best, bestIdx := math.Inf(-1), -1
+				if v := sample[i0]; v > best {
+					best, bestIdx = v, i0
+				}
+				if v := sample[i0+1]; v > best {
+					best, bestIdx = v, i0+1
+				}
+				if v := sample[i2]; v > best {
+					best, bestIdx = v, i2
+				}
+				if v := sample[i2+1]; v > best {
+					best, bestIdx = v, i2+1
+				}
+				oRow[outBase+oj] = best
+				argmax[outBase+oj] = bestIdx
+			}
+		}
+	}
 }
 
 // Backward routes each output gradient to its argmax input position.

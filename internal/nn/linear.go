@@ -15,10 +15,15 @@ type Linear struct {
 	weight  *Param // Out*In, row-major (out, in)
 	bias    *Param // Out
 
+	// fast selects the reassociated (non-bitwise) tensor kernels; see
+	// FeedForward.SetFastKernels.
+	fast bool
+
 	lastInput *tensor.Matrix
 }
 
 var _ Layer = (*Linear)(nil)
+var _ segmentedLayer = (*Linear)(nil)
 
 // NewLinear builds a Linear layer with He-uniform initialization, which
 // pairs well with the ReLU activations used throughout the model zoo.
@@ -36,7 +41,17 @@ func NewLinear(rng *rand.Rand, in, out int) *Linear {
 	return l
 }
 
-// Forward computes the affine transform for a batch.
+// weightMatrix returns the (Out, In) matrix view over the flat weights —
+// no copy, shared backing array.
+func (l *Linear) weightMatrix() *tensor.Matrix {
+	return &tensor.Matrix{Rows: l.Out, Cols: l.In, Data: l.weight.W}
+}
+
+func (l *Linear) setFastKernels(on bool) { l.fast = on }
+
+// Forward computes the affine transform for a batch: the output starts at
+// the bias and accumulates xWᵀ through the tensor kernels (exact kernel by
+// default — byte-identical to a sequential per-row dot product).
 func (l *Linear) Forward(x *tensor.Matrix) (*tensor.Matrix, error) {
 	if x.Cols != l.In {
 		return nil, fmt.Errorf("%w: Linear expects %d inputs, got %d", ErrShape, l.In, x.Cols)
@@ -44,22 +59,57 @@ func (l *Linear) Forward(x *tensor.Matrix) (*tensor.Matrix, error) {
 	l.lastInput = x
 	out := tensor.NewMatrix(x.Rows, l.Out)
 	for i := 0; i < x.Rows; i++ {
-		xi := x.Row(i)
-		oi := out.Row(i)
-		for o := 0; o < l.Out; o++ {
-			w := l.weight.W[o*l.In : (o+1)*l.In]
-			s := l.bias.W[o]
-			for j, xv := range xi {
-				s += w[j] * xv
-			}
-			oi[o] = s
-		}
+		copy(out.Row(i), l.bias.W)
+	}
+	var err error
+	if l.fast {
+		err = tensor.MulABTFastInto(out, x, l.weightMatrix())
+	} else {
+		err = tensor.MulABTInto(out, x, l.weightMatrix())
+	}
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
 
+// accumBias folds grad rows [r0,r1) into the bias gradient buffer: rows
+// ascending, skipping zero terms — the association (and negative-zero
+// behavior) of the original fused backward loop.
+func accumBias(grad *tensor.Matrix, bg []float64, r0, r1 int) {
+	for i := r0; i < r1; i++ {
+		for o, g := range grad.Row(i) {
+			if g == 0 {
+				continue
+			}
+			bg[o] += g
+		}
+	}
+}
+
 // Backward accumulates dW and db and returns dX.
 func (l *Linear) Backward(grad *tensor.Matrix) (*tensor.Matrix, error) {
+	dx, err := l.backward(grad, func(int) (w, b []float64) { return l.weight.Grad, l.bias.Grad }, nil)
+	if err != nil {
+		return nil, err
+	}
+	return dx, nil
+}
+
+// backwardSegmented implements segmentedLayer: parameter gradients land in
+// per-segment buffers instead of the shared Grad tensors, accumulated over
+// each segment's rows in the same ascending order the sequential
+// per-segment backward would use — so segment s's buffers are
+// byte-identical to a standalone Backward over rows [bounds[s],
+// bounds[s+1]).
+func (l *Linear) backwardSegmented(grad *tensor.Matrix, bounds []int, segGrads [][][]float64) (*tensor.Matrix, error) {
+	return l.backward(grad, func(s int) (w, b []float64) { return segGrads[s][0], segGrads[s][1] }, bounds)
+}
+
+// backward is the shared dW/db/dX computation. sink maps a segment index
+// to the weight and bias gradient buffers; bounds is nil for the unsegmented
+// path (one segment spanning every row).
+func (l *Linear) backward(grad *tensor.Matrix, sink func(s int) (w, b []float64), bounds []int) (*tensor.Matrix, error) {
 	if l.lastInput == nil {
 		return nil, fmt.Errorf("nn: Linear.Backward before Forward")
 	}
@@ -68,24 +118,20 @@ func (l *Linear) Backward(grad *tensor.Matrix) (*tensor.Matrix, error) {
 			ErrShape, grad.Rows, grad.Cols, l.lastInput.Rows, l.Out)
 	}
 	x := l.lastInput
-	dx := tensor.NewMatrix(x.Rows, l.In)
-	for i := 0; i < x.Rows; i++ {
-		xi := x.Row(i)
-		gi := grad.Row(i)
-		di := dx.Row(i)
-		for o := 0; o < l.Out; o++ {
-			g := gi[o]
-			if g == 0 {
-				continue
-			}
-			l.bias.Grad[o] += g
-			w := l.weight.W[o*l.In : (o+1)*l.In]
-			gw := l.weight.Grad[o*l.In : (o+1)*l.In]
-			for j, xv := range xi {
-				gw[j] += g * xv
-				di[j] += g * w[j]
-			}
+	if bounds == nil {
+		bounds = []int{0, x.Rows}
+	}
+	for s := 0; s+1 < len(bounds); s++ {
+		wg, bg := sink(s)
+		accumBias(grad, bg, bounds[s], bounds[s+1])
+		wm := &tensor.Matrix{Rows: l.Out, Cols: l.In, Data: wg}
+		if err := tensor.MulATBRangeInto(wm, grad, x, bounds[s], bounds[s+1]); err != nil {
+			return nil, err
 		}
+	}
+	dx := tensor.NewMatrix(x.Rows, l.In)
+	if err := tensor.MatMulInto(dx, grad, l.weightMatrix()); err != nil {
+		return nil, err
 	}
 	return dx, nil
 }

@@ -12,42 +12,64 @@ import (
 // correct argmax predictions. The gradient is already divided by the batch
 // size, so downstream layers accumulate a mean gradient.
 func SoftmaxCrossEntropy(logits *tensor.Matrix, labels []int) (loss float64, grad *tensor.Matrix, correct int, err error) {
-	if logits.Rows != len(labels) {
-		return 0, nil, 0, fmt.Errorf("%w: %d logit rows vs %d labels", ErrShape, logits.Rows, len(labels))
-	}
 	if logits.Rows == 0 {
 		return 0, nil, 0, fmt.Errorf("nn: SoftmaxCrossEntropy on empty batch")
 	}
+	losses, grad, corrects, err := SoftmaxCrossEntropySegmented(logits, labels, []int{0, logits.Rows})
+	if err != nil {
+		return 0, nil, 0, err
+	}
+	return losses[0], grad, corrects[0], nil
+}
+
+// SoftmaxCrossEntropySegmented is SoftmaxCrossEntropy over a segmented
+// batch: segment s spans logit rows [bounds[s], bounds[s+1]) and gets its
+// own mean loss, correct count and per-segment 1/n gradient scaling — as
+// if each segment had been a separate batch. Row i's gradient depends only
+// on row i and its segment's size, so the result is byte-identical to
+// running the unsegmented function per segment.
+func SoftmaxCrossEntropySegmented(logits *tensor.Matrix, labels []int, bounds []int) (losses []float64, grad *tensor.Matrix, correct []int, err error) {
+	if logits.Rows != len(labels) {
+		return nil, nil, nil, fmt.Errorf("%w: %d logit rows vs %d labels", ErrShape, logits.Rows, len(labels))
+	}
+	if err := validateBounds(bounds, logits.Rows); err != nil {
+		return nil, nil, nil, err
+	}
 	grad = tensor.NewMatrix(logits.Rows, logits.Cols)
-	invN := 1.0 / float64(logits.Rows)
-	for i := 0; i < logits.Rows; i++ {
-		row := logits.Row(i)
-		y := labels[i]
-		if y < 0 || y >= logits.Cols {
-			return 0, nil, 0, fmt.Errorf("%w: label %d out of [0,%d)", ErrShape, y, logits.Cols)
-		}
-		// Numerically stable log-softmax.
-		maxv := row[0]
-		for _, v := range row[1:] {
-			if v > maxv {
-				maxv = v
+	segs := len(bounds) - 1
+	losses = make([]float64, segs)
+	correct = make([]int, segs)
+	for s := 0; s < segs; s++ {
+		invN := 1.0 / float64(bounds[s+1]-bounds[s])
+		for i := bounds[s]; i < bounds[s+1]; i++ {
+			row := logits.Row(i)
+			y := labels[i]
+			if y < 0 || y >= logits.Cols {
+				return nil, nil, nil, fmt.Errorf("%w: label %d out of [0,%d)", ErrShape, y, logits.Cols)
+			}
+			// Numerically stable log-softmax.
+			maxv := row[0]
+			for _, v := range row[1:] {
+				if v > maxv {
+					maxv = v
+				}
+			}
+			var sum float64
+			for _, v := range row {
+				sum += math.Exp(v - maxv)
+			}
+			logZ := maxv + math.Log(sum)
+			losses[s] += (logZ - row[y]) * invN
+			gRow := grad.Row(i)
+			for c, v := range row {
+				p := math.Exp(v - logZ)
+				gRow[c] = p * invN
+			}
+			gRow[y] -= invN
+			if Argmax(row) == y {
+				correct[s]++
 			}
 		}
-		var sum float64
-		for _, v := range row {
-			sum += math.Exp(v - maxv)
-		}
-		logZ := maxv + math.Log(sum)
-		loss += (logZ - row[y]) * invN
-		gRow := grad.Row(i)
-		for c, v := range row {
-			p := math.Exp(v - logZ)
-			gRow[c] = p * invN
-		}
-		gRow[y] -= invN
-		if Argmax(row) == y {
-			correct++
-		}
 	}
-	return loss, grad, correct, nil
+	return losses, grad, correct, nil
 }

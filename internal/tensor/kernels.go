@@ -1,0 +1,196 @@
+package tensor
+
+import (
+	"fmt"
+
+	"github.com/signguard/signguard/internal/parallel"
+)
+
+// This file holds the dense matmul kernels of the batched local-compute
+// path (internal/nn's BatchedLossAndGrad): blocked and strided variants of
+// the three products a dense layer needs — x·Wᵀ for the forward pass,
+// g·W for the input gradient and gᵀ·x for the weight gradient — plus
+// row-partitioned *Workers forms following the PR 2 parallel helpers.
+//
+// Every exact kernel keeps each output element's floating-point
+// accumulation in the same ascending-index order as the naive sequential
+// loop, so the kernels are byte-identical drop-in replacements; the *Fast*
+// variants break the accumulation into independent partial sums
+// (reassociating the order for instruction-level parallelism) and are
+// therefore NOT bit-compatible — callers opt in explicitly (the engine's
+// documented fast mode).
+
+// kernelBlockJ is the shared-dimension block size of the exact kernels:
+// blocks of b's rows this wide stay resident in cache while every row of a
+// streams past. Blocking only reorders memory traffic, never the per-output
+// accumulation order, so it cannot change results.
+const kernelBlockJ = 256
+
+// MulABTInto accumulates a·bᵀ into dst: dst[i][o] += Σ_j a[i][j]·b[o][j],
+// with a (N,K), b (M,K), dst (N,M). Each dst element accumulates over j in
+// ascending order — the association of a sequential dot product — so the
+// result is byte-identical to the naive loop.
+func MulABTInto(dst, a, b *Matrix) error {
+	return MulABTWorkersInto(dst, a, b, 1)
+}
+
+// MulABTWorkersInto is MulABTInto with dst's rows split across workers.
+// Every dst row is owned by exactly one worker, so the result is
+// byte-identical for any worker count.
+func MulABTWorkersInto(dst, a, b *Matrix, workers int) error {
+	if a.Cols != b.Cols || dst.Rows != a.Rows || dst.Cols != b.Rows {
+		return fmt.Errorf("%w: MulABTInto(%dx%d, %dx%d, %dx%d)",
+			ErrDimensionMismatch, dst.Rows, dst.Cols, a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	parallel.For(workers, a.Rows, func(_, start, end int) {
+		mulABTRange(dst, a, b, start, end)
+	})
+	return nil
+}
+
+// mulABTRange computes dst rows [r0,r1), blocked over the shared j
+// dimension: one block of b is reused across every a row before the next
+// block streams in. j blocks advance in ascending order, so each dst
+// element still accumulates j-ascending.
+func mulABTRange(dst, a, b *Matrix, r0, r1 int) {
+	for j0 := 0; j0 < a.Cols; j0 += kernelBlockJ {
+		j1 := j0 + kernelBlockJ
+		if j1 > a.Cols {
+			j1 = a.Cols
+		}
+		for i := r0; i < r1; i++ {
+			ai := a.Row(i)[j0:j1]
+			di := dst.Row(i)
+			for o := 0; o < b.Rows; o++ {
+				bo := b.Row(o)[j0:j1]
+				s := di[o]
+				for j, av := range ai {
+					s += av * bo[j]
+				}
+				di[o] = s
+			}
+		}
+	}
+}
+
+// MulABTFastInto is MulABTInto with each dot product split into four
+// independent accumulators, breaking the loop-carried addition chain for
+// instruction-level parallelism. Reassociating the sum changes its
+// rounding: results are NOT bit-compatible with MulABTInto (they agree to
+// normal float64 accuracy). Only explicitly non-bitwise paths (the
+// engine's fast mode) may use it.
+func MulABTFastInto(dst, a, b *Matrix) error {
+	if a.Cols != b.Cols || dst.Rows != a.Rows || dst.Cols != b.Rows {
+		return fmt.Errorf("%w: MulABTFastInto(%dx%d, %dx%d, %dx%d)",
+			ErrDimensionMismatch, dst.Rows, dst.Cols, a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	for i := 0; i < a.Rows; i++ {
+		ai := a.Row(i)
+		di := dst.Row(i)
+		for o := 0; o < b.Rows; o++ {
+			di[o] += DotFast(ai, b.Row(o))
+		}
+	}
+	return nil
+}
+
+// DotFast is the shared four-accumulator dot product of the fast mode:
+// the loop-carried addition chain of a sequential dot is split into four
+// independent partial sums. Reassociated — NOT bit-compatible with a
+// sequential dot; only explicitly non-bitwise paths may use it.
+func DotFast(a, b []float64) float64 {
+	b = b[:len(a)]
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		s0 += a[i] * b[i]
+		s1 += a[i+1] * b[i+1]
+		s2 += a[i+2] * b[i+2]
+		s3 += a[i+3] * b[i+3]
+	}
+	for ; i < len(a); i++ {
+		s0 += a[i] * b[i]
+	}
+	return ((s0 + s1) + s2) + s3
+}
+
+// SumFast is DotFast's plain-sum sibling: four independent accumulators,
+// reassociated, non-bitwise.
+func SumFast(v []float64) float64 {
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= len(v); i += 4 {
+		s0 += v[i]
+		s1 += v[i+1]
+		s2 += v[i+2]
+		s3 += v[i+3]
+	}
+	for ; i < len(v); i++ {
+		s0 += v[i]
+	}
+	return ((s0 + s1) + s2) + s3
+}
+
+// MatMulInto accumulates a·b into dst: dst[i][j] += Σ_k a[i][k]·b[k][j],
+// with a (N,K), b (K,M), dst (N,M). It uses the same ikj loop order and
+// zero-skip as MatMul, so each dst element accumulates over k in ascending
+// order — byte-identical to the sequential loop (the zero-skip is part of
+// the contract: skipping a zero term preserves a negative-zero
+// accumulator that adding +0.0 would flip).
+func MatMulInto(dst, a, b *Matrix) error {
+	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
+		return fmt.Errorf("%w: MatMulInto(%dx%d, %dx%d, %dx%d)",
+			ErrDimensionMismatch, dst.Rows, dst.Cols, a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		orow := dst.Row(i)
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return nil
+}
+
+// MulATBRangeInto accumulates aᵀ·b restricted to rows [i0,i1) into dst:
+// dst[o][j] += Σ_{i∈[i0,i1)} a[i][o]·b[i][j], with a (N,M), b (N,K),
+// dst (M,K). Rows are visited in ascending order with the zero-skip of the
+// layer backward loops, so accumulating a segment's rows is byte-identical
+// to running the sequential backward pass over that segment alone — the
+// property the batched engine's per-client gradient de-interleaving rests
+// on.
+func MulATBRangeInto(dst, a, b *Matrix, i0, i1 int) error {
+	if a.Rows != b.Rows || dst.Rows != a.Cols || dst.Cols != b.Cols {
+		return fmt.Errorf("%w: MulATBRangeInto(%dx%d, %dx%d, %dx%d)",
+			ErrDimensionMismatch, dst.Rows, dst.Cols, a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	if i0 < 0 || i1 > a.Rows || i0 > i1 {
+		return fmt.Errorf("%w: MulATBRangeInto rows [%d,%d) of %d", ErrDimensionMismatch, i0, i1, a.Rows)
+	}
+	for i := i0; i < i1; i++ {
+		arow := a.Row(i)
+		brow := b.Row(i)
+		for o, av := range arow {
+			if av == 0 {
+				continue
+			}
+			drow := dst.Row(o)
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	}
+	return nil
+}
+
+// MulATBInto accumulates aᵀ·b over all rows into dst (see
+// MulATBRangeInto).
+func MulATBInto(dst, a, b *Matrix) error {
+	return MulATBRangeInto(dst, a, b, 0, a.Rows)
+}
