@@ -6,7 +6,7 @@ GO ?= go
 # the BENCH_PR.json artifact).
 BENCHFLAGS ?=
 
-.PHONY: all build test race bench cover fmt-check doc-check vet dist
+.PHONY: all build test race bench bench-gate bench-baseline profile cover fmt-check doc-check vet dist
 
 all: fmt-check doc-check build test
 
@@ -27,6 +27,31 @@ race:
 # corrupt the `go test -json` stream.
 bench:
 	@$(GO) test $(BENCHFLAGS) -run '^$$' -bench . -benchtime 1x -timeout 15m ./...
+
+# Benchmark regression gate: run the bench sweep as a -json stream and
+# compare every benchmark's ns/op against the committed BENCH_BASELINE.json
+# (cmd/benchgate), failing on >15% slowdowns — the CI bench job runs this,
+# so a landed performance win stays won. The baseline is machine-class
+# dependent: refresh it with `make bench-baseline` after an intentional
+# perf change or a CI runner change.
+bench-gate:
+	@$(GO) test -json -run '^$$' -bench . -benchtime 1x -timeout 15m ./... > BENCH_PR.json
+	$(GO) run ./cmd/benchgate -input BENCH_PR.json -baseline BENCH_BASELINE.json -threshold 0.15
+
+bench-baseline:
+	@$(GO) test -json -run '^$$' -bench . -benchtime 1x -timeout 15m ./... > BENCH_PR.json
+	$(GO) run ./cmd/benchgate -input BENCH_PR.json -write -baseline BENCH_BASELINE.json
+
+# CPU/heap profiles of the two serving-critical benchmarks: the
+# LocalCompute engines (per-client vs batched) and the async load harness.
+# Written to ./profiles; inspect with `go tool pprof profiles/<name>`.
+profile:
+	@mkdir -p profiles
+	$(GO) test -run '^$$' -bench BenchmarkLocalCompute -benchtime 3x -timeout 15m -o profiles/fl.test \
+		-cpuprofile profiles/localcompute.cpu.pprof -memprofile profiles/localcompute.mem.pprof ./internal/fl
+	$(GO) test -run '^$$' -bench BenchmarkAsyncLoad -benchtime 3x -timeout 15m -o profiles/loadtest.test \
+		-cpuprofile profiles/asyncload.cpu.pprof -memprofile profiles/asyncload.mem.pprof ./internal/asyncfl/loadtest
+	@echo "profiles written to ./profiles — e.g. go tool pprof -top profiles/localcompute.cpu.pprof"
 
 # Coverage profile + per-package summary. The per-package lines come from
 # `go test -cover` itself; the closing line is the aggregate across every

@@ -1,0 +1,242 @@
+// Command benchgate turns the CI benchmark job into a regression gate: it
+// parses a `go test -json -bench` stream, extracts every benchmark's
+// ns/op, and compares against a committed baseline (BENCH_BASELINE.json),
+// failing when any benchmark slowed down by more than the threshold —
+// so a performance win, once landed, stays won.
+//
+// Benchmark names are normalized by stripping the trailing -GOMAXPROCS
+// suffix and prefixed with their package path, so the same baseline works
+// across machines with different core counts. When a stream carries
+// several samples of one benchmark (-count), the fastest is used — the
+// usual minimum-of-runs noise filter.
+//
+// Usage:
+//
+//	benchgate -input BENCH_PR.json -baseline BENCH_BASELINE.json -threshold 0.15
+//	benchgate -input stream.json -baseline BENCH_BASELINE.json -write   # (re)create the baseline
+//
+// The baseline is machine-dependent: regenerate it (`make bench-baseline`)
+// when the CI runner class changes, and after landing an intentional
+// performance change.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	var (
+		input     = flag.String("input", "BENCH_PR.json", "`go test -json` benchmark stream to read")
+		baseline  = flag.String("baseline", "BENCH_BASELINE.json", "committed baseline file")
+		threshold = flag.Float64("threshold", 0.15, "maximum tolerated ns/op regression (0.15 = +15%)")
+		write     = flag.Bool("write", false, "write the parsed results as the new baseline instead of comparing")
+		missingOK = flag.Bool("missing-ok", false, "tolerate baseline benchmarks absent from the input stream")
+		module    = flag.String("module", "github.com/signguard/signguard", "module prefix stripped from package paths")
+	)
+	flag.Parse()
+
+	if err := run(*input, *baseline, *module, *threshold, *write, *missingOK); err != nil {
+		log.Fatalf("benchgate: %v", err)
+	}
+}
+
+// Baseline is the committed file format.
+type Baseline struct {
+	// Note documents how to regenerate the file.
+	Note string `json:"note"`
+	// NsPerOp maps "package.BenchmarkName" (GOMAXPROCS suffix stripped)
+	// to the benchmark's ns/op.
+	NsPerOp map[string]float64 `json:"ns_per_op"`
+}
+
+func run(input, baseline, module string, threshold float64, write, missingOK bool) error {
+	if threshold <= 0 {
+		return fmt.Errorf("-threshold must be positive (got %v)", threshold)
+	}
+	results, err := parseStream(input, module)
+	if err != nil {
+		return err
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("no benchmark results found in %s", input)
+	}
+
+	if write {
+		out := Baseline{
+			Note:    "benchmark ns/op baseline for the CI regression gate; regenerate with `make bench-baseline` on the machine class that runs the gate",
+			NsPerOp: results,
+		}
+		buf, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(baseline, append(buf, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("benchgate: wrote %d benchmarks to %s\n", len(results), baseline)
+		return nil
+	}
+
+	raw, err := os.ReadFile(baseline)
+	if err != nil {
+		return fmt.Errorf("reading baseline: %w (run `make bench-baseline` to create it)", err)
+	}
+	var base Baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("parsing baseline %s: %w", baseline, err)
+	}
+	if len(base.NsPerOp) == 0 {
+		return fmt.Errorf("baseline %s holds no benchmarks", baseline)
+	}
+
+	names := make([]string, 0, len(base.NsPerOp))
+	for name := range base.NsPerOp {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var regressions, missing []string
+	improved, checked := 0, 0
+	for _, name := range names {
+		want := base.NsPerOp[name]
+		got, ok := results[name]
+		if !ok {
+			missing = append(missing, name)
+			continue
+		}
+		checked++
+		delta := (got - want) / want
+		switch {
+		case delta > threshold:
+			regressions = append(regressions,
+				fmt.Sprintf("  %s: %.0f -> %.0f ns/op (%+.1f%%)", name, want, got, 100*delta))
+		case delta < -threshold:
+			improved++
+		}
+	}
+	newCount := 0
+	for name := range results {
+		if _, ok := base.NsPerOp[name]; !ok {
+			newCount++
+		}
+	}
+
+	fmt.Printf("benchgate: %d benchmarks checked against %s (threshold +%.0f%%): %d regressed, %d improved, %d new, %d missing\n",
+		checked, baseline, 100*threshold, len(regressions), improved, newCount, len(missing))
+	if len(missing) > 0 && !missingOK {
+		return fmt.Errorf("baseline benchmarks missing from the input stream (deleted or renamed? regenerate the baseline, or pass -missing-ok):\n  %s",
+			strings.Join(missing, "\n  "))
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("throughput regressions beyond +%.0f%%:\n%s", 100*threshold, strings.Join(regressions, "\n"))
+	}
+	return nil
+}
+
+// testEvent is the subset of the `go test -json` event schema we need.
+type testEvent struct {
+	Action  string
+	Package string
+	Output  string
+}
+
+// parseStream extracts "pkg.BenchmarkName" -> min ns/op from a
+// `go test -json` stream.
+func parseStream(path, module string) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("reading input: %w", err)
+	}
+	defer f.Close()
+
+	// go test -json can split a benchmark's output across events, so
+	// reassemble each package's output before scanning for result lines.
+	perPkg := map[string]*strings.Builder{}
+	var pkgs []string
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var ev testEvent
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			// Tolerate non-JSON noise (e.g. make echoes) around the stream.
+			continue
+		}
+		if ev.Action != "output" || ev.Output == "" {
+			continue
+		}
+		b, ok := perPkg[ev.Package]
+		if !ok {
+			b = &strings.Builder{}
+			perPkg[ev.Package] = b
+			pkgs = append(pkgs, ev.Package)
+		}
+		b.WriteString(ev.Output)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+
+	results := map[string]float64{}
+	for _, pkg := range pkgs {
+		short := strings.TrimPrefix(strings.TrimPrefix(pkg, module), "/")
+		for _, line := range strings.Split(perPkg[pkg].String(), "\n") {
+			name, ns, ok := parseBenchLine(line)
+			if !ok {
+				continue
+			}
+			key := name
+			if short != "" {
+				key = short + "." + name
+			}
+			if old, seen := results[key]; !seen || ns < old {
+				results[key] = ns
+			}
+		}
+	}
+	return results, nil
+}
+
+// parseBenchLine parses one benchmark result line
+// ("BenchmarkFoo/case-8   1   12345 ns/op   ...") into its normalized
+// name (GOMAXPROCS suffix stripped) and ns/op.
+func parseBenchLine(line string) (string, float64, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", 0, false
+	}
+	for i := 2; i+1 < len(fields); i++ {
+		if fields[i+1] == "ns/op" {
+			ns, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return "", 0, false
+			}
+			return stripProcs(fields[0]), ns, true
+		}
+	}
+	return "", 0, false
+}
+
+// stripProcs removes the trailing -GOMAXPROCS from a benchmark name, so
+// baselines transfer across machines with different core counts.
+func stripProcs(name string) string {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}

@@ -1,0 +1,130 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseBenchLine(t *testing.T) {
+	name, ns, ok := parseBenchLine("BenchmarkFoo/case=1/workers=2-8 \t       1\t  12345678 ns/op\t 99.5 clients/s")
+	if !ok || name != "BenchmarkFoo/case=1/workers=2" || ns != 12345678 {
+		t.Fatalf("got %q %v %v", name, ns, ok)
+	}
+	if _, _, ok := parseBenchLine("ok  \tpkg\t0.5s"); ok {
+		t.Error("non-benchmark line parsed")
+	}
+	if _, _, ok := parseBenchLine("BenchmarkBare-4"); ok {
+		t.Error("line without ns/op parsed")
+	}
+}
+
+func TestStripProcs(t *testing.T) {
+	for in, want := range map[string]string{
+		"BenchmarkX-8":        "BenchmarkX",
+		"BenchmarkX-128":      "BenchmarkX",
+		"BenchmarkX/sub=a-2":  "BenchmarkX/sub=a",
+		"BenchmarkX/n-gram-4": "BenchmarkX/n-gram",
+		"BenchmarkX":          "BenchmarkX",
+		"BenchmarkX/k-v":      "BenchmarkX/k-v",
+	} {
+		if got := stripProcs(in); got != want {
+			t.Errorf("stripProcs(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// writeStream fabricates a `go test -json` stream with one benchmark
+// result per (package, name, ns) triple.
+func writeStream(t *testing.T, path string, entries [][3]string) {
+	t.Helper()
+	var b strings.Builder
+	for _, e := range entries {
+		ev := map[string]string{
+			"Action":  "output",
+			"Package": e[0],
+			"Output":  e[1] + "-8 \t 1\t " + e[2] + " ns/op\n",
+		}
+		buf, _ := json.Marshal(ev)
+		b.Write(buf)
+		b.WriteByte('\n')
+	}
+	// Non-JSON noise must be tolerated.
+	b.WriteString("make: something echoed\n")
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGateWriteAndCompare(t *testing.T) {
+	dir := t.TempDir()
+	stream := filepath.Join(dir, "base.json")
+	baseline := filepath.Join(dir, "BENCH_BASELINE.json")
+	mod := "github.com/signguard/signguard"
+	writeStream(t, stream, [][3]string{
+		{mod + "/internal/fl", "BenchmarkA", "1000000"},
+		{mod + "/internal/fl", "BenchmarkA", "900000"}, // -count dupe: min wins
+		{mod + "/internal/asyncfl/loadtest", "BenchmarkB", "2000000"},
+	})
+	if err := run(stream, baseline, mod, 0.15, true, false); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	var base Baseline
+	raw, _ := os.ReadFile(baseline)
+	if err := json.Unmarshal(raw, &base); err != nil {
+		t.Fatal(err)
+	}
+	if base.NsPerOp["internal/fl.BenchmarkA"] != 900000 {
+		t.Fatalf("baseline = %+v, want min of duplicate samples", base.NsPerOp)
+	}
+
+	// Within threshold: passes.
+	pr := filepath.Join(dir, "pr.json")
+	writeStream(t, pr, [][3]string{
+		{mod + "/internal/fl", "BenchmarkA", "1000000"}, // +11%
+		{mod + "/internal/asyncfl/loadtest", "BenchmarkB", "1500000"},
+	})
+	if err := run(pr, baseline, mod, 0.15, false, false); err != nil {
+		t.Fatalf("within-threshold run failed: %v", err)
+	}
+
+	// Beyond threshold: fails and names the offender.
+	writeStream(t, pr, [][3]string{
+		{mod + "/internal/fl", "BenchmarkA", "1100000"}, // +22%
+		{mod + "/internal/asyncfl/loadtest", "BenchmarkB", "2000000"},
+	})
+	err := run(pr, baseline, mod, 0.15, false, false)
+	if err == nil || !strings.Contains(err.Error(), "BenchmarkA") {
+		t.Fatalf("regression not caught: %v", err)
+	}
+
+	// Missing benchmark: fails unless -missing-ok.
+	writeStream(t, pr, [][3]string{
+		{mod + "/internal/fl", "BenchmarkA", "900000"},
+	})
+	if err := run(pr, baseline, mod, 0.15, false, false); err == nil {
+		t.Fatal("missing baseline benchmark tolerated without -missing-ok")
+	}
+	if err := run(pr, baseline, mod, 0.15, false, true); err != nil {
+		t.Fatalf("missing-ok run failed: %v", err)
+	}
+}
+
+func TestGateErrors(t *testing.T) {
+	dir := t.TempDir()
+	empty := filepath.Join(dir, "empty.json")
+	os.WriteFile(empty, []byte("\n"), 0o644)
+	if err := run(empty, filepath.Join(dir, "b.json"), "m", 0.15, false, false); err == nil {
+		t.Error("empty stream accepted")
+	}
+	stream := filepath.Join(dir, "s.json")
+	writeStream(t, stream, [][3]string{{"m/p", "BenchmarkA", "1"}})
+	if err := run(stream, filepath.Join(dir, "absent.json"), "m", 0.15, false, false); err == nil {
+		t.Error("absent baseline accepted")
+	}
+	if err := run(stream, filepath.Join(dir, "b.json"), "m", -1, false, false); err == nil {
+		t.Error("negative threshold accepted")
+	}
+}

@@ -4,6 +4,11 @@
 // -byzantine, misbehaves using one of the local attack strategies
 // (the network setting restricts the adversary to non-omniscient attacks:
 // sign flipping, scaled reverse, random noise, or label flipping).
+//
+// With -async it speaks the buffered asynchronous HTTP protocol instead of
+// the synchronous gob rounds: fetch the versioned model, compute a
+// gradient against it, submit, repeat — no waiting on other clients —
+// until the server reports Done (or -updates submissions were accepted).
 package main
 
 import (
@@ -27,18 +32,36 @@ func main() {
 		batch   = flag.Int("batch", 16, "local mini-batch size")
 		seed    = flag.Int64("seed", 1, "shared dataset/model seed (must match server)")
 		byzStr  = flag.String("byzantine", "", "misbehave: signflip|reverse|random|labelflip (empty = honest)")
+		async   = flag.Bool("async", false, "speak the asynchronous HTTP protocol (server must run flserver -async)")
+		updates = flag.Int("updates", 0, "async: stop after this many accepted submissions (0 = until server Done)")
 	)
 	flag.Parse()
 
-	if err := run(*addr, *id, *clients, *batch, *seed, *byzStr); err != nil {
+	if err := validateFlags(*id, *clients, *batch, *updates); err != nil {
+		log.Fatalf("flclient: %v", err)
+	}
+	if err := run(*addr, *id, *clients, *batch, *seed, *byzStr, *async, *updates); err != nil {
 		log.Fatalf("flclient: %v", err)
 	}
 }
 
-func run(addr string, id, clients, batch int, seed int64, byzStr string) error {
-	if id < 0 || id >= clients {
-		return fmt.Errorf("id %d out of [0, %d)", id, clients)
+// validateFlags rejects out-of-range flag values up front with clear
+// errors, mirroring cmd/campaign's -workers check.
+func validateFlags(id, clients, batch, updates int) error {
+	switch {
+	case clients < 1:
+		return fmt.Errorf("-clients must be >= 1 (got %d)", clients)
+	case id < 0 || id >= clients:
+		return fmt.Errorf("-id %d out of [0, %d)", id, clients)
+	case batch < 1:
+		return fmt.Errorf("-batch must be >= 1 (got %d)", batch)
+	case updates < 0:
+		return fmt.Errorf("-updates must be >= 0 (got %d)", updates)
 	}
+	return nil
+}
+
+func run(addr string, id, clients, batch int, seed int64, byzStr string, async bool, updates int) error {
 	ds, err := data.MNISTLike(seed, 4000, 1000)
 	if err != nil {
 		return err
@@ -95,13 +118,27 @@ func run(addr string, id, clients, batch int, seed int64, byzStr string) error {
 		return g, nil
 	}
 
-	log.Printf("flclient %d: joining %s (%d local examples, byzantine=%q)",
-		id, addr, sampler.Size(), byzStr)
-	final, err := transport.RunClient(context.Background(), transport.ClientConfig{
-		Addr:    addr,
-		ID:      fmt.Sprintf("client-%d", id),
-		Compute: compute,
-	})
+	mode := "sync"
+	if async {
+		mode = "async"
+	}
+	log.Printf("flclient %d: joining %s (%s, %d local examples, byzantine=%q)",
+		id, addr, mode, sampler.Size(), byzStr)
+	var final []float64
+	if async {
+		final, err = transport.RunAsyncClient(context.Background(), transport.AsyncClientConfig{
+			Addr:       addr,
+			ID:         fmt.Sprintf("client-%d", id),
+			Compute:    compute,
+			MaxUpdates: updates,
+		})
+	} else {
+		final, err = transport.RunClient(context.Background(), transport.ClientConfig{
+			Addr:    addr,
+			ID:      fmt.Sprintf("client-%d", id),
+			Compute: compute,
+		})
+	}
 	if err != nil {
 		return err
 	}

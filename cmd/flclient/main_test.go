@@ -1,0 +1,35 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidateFlags(t *testing.T) {
+	if err := validateFlags(0, 4, 16, 0); err != nil {
+		t.Errorf("valid flags rejected: %v", err)
+	}
+	if err := validateFlags(2, 3, 1, 500); err != nil {
+		t.Errorf("valid flags rejected: %v", err)
+	}
+
+	for _, tc := range []struct {
+		name                       string
+		id, clients, batch, update int
+		flag                       string
+	}{
+		{"zero clients", 0, 0, 16, 0, "-clients"},
+		{"negative clients", 0, -1, 16, 0, "-clients"},
+		{"negative id", -1, 4, 16, 0, "-id"},
+		{"id past range", 4, 4, 16, 0, "-id"},
+		{"zero batch", 0, 4, 0, 0, "-batch"},
+		{"negative updates", 0, 4, 16, -1, "-updates"},
+	} {
+		err := validateFlags(tc.id, tc.clients, tc.batch, tc.update)
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		} else if !strings.Contains(err.Error(), tc.flag) {
+			t.Errorf("%s: error %q does not name %s", tc.name, err, tc.flag)
+		}
+	}
+}

@@ -1,28 +1,49 @@
-// Command flserver runs the federated-learning parameter server over TCP:
-// it waits for the configured number of clients, coordinates synchronous
-// training rounds, applies the selected robust aggregation rule (SignGuard
-// by default), and prints the final test accuracy of the global model.
+// Command flserver runs the federated-learning parameter server. It has
+// three modes:
+//
+// Synchronous (default): wait for the configured number of TCP clients,
+// coordinate lock-step training rounds, apply the selected robust
+// aggregation rule (SignGuard by default), and print the final test
+// accuracy of the global model — the paper's setting.
+//
+// Asynchronous (-async): serve the buffered asynchronous protocol over
+// HTTP (internal/asyncfl): clients fetch the versioned model and submit
+// gradients whenever they finish, the server aggregates every -buffer
+// arrivals under staleness-discounted weights w(s) = 1/(1+s)^alpha with
+// the defense filtering each buffer, and training stops after -rounds
+// aggregation steps.
+//
+// Load test (-loadtest): run the in-process load harness
+// (internal/asyncfl/loadtest) against the async serving layer — many
+// goroutine-cheap simulated clients over real HTTP — and print rounds/s,
+// p50/p99 ingest latency, buffer occupancy and model error under the
+// configured Byzantine fraction and churn.
 //
 // The server owns the dataset definition (test split + model architecture)
 // so it can evaluate the trained model; clients generate the same dataset
 // from the shared seed and train on their own partition (see cmd/flclient).
 //
-// Example (three terminals):
+// Examples:
 //
 //	flserver -addr :9000 -clients 4 -rounds 100 -rule signguard
-//	flclient -addr :9000 -id 0 -clients 4
-//	flclient -addr :9000 -id 1 -clients 4 -byzantine signflip
+//	flserver -addr :9000 -async -buffer 8 -alpha 0.5 -rounds 200
+//	flserver -loadtest -load-clients 100000 -load-byz 0.1
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"time"
 
 	"github.com/signguard/signguard/internal/aggregate"
+	"github.com/signguard/signguard/internal/asyncfl"
+	"github.com/signguard/signguard/internal/asyncfl/loadtest"
 	"github.com/signguard/signguard/internal/core"
 	"github.com/signguard/signguard/internal/data"
 	"github.com/signguard/signguard/internal/fl"
@@ -34,22 +55,73 @@ import (
 func main() {
 	var (
 		addr    = flag.String("addr", "127.0.0.1:9000", "listen address")
-		clients = flag.Int("clients", 4, "number of clients to wait for")
-		rounds  = flag.Int("rounds", 100, "training rounds")
+		clients = flag.Int("clients", 4, "number of clients to wait for (sync mode)")
+		rounds  = flag.Int("rounds", 100, "training rounds (sync) / aggregation steps (async)")
 		ruleStr = flag.String("rule", "signguard", "aggregation rule: mean|trmean|median|geomed|krum|multikrum|bulyan|dnc|signguard|signguard-sim|signguard-dist")
 		byz     = flag.Int("byz", 0, "assumed Byzantine count for rules that need it (trmean/krum/bulyan/dnc)")
 		lr      = flag.Float64("lr", 0.05, "learning rate")
 		seed    = flag.Int64("seed", 1, "shared dataset/model seed (must match clients)")
-		timeout = flag.Duration("round-timeout", 30*time.Second, "per-round network timeout")
+		timeout = flag.Duration("round-timeout", 30*time.Second, "per-round network timeout (sync mode)")
+
+		async    = flag.Bool("async", false, "serve the buffered asynchronous HTTP protocol instead of synchronous rounds")
+		buffer   = flag.Int("buffer", 8, "async: aggregate every K accepted arrivals")
+		alpha    = flag.Float64("alpha", 0.5, "async: staleness-discount exponent of w(s)=1/(1+s)^alpha")
+		queueCap = flag.Int("queue-cap", asyncfl.DefaultQueueCap, "async: per-client update queue bound (drop-oldest beyond)")
+		ttl      = flag.Duration("session-ttl", asyncfl.DefaultSessionTTL, "async: client liveness lease lifetime")
+
+		loadRun     = flag.Bool("loadtest", false, "run the async load harness in-process and exit")
+		loadClients = flag.Int("load-clients", 10000, "loadtest: simulated client sessions")
+		loadUpdates = flag.Int("load-updates", 2, "loadtest: updates per client")
+		loadConc    = flag.Int("load-concurrency", 256, "loadtest: concurrent driver workers")
+		loadDim     = flag.Int("load-dim", 64, "loadtest: synthetic model dimensionality")
+		loadByz     = flag.Float64("load-byz", 0, "loadtest: Byzantine client fraction")
+		loadChurn   = flag.Float64("load-churn", 0, "loadtest: churned client fraction")
+		loadRule    = flag.String("load-rule", "", "loadtest: defense in front of the buffer (empty = none)")
 	)
 	flag.Parse()
 
-	if err := run(*addr, *ruleStr, *clients, *rounds, *byz, *lr, *seed, *timeout); err != nil {
+	if err := validateFlags(*clients, *rounds, *lr, *timeout, *buffer, *alpha); err != nil {
+		log.Fatalf("flserver: %v", err)
+	}
+
+	var err error
+	switch {
+	case *loadRun:
+		err = runLoadtest(*loadRule, *loadClients, *loadUpdates, *loadConc, *loadDim, *buffer, *alpha, *loadByz, *loadChurn, *seed)
+	case *async:
+		err = runAsync(*addr, *ruleStr, *buffer, *rounds, *byz, *queueCap, *lr, *alpha, *seed, *ttl)
+	default:
+		err = run(*addr, *ruleStr, *clients, *rounds, *byz, *lr, *seed, *timeout)
+	}
+	if err != nil {
 		log.Fatalf("flserver: %v", err)
 	}
 }
 
-// buildRule maps the CLI rule name to an aggregation rule.
+// validateFlags rejects out-of-range flag values up front with clear
+// errors instead of passing them through to fail (or misbehave) deep in
+// the protocol — mirroring cmd/campaign's -workers check.
+func validateFlags(clients, rounds int, lr float64, timeout time.Duration, buffer int, alpha float64) error {
+	switch {
+	case clients < 1:
+		return fmt.Errorf("-clients must be >= 1 (got %d)", clients)
+	case rounds < 1:
+		return fmt.Errorf("-rounds must be >= 1 (got %d)", rounds)
+	case lr <= 0:
+		return fmt.Errorf("-lr must be positive (got %v)", lr)
+	case timeout <= 0:
+		return fmt.Errorf("-round-timeout must be positive (got %v)", timeout)
+	case buffer < 1:
+		return fmt.Errorf("-buffer must be >= 1 (got %d)", buffer)
+	case alpha < 0:
+		return fmt.Errorf("-alpha must be >= 0 (got %v)", alpha)
+	}
+	return nil
+}
+
+// buildRule maps the CLI rule name to an aggregation rule. n is the
+// expected gradient-set size the rule aggregates over: the client count in
+// sync mode, the buffer size in async mode.
 func buildRule(name string, n, f int, seed int64) (aggregate.Rule, error) {
 	switch name {
 	case "mean":
@@ -129,5 +201,107 @@ func run(addr, ruleStr string, clients, rounds, byz int, lr float64, seed int64,
 		return err
 	}
 	fmt.Fprintf(os.Stdout, "final test accuracy: %.2f%%\n", acc)
+	return nil
+}
+
+// runAsync serves the buffered asynchronous protocol until the target
+// number of aggregation steps completes, then evaluates the global model.
+func runAsync(addr, ruleStr string, buffer, steps, byz, queueCap int, lr, alpha float64, seed int64, ttl time.Duration) error {
+	rule, err := buildRule(ruleStr, buffer, byz, seed)
+	if err != nil {
+		return err
+	}
+	model, err := sharedModel(seed)
+	if err != nil {
+		return err
+	}
+	ds, err := data.MNISTLike(seed, 4000, 1000)
+	if err != nil {
+		return err
+	}
+
+	agg, err := asyncfl.New(asyncfl.Config{
+		InitialParams: model.ParamVector(),
+		K:             buffer,
+		Alpha:         alpha,
+		Rule:          rule,
+		LR:            lr,
+		Momentum:      0.9,
+		WeightDecay:   5e-4,
+		QueueCap:      queueCap,
+		TargetSteps:   int64(steps),
+		SessionTTL:    ttl,
+		Logf:          log.Printf,
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("listen %s: %w", addr, err)
+	}
+	httpSrv := &http.Server{Handler: transport.NewAsyncHandler(agg)}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+	log.Printf("flserver: async serving on %s (rule=%s, buffer=%d, alpha=%v, steps=%d)",
+		ln.Addr(), rule.Name(), buffer, alpha, steps)
+
+	select {
+	case <-agg.Done():
+	case err := <-serveErr:
+		return err
+	}
+	// Linger briefly so clients polling for Done observe the final model
+	// before the socket disappears.
+	time.Sleep(time.Second)
+	if err := httpSrv.Close(); err != nil {
+		return err
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+
+	st := agg.Stats()
+	log.Printf("flserver: async run complete: %d steps, %d arrivals, %d drops, %d rejects, mean buffer occupancy %.1f",
+		st.Steps, st.Arrivals, st.Drops, st.Rejects, st.MeanOccupancy)
+	_, params, _ := agg.Model()
+	if err := model.SetParamVector(params); err != nil {
+		return err
+	}
+	acc, err := fl.Evaluate(model, ds, ds.Test)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stdout, "final test accuracy: %.2f%%\n", acc)
+	return nil
+}
+
+// runLoadtest drives the in-process load harness and prints its report.
+func runLoadtest(ruleStr string, clients, updates, concurrency, dim, buffer int, alpha, byzFrac, churnFrac float64, seed int64) error {
+	var rule aggregate.Rule
+	if ruleStr != "" {
+		var err error
+		if rule, err = buildRule(ruleStr, buffer, 0, seed); err != nil {
+			return err
+		}
+	}
+	rep, err := loadtest.Run(loadtest.Config{
+		Clients:          clients,
+		UpdatesPerClient: updates,
+		Concurrency:      concurrency,
+		Dim:              dim,
+		K:                buffer,
+		Alpha:            alpha,
+		Rule:             rule,
+		ByzFraction:      byzFrac,
+		ChurnFraction:    churnFrac,
+		Seed:             seed,
+		Logf:             log.Printf,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(os.Stdout, rep)
 	return nil
 }

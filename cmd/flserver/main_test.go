@@ -1,0 +1,57 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestValidateFlags(t *testing.T) {
+	ok := func(clients, rounds int, lr float64, timeout time.Duration, buffer int, alpha float64) {
+		t.Helper()
+		if err := validateFlags(clients, rounds, lr, timeout, buffer, alpha); err != nil {
+			t.Errorf("valid flags rejected: %v", err)
+		}
+	}
+	ok(4, 100, 0.05, 30*time.Second, 8, 0.5)
+	ok(1, 1, 0.001, time.Millisecond, 1, 0) // minima are all legal
+
+	for _, tc := range []struct {
+		name    string
+		clients int
+		rounds  int
+		lr      float64
+		timeout time.Duration
+		buffer  int
+		alpha   float64
+		flag    string
+	}{
+		{"zero clients", 0, 100, 0.05, time.Second, 8, 0.5, "-clients"},
+		{"negative clients", -3, 100, 0.05, time.Second, 8, 0.5, "-clients"},
+		{"zero rounds", 4, 0, 0.05, time.Second, 8, 0.5, "-rounds"},
+		{"zero lr", 4, 100, 0, time.Second, 8, 0.5, "-lr"},
+		{"negative lr", 4, 100, -0.1, time.Second, 8, 0.5, "-lr"},
+		{"zero timeout", 4, 100, 0.05, 0, 8, 0.5, "-round-timeout"},
+		{"negative timeout", 4, 100, 0.05, -time.Second, 8, 0.5, "-round-timeout"},
+		{"zero buffer", 4, 100, 0.05, time.Second, 0, 0.5, "-buffer"},
+		{"negative alpha", 4, 100, 0.05, time.Second, 8, -0.1, "-alpha"},
+	} {
+		err := validateFlags(tc.clients, tc.rounds, tc.lr, tc.timeout, tc.buffer, tc.alpha)
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		} else if !strings.Contains(err.Error(), tc.flag) {
+			t.Errorf("%s: error %q does not name %s", tc.name, err, tc.flag)
+		}
+	}
+}
+
+func TestBuildRuleRejectsUnknown(t *testing.T) {
+	if _, err := buildRule("no-such-rule", 8, 0, 1); err == nil {
+		t.Error("unknown rule name accepted")
+	}
+	for _, name := range []string{"mean", "trmean", "median", "geomed", "krum", "multikrum", "bulyan", "dnc", "signguard"} {
+		if _, err := buildRule(name, 8, 1, 1); err != nil {
+			t.Errorf("buildRule(%q): %v", name, err)
+		}
+	}
+}

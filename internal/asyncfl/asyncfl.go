@@ -1,0 +1,537 @@
+// Package asyncfl is the buffered asynchronous federated-learning serving
+// core: a FedBuff-style aggregator that accepts gradient updates
+// continuously, tags each with the model version it was computed against,
+// buffers them in bounded per-client queues (drop-oldest, with a
+// backpressure signal to the submitter), and performs an aggregation step
+// every K accepted arrivals. Each step first lets a registered defense
+// (internal/defense — SignGuard, Krum, DnC, ...) filter the drained buffer,
+// then merges the survivors under staleness-discounted weights
+// w(s) = 1/(1+s)^alpha and applies a server-side SGD step, bumping the
+// model version.
+//
+// This departs from the paper's synchronous setting on purpose: the defense
+// no longer sees a synchronized cohort but a staleness-skewed buffer, and
+// the staleness discount plays the role the server's trust weighting plays
+// in server-learning defenses. The synchronous protocol (internal/transport
+// Server/RunClient) is untouched; the async protocol rides the same package
+// as an HTTP layer over this core.
+//
+// Client liveness reuses the TTL-lease/heartbeat discipline of the
+// distributed campaign coordinator (internal/campaign/dist): any message
+// renews a session's lease, silent clients expire on the next sweep and
+// their queued updates are purged — churn never wedges the buffer.
+//
+// Determinism: every mutation happens under one lock in arrival order, and
+// the buffered merge accumulates in arrival order, so a fixed arrival
+// schedule yields byte-identical aggregates. Config.Deterministic makes
+// that schedule explicit: updates carry a global sequence number and the
+// aggregator applies them in sequence order no matter how concurrent
+// submitters interleave — the property the interleaving tests assert
+// without a single sleep.
+package asyncfl
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/signguard/signguard/internal/aggregate"
+	"github.com/signguard/signguard/internal/nn"
+)
+
+// Defaults for Config fields left zero.
+const (
+	// DefaultQueueCap bounds each client's update queue.
+	DefaultQueueCap = 4
+	// DefaultSessionTTL is the liveness lease lifetime.
+	DefaultSessionTTL = time.Minute
+)
+
+// Config describes a buffered asynchronous aggregator.
+type Config struct {
+	// InitialParams is the starting global parameter vector (required).
+	InitialParams []float64
+	// K triggers an aggregation step every K accepted arrivals (required,
+	// >= 1). The step drains every queued update — usually exactly K, fewer
+	// when drop-oldest evicted some, at least one always, so a single
+	// hyperactive client bounded by QueueCap cannot stall aggregation.
+	K int
+	// Alpha is the staleness-discount exponent of w(s) = 1/(1+s)^alpha.
+	// 0 degenerates to the plain buffered mean; must not be negative.
+	Alpha float64
+	// Rule, when non-nil, filters each drained buffer before the
+	// staleness-weighted merge: rules that select gradients (SignGuard,
+	// Krum, DnC, ...) have only their survivors merged; coordinate-wise
+	// rules without a selection (Mean, Median, ...) replace the merge with
+	// their own aggregate, since per-client staleness cannot be attributed
+	// through them. nil merges the whole buffer.
+	Rule aggregate.Rule
+	// LR / Momentum / WeightDecay configure the server-side SGD step.
+	LR          float64
+	Momentum    float64
+	WeightDecay float64
+	// QueueCap bounds each client's queue (0 = DefaultQueueCap). A full
+	// queue drops its oldest update and reports backpressure to the
+	// submitter.
+	QueueCap int
+	// MaxStaleness, when > 0, rejects updates staler than this many
+	// versions outright instead of merging them at a tiny weight.
+	MaxStaleness int
+	// TargetSteps, when > 0, marks the aggregator Done after that many
+	// aggregation steps; further submits are refused. 0 runs forever.
+	TargetSteps int64
+	// SessionTTL is the liveness lease lifetime (0 = DefaultSessionTTL;
+	// negative disables expiry).
+	SessionTTL time.Duration
+	// Deterministic makes updates carry an explicit global sequence number
+	// (Update.Seq, 0-based, dense): the aggregator holds out-of-order
+	// arrivals and applies everything in sequence order, so any concurrent
+	// interleaving of a fixed schedule produces byte-identical aggregates.
+	Deterministic bool
+	// Now supplies the liveness clock (nil = time.Now); injectable so
+	// churn tests expire sessions by advancing a fake clock.
+	Now func() time.Time
+	// Logf, when non-nil, receives step and churn events.
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) validate() error {
+	switch {
+	case len(c.InitialParams) == 0:
+		return errors.New("asyncfl: Config.InitialParams is required")
+	case c.K < 1:
+		return fmt.Errorf("asyncfl: buffer size K = %d invalid (need >= 1)", c.K)
+	case c.Alpha < 0:
+		return fmt.Errorf("asyncfl: staleness exponent alpha = %v invalid (need >= 0)", c.Alpha)
+	case c.LR <= 0:
+		return fmt.Errorf("asyncfl: learning rate %v invalid", c.LR)
+	case c.QueueCap < 0:
+		return fmt.Errorf("asyncfl: queue capacity %d invalid", c.QueueCap)
+	case c.MaxStaleness < 0:
+		return fmt.Errorf("asyncfl: max staleness %d invalid", c.MaxStaleness)
+	}
+	return nil
+}
+
+// Update is one client contribution.
+type Update struct {
+	// Client identifies the submitting session.
+	Client string
+	// Version is the model version the gradient was computed against.
+	Version int
+	// Seq is the update's position in the global arrival schedule
+	// (deterministic mode only, 0-based and dense; ignored otherwise).
+	Seq int64
+	// Grad is the flat gradient vector.
+	Grad []float64
+}
+
+// SubmitResult tells the submitter what happened to its update.
+type SubmitResult struct {
+	// Accepted reports the update entered the buffer.
+	Accepted bool
+	// Held reports a deterministic-mode update parked until its
+	// predecessors in the schedule arrive (it will be applied then).
+	Held bool
+	// TooStale reports a rejection by Config.MaxStaleness.
+	TooStale bool
+	// Dropped reports this client's oldest queued update was evicted to
+	// make room — the drop-oldest half of backpressure.
+	Dropped bool
+	// Backpressure reports the client's queue is at capacity after this
+	// submit: the client should fetch a fresh model before submitting
+	// again rather than pile up doomed updates.
+	Backpressure bool
+	// Stepped reports this arrival triggered an aggregation step.
+	Stepped bool
+	// Staleness is the update's age in model versions at submit time.
+	Staleness int
+	// Version is the current model version after processing — when it
+	// exceeds the submitted version, a fetch is due.
+	Version int
+	// Done reports training reached Config.TargetSteps.
+	Done bool
+}
+
+// StepSummary records one aggregation step.
+type StepSummary struct {
+	// Step is the 1-based step index; Version the model version it
+	// produced.
+	Step    int64
+	Version int
+	// Buffer is the number of updates drained; Kept how many survived the
+	// defense filter.
+	Buffer int
+	Kept   int
+	// MeanStaleness / MaxStaleness describe the drained buffer's age.
+	MeanStaleness float64
+	MaxStaleness  int
+}
+
+// Stats snapshots the aggregator's counters.
+type Stats struct {
+	Version       int
+	Steps         int64
+	Arrivals      int64 // accepted updates
+	Buffered      int   // updates currently queued
+	Drops         int64 // evictions by drop-oldest
+	Rejects       int64 // refused updates (stale, future-versioned, done)
+	RuleErrors    int64 // steps skipped because the defense errored
+	EmptySelects  int64 // steps skipped because the defense kept nothing
+	AliveSessions int
+	Expired       int64 // sessions ever expired
+	PurgedUpdates int64 // queued updates discarded by session expiry
+	// MeanOccupancy is the buffer population averaged over accepted
+	// arrivals — how full the buffer runs in steady state.
+	MeanOccupancy float64
+	Done          bool
+}
+
+// entry is one buffered update.
+type entry struct {
+	client  string
+	version int
+	seq     int64 // server-assigned arrival number: the drain order
+	grad    []float64
+}
+
+// Aggregator is the buffered asynchronous serving core. Create one with
+// New; it is safe for concurrent use.
+type Aggregator struct {
+	cfg      Config
+	queueCap int
+	sessions *SessionTable
+
+	mu      sync.Mutex
+	params  []float64
+	opt     *nn.SGD
+	version int
+	done    bool
+	doneCh  chan struct{}
+
+	queues   map[string][]entry
+	buffered int
+	arrival  int64 // next server-assigned arrival number
+	sinceK   int   // accepted arrivals since the last step
+	seqNext  int64 // deterministic mode: next schedule position to apply
+	reorder  map[int64]Update
+
+	steps        int64
+	drops        int64
+	rejects      int64
+	ruleErrors   int64
+	emptySelects int64
+	purged       int64
+	occSum       int64
+	occN         int64
+	history      []StepSummary
+}
+
+// New builds an aggregator from cfg.
+func New(cfg Config) (*Aggregator, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.QueueCap == 0 {
+		cfg.QueueCap = DefaultQueueCap
+	}
+	ttl := cfg.SessionTTL
+	if ttl == 0 {
+		ttl = DefaultSessionTTL
+	} else if ttl < 0 {
+		ttl = 0 // SessionTable: 0 disables expiry
+	}
+	params := make([]float64, len(cfg.InitialParams))
+	copy(params, cfg.InitialParams)
+	return &Aggregator{
+		cfg:      cfg,
+		queueCap: cfg.QueueCap,
+		sessions: NewSessionTable(ttl, cfg.Now),
+		params:   params,
+		opt:      nn.NewSGD(cfg.LR, cfg.Momentum, cfg.WeightDecay),
+		doneCh:   make(chan struct{}),
+		queues:   map[string][]entry{},
+		reorder:  map[int64]Update{},
+	}, nil
+}
+
+func (a *Aggregator) logf(format string, args ...any) {
+	if a.cfg.Logf != nil {
+		a.cfg.Logf(format, args...)
+	}
+}
+
+// Submit offers one update to the buffer. It renews the client's liveness
+// lease, purges queues of any session that expired meanwhile, enqueues the
+// update (evicting the client's oldest when its queue is full), and — every
+// K accepted arrivals — runs an aggregation step inline before returning.
+// The returned SubmitResult carries the backpressure signals the transport
+// relays to the client. Submitting to a Done aggregator is refused.
+func (a *Aggregator) Submit(u Update) (SubmitResult, error) {
+	if len(u.Grad) != len(a.cfg.InitialParams) {
+		return SubmitResult{}, fmt.Errorf("asyncfl: client %q sent %d-dim gradient, want %d",
+			u.Client, len(u.Grad), len(a.cfg.InitialParams))
+	}
+	expired, _ := a.sessions.Touch(u.Client)
+
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.purgeLocked(expired)
+
+	if !a.cfg.Deterministic {
+		return a.applyLocked(u), nil
+	}
+
+	// Deterministic mode: park the update and drain every consecutive
+	// schedule position that is now available, returning the caller's own
+	// outcome once its turn comes.
+	if u.Seq < a.seqNext {
+		return SubmitResult{}, fmt.Errorf("asyncfl: schedule position %d already applied (next is %d)", u.Seq, a.seqNext)
+	}
+	if _, dup := a.reorder[u.Seq]; dup {
+		return SubmitResult{}, fmt.Errorf("asyncfl: duplicate schedule position %d", u.Seq)
+	}
+	a.reorder[u.Seq] = u
+	res := SubmitResult{Held: true, Version: a.version, Done: a.done}
+	for {
+		next, ok := a.reorder[a.seqNext]
+		if !ok {
+			break
+		}
+		delete(a.reorder, a.seqNext)
+		a.seqNext++
+		r := a.applyLocked(next)
+		if next.Seq == u.Seq {
+			res = r
+		}
+	}
+	return res, nil
+}
+
+// Heartbeat renews a session lease without contributing an update (an idle
+// client staying live) and purges whatever expired meanwhile. It returns
+// the current model version and done state.
+func (a *Aggregator) Heartbeat(client string) (version int, done bool) {
+	expired, _ := a.sessions.Touch(client)
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.purgeLocked(expired)
+	return a.version, a.done
+}
+
+// purgeLocked discards the queued updates of expired sessions. Callers
+// hold a.mu.
+func (a *Aggregator) purgeLocked(expired []string) {
+	for _, id := range expired {
+		if q := a.queues[id]; len(q) > 0 {
+			a.buffered -= len(q)
+			a.purged += int64(len(q))
+			a.logf("asyncfl: session %s expired, %d queued updates purged", id, len(q))
+			delete(a.queues, id)
+		}
+	}
+}
+
+// applyLocked runs the accept/enqueue/step path for one update. Callers
+// hold a.mu.
+func (a *Aggregator) applyLocked(u Update) SubmitResult {
+	res := SubmitResult{Version: a.version, Done: a.done}
+	if a.done {
+		a.rejects++
+		return res
+	}
+	s := a.version - u.Version
+	res.Staleness = s
+	if s < 0 {
+		a.rejects++
+		return res // gradient against a future model: refused
+	}
+	if a.cfg.MaxStaleness > 0 && s > a.cfg.MaxStaleness {
+		a.rejects++
+		res.TooStale = true
+		return res
+	}
+
+	q := a.queues[u.Client]
+	if len(q) >= a.queueCap {
+		// Drop-oldest: the evicted update already counted as an arrival,
+		// so the step cadence is unaffected; the submitter learns via
+		// Dropped that it is outrunning the aggregator.
+		copy(q, q[1:])
+		q = q[:len(q)-1]
+		a.buffered--
+		a.drops++
+		res.Dropped = true
+	}
+	g := make([]float64, len(u.Grad))
+	copy(g, u.Grad)
+	q = append(q, entry{client: u.Client, version: u.Version, seq: a.arrival, grad: g})
+	a.arrival++
+	a.queues[u.Client] = q
+	a.buffered++
+	res.Accepted = true
+	res.Backpressure = len(q) >= a.queueCap
+
+	a.sinceK++
+	a.occSum += int64(a.buffered)
+	a.occN++
+	if a.sinceK >= a.cfg.K {
+		a.stepLocked()
+		a.sinceK = 0
+		res.Stepped = true
+		res.Version = a.version
+		res.Done = a.done
+	}
+	return res
+}
+
+// stepLocked drains the whole buffer in arrival order, filters it through
+// the defense, merges the survivors under staleness weights, and applies
+// the server SGD step. Callers hold a.mu.
+func (a *Aggregator) stepLocked() {
+	buf := make([]entry, 0, a.buffered)
+	for _, q := range a.queues {
+		buf = append(buf, q...)
+	}
+	// Arrival order, not map order: the merge accumulates sequentially, so
+	// this sort is what makes the aggregate byte-determined by the
+	// schedule.
+	sortEntries(buf)
+	for c := range a.queues {
+		delete(a.queues, c)
+	}
+	a.buffered = 0
+	if len(buf) == 0 {
+		return
+	}
+
+	grads := make([][]float64, len(buf))
+	staleness := make([]int, len(buf))
+	sum, max := 0, 0
+	for i, e := range buf {
+		grads[i] = e.grad
+		s := a.version - e.version
+		staleness[i] = s
+		sum += s
+		if s > max {
+			max = s
+		}
+	}
+
+	kept := len(buf)
+	mergeGrads, mergeStale := grads, staleness
+	var merged []float64
+	if a.cfg.Rule != nil {
+		res, err := a.cfg.Rule.Aggregate(grads)
+		if err != nil {
+			// A failing defense must not default to an undefended mean:
+			// discard the buffer and skip the step.
+			a.ruleErrors++
+			a.logf("asyncfl: defense %s failed on %d-update buffer: %v (step skipped)", a.cfg.Rule.Name(), len(buf), err)
+			return
+		}
+		if res.Selected != nil {
+			if len(res.Selected) == 0 {
+				a.emptySelects++
+				a.logf("asyncfl: defense %s kept nothing of %d-update buffer (step skipped)", a.cfg.Rule.Name(), len(buf))
+				return
+			}
+			kept = len(res.Selected)
+			mergeGrads = make([][]float64, kept)
+			mergeStale = make([]int, kept)
+			for i, idx := range res.Selected {
+				mergeGrads[i] = grads[idx]
+				mergeStale[i] = staleness[idx]
+			}
+		} else {
+			// Coordinate-wise rule: its aggregate is the merge; staleness
+			// cannot be attributed per client through it.
+			merged = res.Gradient
+		}
+	}
+	if merged == nil {
+		var err error
+		merged, err = WeightedMerge(mergeGrads, mergeStale, a.cfg.Alpha)
+		if err != nil {
+			a.ruleErrors++
+			a.logf("asyncfl: merge failed: %v (step skipped)", err)
+			return
+		}
+	}
+	if err := a.opt.Step(a.params, merged); err != nil {
+		a.ruleErrors++
+		a.logf("asyncfl: optimizer step failed: %v", err)
+		return
+	}
+	a.steps++
+	a.version++
+	a.history = append(a.history, StepSummary{
+		Step:          a.steps,
+		Version:       a.version,
+		Buffer:        len(buf),
+		Kept:          kept,
+		MeanStaleness: float64(sum) / float64(len(buf)),
+		MaxStaleness:  max,
+	})
+	if a.cfg.TargetSteps > 0 && a.steps >= a.cfg.TargetSteps && !a.done {
+		a.done = true
+		close(a.doneCh)
+		a.logf("asyncfl: target of %d steps reached at version %d", a.cfg.TargetSteps, a.version)
+	}
+}
+
+// sortEntries orders buffer entries by arrival number (insertion sort: the
+// per-client queues are already sorted runs and buffers are small).
+func sortEntries(buf []entry) {
+	for i := 1; i < len(buf); i++ {
+		for j := i; j > 0 && buf[j].seq < buf[j-1].seq; j-- {
+			buf[j], buf[j-1] = buf[j-1], buf[j]
+		}
+	}
+}
+
+// Model returns the current version and a copy of the global parameters,
+// plus whether training is done.
+func (a *Aggregator) Model() (version int, params []float64, done bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]float64, len(a.params))
+	copy(out, a.params)
+	return a.version, out, a.done
+}
+
+// Done returns a channel closed when TargetSteps aggregation steps have
+// completed.
+func (a *Aggregator) Done() <-chan struct{} { return a.doneCh }
+
+// History returns the per-step summaries recorded so far.
+func (a *Aggregator) History() []StepSummary {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]StepSummary(nil), a.history...)
+}
+
+// Stats snapshots the aggregator's counters.
+func (a *Aggregator) Stats() Stats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	st := Stats{
+		Version:       a.version,
+		Steps:         a.steps,
+		Arrivals:      a.arrival,
+		Buffered:      a.buffered,
+		Drops:         a.drops,
+		Rejects:       a.rejects,
+		RuleErrors:    a.ruleErrors,
+		EmptySelects:  a.emptySelects,
+		AliveSessions: a.sessions.Alive(),
+		Expired:       a.sessions.Expired(),
+		PurgedUpdates: a.purged,
+		Done:          a.done,
+	}
+	if a.occN > 0 {
+		st.MeanOccupancy = float64(a.occSum) / float64(a.occN)
+	}
+	return st
+}

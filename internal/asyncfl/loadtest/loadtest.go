@@ -1,0 +1,361 @@
+// Package loadtest drives the asynchronous serving layer (internal/asyncfl
+// behind the internal/transport HTTP protocol) with large fleets of
+// goroutine-cheap simulated clients over real HTTP sockets, and reports
+// the serving metrics that matter at scale: aggregation rounds/s, accepted
+// updates/s, p50/p99 update-ingest latency, mean buffer occupancy, and
+// model quality under a configurable Byzantine fraction and client churn.
+//
+// Clients train a synthetic strongly-convex task — the gradient at params
+// p is p minus a hidden optimum plus per-client noise — so a 100k-client
+// run costs microseconds of compute per update and the final RMS distance
+// to the optimum is an exact model-quality readout: honest traffic drives
+// it toward 0, unfiltered Byzantine traffic (sign-flipped, scaled
+// gradients) drives it away, and a defense in front of the buffer keeps
+// it shrinking. Client sessions are state machines driven by a bounded
+// worker pool, so 100k+ sessions cost a struct each, not a stack each,
+// and socket reuse comes from one shared pooled HTTP client.
+package loadtest
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/signguard/signguard/internal/aggregate"
+	"github.com/signguard/signguard/internal/asyncfl"
+	"github.com/signguard/signguard/internal/tensor"
+	"github.com/signguard/signguard/internal/transport"
+)
+
+// Config describes one load run.
+type Config struct {
+	// Clients is the number of simulated client sessions (required).
+	Clients int
+	// UpdatesPerClient is how many updates each honest client submits
+	// (default 2; churned clients always stop after 1).
+	UpdatesPerClient int
+	// Concurrency bounds the driver worker pool — how many client
+	// sessions are in flight at once (default 256).
+	Concurrency int
+	// Dim is the synthetic model dimensionality (default 64).
+	Dim int
+	// K is the aggregation buffer size (default 32); Alpha the staleness
+	// exponent (default 0.5); QueueCap the per-client queue bound
+	// (default asyncfl.DefaultQueueCap).
+	K        int
+	Alpha    float64
+	QueueCap int
+	// Rule, when non-nil, filters each buffer before the merge.
+	Rule aggregate.Rule
+	// LR is the server learning rate (default 0.05).
+	LR float64
+	// ByzFraction of clients submit sign-flipped, 5x-scaled gradients.
+	ByzFraction float64
+	// ChurnFraction of clients vanish after one update without ever
+	// heartbeating again — their sessions expire and queued updates are
+	// purged once SessionTTL passes.
+	ChurnFraction float64
+	// SessionTTL is the liveness lease lifetime (default 30s).
+	SessionTTL time.Duration
+	// Seed drives the optimum, the per-client noise, and nothing else.
+	Seed int64
+	// Logf, when non-nil, receives progress lines.
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) fill() error {
+	if c.Clients < 1 {
+		return fmt.Errorf("loadtest: %d clients invalid", c.Clients)
+	}
+	if c.ByzFraction < 0 || c.ByzFraction > 1 {
+		return fmt.Errorf("loadtest: byzantine fraction %v invalid", c.ByzFraction)
+	}
+	if c.ChurnFraction < 0 || c.ChurnFraction > 1 {
+		return fmt.Errorf("loadtest: churn fraction %v invalid", c.ChurnFraction)
+	}
+	if c.UpdatesPerClient == 0 {
+		c.UpdatesPerClient = 2
+	}
+	if c.UpdatesPerClient < 1 {
+		return fmt.Errorf("loadtest: %d updates per client invalid", c.UpdatesPerClient)
+	}
+	if c.Concurrency == 0 {
+		c.Concurrency = 256
+	}
+	if c.Concurrency < 1 {
+		return fmt.Errorf("loadtest: concurrency %d invalid", c.Concurrency)
+	}
+	if c.Dim == 0 {
+		c.Dim = 64
+	}
+	if c.K == 0 {
+		c.K = 32
+	}
+	if c.Alpha == 0 {
+		c.Alpha = 0.5
+	}
+	if c.LR == 0 {
+		c.LR = 0.05
+	}
+	if c.SessionTTL == 0 {
+		c.SessionTTL = 30 * time.Second
+	}
+	return nil
+}
+
+// Report is the outcome of one load run.
+type Report struct {
+	// Fleet composition.
+	Clients   int
+	Byzantine int
+	Churned   int
+	// Ingest volume: accepted updates, server-side drops/rejects/purges.
+	Updates int64
+	Drops   int64
+	Rejects int64
+	Purged  int64
+	Expired int64
+	// Aggregation progress.
+	Steps    int64
+	Duration time.Duration
+	// RoundsPerSec is aggregation steps per second; IngestPerSec accepted
+	// updates per second.
+	RoundsPerSec float64
+	IngestPerSec float64
+	// IngestP50 / IngestP99 are client-observed submit round-trip
+	// latencies.
+	IngestP50 time.Duration
+	IngestP99 time.Duration
+	// MeanBufferOccupancy is the buffer population averaged over arrivals.
+	MeanBufferOccupancy float64
+	// InitialError / FinalError are RMS distances from the global model to
+	// the synthetic optimum before and after the run — the model-quality
+	// readout. ErrorReduction is 1 - Final/Initial (1 = fully converged,
+	// <= 0 = the attack won).
+	InitialError   float64
+	FinalError     float64
+	ErrorReduction float64
+}
+
+// String renders the report as the flserver -loadtest summary block.
+func (r *Report) String() string {
+	return fmt.Sprintf(`loadtest: %d clients (%d byzantine, %d churned), %d updates accepted in %v
+  throughput   %.1f rounds/s (%d aggregation steps), %.0f updates/s ingested
+  ingest p50   %v
+  ingest p99   %v
+  buffer       mean occupancy %.1f, drops %d, rejects %d, purged %d (expired sessions %d)
+  model error  %.4f -> %.4f (reduction %.1f%%)`,
+		r.Clients, r.Byzantine, r.Churned, r.Updates, r.Duration.Round(time.Millisecond),
+		r.RoundsPerSec, r.Steps, r.IngestPerSec,
+		r.IngestP50, r.IngestP99,
+		r.MeanBufferOccupancy, r.Drops, r.Rejects, r.Purged, r.Expired,
+		r.InitialError, r.FinalError, 100*r.ErrorReduction)
+}
+
+// spread reports whether index i belongs to the evenly-spread subset of
+// size count out of n (Bresenham spreading, so e.g. Byzantine clients are
+// interleaved with honest ones rather than clustered at the front of the
+// fleet).
+func spread(i, count, n int) bool {
+	if count <= 0 {
+		return false
+	}
+	return (int64(i)*int64(count))%int64(n) < int64(count)
+}
+
+// rmsError is the root-mean-square distance between params and optimum.
+func rmsError(params, optimum []float64) float64 {
+	var sum float64
+	for i := range params {
+		d := params[i] - optimum[i]
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(params)))
+}
+
+// Run executes one load run: it starts a real HTTP server over a fresh
+// aggregator, drives the whole fleet through it, and reports.
+func Run(cfg Config) (*Report, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+
+	rng := tensor.NewRNG(cfg.Seed)
+	optimum := tensor.RandNormal(rng, cfg.Dim, 0, 1)
+	initial := make([]float64, cfg.Dim) // zeros: RMS error = |optimum| RMS
+
+	agg, err := asyncfl.New(asyncfl.Config{
+		InitialParams: initial,
+		K:             cfg.K,
+		Alpha:         cfg.Alpha,
+		Rule:          cfg.Rule,
+		LR:            cfg.LR,
+		QueueCap:      cfg.QueueCap,
+		SessionTTL:    cfg.SessionTTL,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("loadtest: listen: %w", err)
+	}
+	srv := &http.Server{Handler: transport.NewAsyncHandler(agg)}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	defer srv.Close()
+
+	// One pooled HTTP client for the whole fleet: sessions are cheap
+	// structs, sockets are reused, and in-flight requests are bounded by
+	// the worker pool — 100k sessions never means 100k file descriptors.
+	shared := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        cfg.Concurrency * 2,
+		MaxIdleConnsPerHost: cfg.Concurrency * 2,
+	}}
+	base := "http://" + ln.Addr().String()
+
+	byzCount, churnCount := 0, 0
+	lats := make([][]time.Duration, cfg.Concurrency)
+	var firstErr atomic.Value
+	var accepted atomic.Int64
+
+	logf("loadtest: driving %d clients (%d workers) at %s", cfg.Clients, cfg.Concurrency, base)
+	start := time.Now()
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := range jobs {
+				if err := runClient(&cfg, base, shared, optimum, i, &lats[w], &accepted); err != nil {
+					firstErr.CompareAndSwap(nil, err)
+				}
+			}
+		}(w)
+	}
+	for i := 0; i < cfg.Clients; i++ {
+		if spread(i, int(cfg.ByzFraction*float64(cfg.Clients)), cfg.Clients) {
+			byzCount++
+		} else if spread(i+1, int(cfg.ChurnFraction*float64(cfg.Clients)), cfg.Clients) {
+			churnCount++
+		}
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	duration := time.Since(start)
+	if err, ok := firstErr.Load().(error); ok && err != nil {
+		return nil, err
+	}
+	if err := srv.Close(); err != nil {
+		return nil, err
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return nil, err
+	}
+
+	var all []time.Duration
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	pct := func(p float64) time.Duration {
+		if len(all) == 0 {
+			return 0
+		}
+		idx := int(p * float64(len(all)-1))
+		return all[idx]
+	}
+
+	st := agg.Stats()
+	_, params, _ := agg.Model()
+	rep := &Report{
+		Clients:             cfg.Clients,
+		Byzantine:           byzCount,
+		Churned:             churnCount,
+		Updates:             accepted.Load(),
+		Drops:               st.Drops,
+		Rejects:             st.Rejects,
+		Purged:              st.PurgedUpdates,
+		Expired:             st.Expired,
+		Steps:               st.Steps,
+		Duration:            duration,
+		RoundsPerSec:        float64(st.Steps) / duration.Seconds(),
+		IngestPerSec:        float64(accepted.Load()) / duration.Seconds(),
+		IngestP50:           pct(0.50),
+		IngestP99:           pct(0.99),
+		MeanBufferOccupancy: st.MeanOccupancy,
+		InitialError:        rmsError(initial, optimum),
+		FinalError:          rmsError(params, optimum),
+	}
+	if rep.InitialError > 0 {
+		rep.ErrorReduction = 1 - rep.FinalError/rep.InitialError
+	}
+	logf("%s", rep)
+	return rep, nil
+}
+
+// runClient simulates one client session end to end: fetch-compute-submit
+// in a loop, recording each submit's round-trip latency (submitting also
+// registers and renews the session's liveness lease). Byzantine clients
+// submit sign-flipped 5x gradients; churned clients stop after one update
+// and never renew again, so their lease expires.
+func runClient(cfg *Config, base string, httpc *http.Client, optimum []float64, i int, lats *[]time.Duration, accepted *atomic.Int64) error {
+	isByz := spread(i, int(cfg.ByzFraction*float64(cfg.Clients)), cfg.Clients)
+	isChurn := !isByz && spread(i+1, int(cfg.ChurnFraction*float64(cfg.Clients)), cfg.Clients)
+	updates := cfg.UpdatesPerClient
+	if isChurn {
+		updates = 1
+	}
+	c := &transport.AsyncClient{
+		Base: base,
+		ID:   fmt.Sprintf("c%07d", i),
+		HTTP: httpc,
+	}
+	ctx := context.Background()
+	noise := tensor.NewRNG(cfg.Seed + 7919*int64(i+1))
+	grad := make([]float64, len(optimum))
+	for u := 0; u < updates; u++ {
+		model, err := c.Model(ctx)
+		if err != nil {
+			return fmt.Errorf("client %d: %w", i, err)
+		}
+		if model.Done {
+			return nil
+		}
+		for j := range grad {
+			g := model.Params[j] - optimum[j] + 0.1*noise.NormFloat64()
+			if isByz {
+				g = -5 * g
+			}
+			grad[j] = g
+		}
+		t0 := time.Now()
+		res, err := c.Submit(ctx, model.Version, 0, grad)
+		lat := time.Since(t0)
+		if err != nil {
+			return fmt.Errorf("client %d: %w", i, err)
+		}
+		*lats = append(*lats, lat)
+		if res.Accepted {
+			accepted.Add(1)
+		}
+		if res.Done {
+			return nil
+		}
+	}
+	return nil
+}

@@ -1,0 +1,99 @@
+package asyncfl
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// SessionTable tracks client liveness with TTL leases, the same discipline
+// the distributed campaign coordinator applies to workers
+// (internal/campaign/dist → campaign.Queue): any message from a client
+// renews its lease, a client that stays silent past the TTL is presumed
+// gone, and expiry is observed lazily on the next sweep — no background
+// timer goroutine, so tests drive churn with a fake clock instead of
+// sleeping.
+//
+// All methods are safe for concurrent use.
+type SessionTable struct {
+	mu  sync.Mutex
+	ttl time.Duration
+	now func() time.Time
+
+	expiry  map[string]time.Time
+	expired int64 // total sessions ever expired
+}
+
+// NewSessionTable builds a table whose leases last ttl (0 disables expiry —
+// every session lives forever). now supplies the clock (nil = time.Now);
+// it is injectable for the same reason campaign.Queue's is: churn tests
+// advance a fake clock instead of sleeping.
+func NewSessionTable(ttl time.Duration, now func() time.Time) *SessionTable {
+	if now == nil {
+		now = time.Now
+	}
+	return &SessionTable{
+		ttl:    ttl,
+		now:    now,
+		expiry: map[string]time.Time{},
+	}
+}
+
+// Touch registers id if unknown and renews its lease either way, then
+// sweeps the table. It returns the ids whose leases expired during the
+// sweep (sorted, so callers purge state in a deterministic order) and
+// whether id was already known before the call.
+func (t *SessionTable) Touch(id string) (expired []string, known bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	_, known = t.expiry[id]
+	if t.ttl > 0 {
+		t.expiry[id] = t.now().Add(t.ttl)
+	} else {
+		t.expiry[id] = time.Time{}
+	}
+	return t.sweepLocked(id), known
+}
+
+// Sweep expires every overdue session and returns their ids (sorted).
+func (t *SessionTable) Sweep() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.sweepLocked("")
+}
+
+// sweepLocked removes sessions past their expiry, never touching keep
+// (the session being renewed). Callers hold t.mu.
+func (t *SessionTable) sweepLocked(keep string) []string {
+	if t.ttl == 0 {
+		return nil
+	}
+	now := t.now()
+	var gone []string
+	for id, exp := range t.expiry {
+		if id != keep && now.After(exp) {
+			gone = append(gone, id)
+		}
+	}
+	sort.Strings(gone)
+	for _, id := range gone {
+		delete(t.expiry, id)
+	}
+	t.expired += int64(len(gone))
+	return gone
+}
+
+// Alive returns the number of live sessions (without sweeping, so the
+// count may include sessions that would expire on the next Touch).
+func (t *SessionTable) Alive() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.expiry)
+}
+
+// Expired returns the total number of sessions that have ever expired.
+func (t *SessionTable) Expired() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.expired
+}

@@ -1,0 +1,55 @@
+package asyncfl
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Weight returns the staleness discount w(s) = 1/(1+s)^alpha applied to an
+// update computed s model versions ago. s = 0 (an update against the
+// current model) always weighs exactly 1, alpha = 0 degenerates to the
+// plain buffered mean (every update weighs 1 regardless of staleness), and
+// large s drives the weight toward 0 — a stale straggler contributes, but
+// barely. This is the polynomial discount of FedBuff-style buffered
+// asynchronous aggregation; discounting stale contributions is the
+// asynchronous cousin of server-side trust weighting.
+func Weight(staleness int, alpha float64) float64 {
+	if staleness <= 0 {
+		return 1
+	}
+	return math.Pow(1+float64(staleness), -alpha)
+}
+
+// WeightedMerge combines the given gradients into their staleness-weighted
+// average: sum(w_i * g_i) / sum(w_i) with w_i = Weight(staleness[i],
+// alpha). Accumulation walks the inputs in the given order with a single
+// sequential accumulator per coordinate, so the result is byte-determined
+// by the input order — the determinism contract the buffered aggregate
+// inherits (docs/ARCHITECTURE.md).
+func WeightedMerge(grads [][]float64, staleness []int, alpha float64) ([]float64, error) {
+	if len(grads) == 0 {
+		return nil, errors.New("asyncfl: empty merge buffer")
+	}
+	if len(staleness) != len(grads) {
+		return nil, fmt.Errorf("asyncfl: %d staleness values for %d gradients", len(staleness), len(grads))
+	}
+	dim := len(grads[0])
+	out := make([]float64, dim)
+	var wsum float64
+	for i, g := range grads {
+		if len(g) != dim {
+			return nil, fmt.Errorf("asyncfl: gradient %d has %d dims, want %d", i, len(g), dim)
+		}
+		w := Weight(staleness[i], alpha)
+		wsum += w
+		for j, v := range g {
+			out[j] += w * v
+		}
+	}
+	inv := 1 / wsum
+	for j := range out {
+		out[j] *= inv
+	}
+	return out, nil
+}

@@ -1,0 +1,243 @@
+package transport
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"github.com/signguard/signguard/internal/asyncfl"
+)
+
+// maxAsyncBody bounds an update upload; flat gradients of the models here
+// are a few hundred KB of JSON at most, so this is generous headroom.
+const maxAsyncBody = 64 << 20
+
+// NewAsyncHandler mounts the non-blocking submit/fetch protocol over the
+// buffered asynchronous aggregator: clients fetch the versioned model and
+// submit gradients whenever they finish computing, with no round barrier —
+// the HTTP face of internal/asyncfl, sharing nothing with the synchronous
+// gob protocol except the package.
+func NewAsyncHandler(agg *asyncfl.Aggregator) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET "+AsyncPathModel, func(w http.ResponseWriter, _ *http.Request) {
+		version, params, done := agg.Model()
+		asyncWriteJSON(w, AsyncModelResponse{Version: version, Params: params, Done: done})
+	})
+	mux.HandleFunc("POST "+AsyncPathUpdate, func(w http.ResponseWriter, r *http.Request) {
+		var req AsyncSubmitRequest
+		if !asyncReadJSON(w, r, maxAsyncBody, &req) {
+			return
+		}
+		if req.Client == "" {
+			http.Error(w, "update requires a Client id", http.StatusBadRequest)
+			return
+		}
+		res, err := agg.Submit(asyncfl.Update{
+			Client:  req.Client,
+			Version: req.Version,
+			Seq:     req.Seq,
+			Grad:    req.Grad,
+		})
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		asyncWriteJSON(w, res)
+	})
+	mux.HandleFunc("POST "+AsyncPathHeartbeat, func(w http.ResponseWriter, r *http.Request) {
+		var req AsyncHeartbeatRequest
+		if !asyncReadJSON(w, r, 1<<20, &req) {
+			return
+		}
+		if req.Client == "" {
+			http.Error(w, "heartbeat requires a Client id", http.StatusBadRequest)
+			return
+		}
+		version, done := agg.Heartbeat(req.Client)
+		asyncWriteJSON(w, AsyncHeartbeatResponse{Version: version, Done: done})
+	})
+	mux.HandleFunc("GET "+AsyncPathStats, func(w http.ResponseWriter, _ *http.Request) {
+		asyncWriteJSON(w, agg.Stats())
+	})
+	return mux
+}
+
+func asyncWriteJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func asyncReadJSON(w http.ResponseWriter, r *http.Request, limit int64, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, limit))
+	if err := dec.Decode(v); err != nil {
+		http.Error(w, fmt.Sprintf("bad request body: %v", err), http.StatusBadRequest)
+		return false
+	}
+	if dec.More() {
+		http.Error(w, "bad request body: trailing data after JSON value", http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+// AsyncClient is a client of the asynchronous protocol. The zero HTTP
+// field uses http.DefaultClient; load harnesses share one pooled client
+// across many sessions so sockets are reused.
+type AsyncClient struct {
+	// Base is the server address: "host:port" or a full http:// URL.
+	Base string
+	// ID identifies this session in every request.
+	ID string
+	// HTTP is the underlying client (nil = http.DefaultClient).
+	HTTP *http.Client
+}
+
+func (c *AsyncClient) url(path string) string {
+	base := c.Base
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	return strings.TrimSuffix(base, "/") + path
+}
+
+func (c *AsyncClient) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// Model fetches the current global model.
+func (c *AsyncClient) Model(ctx context.Context) (AsyncModelResponse, error) {
+	var out AsyncModelResponse
+	err := c.call(ctx, http.MethodGet, AsyncPathModel, nil, &out)
+	return out, err
+}
+
+// Submit uploads one gradient computed against the given model version and
+// returns the server's backpressure/staleness signals.
+func (c *AsyncClient) Submit(ctx context.Context, version int, seq int64, grad []float64) (asyncfl.SubmitResult, error) {
+	var out asyncfl.SubmitResult
+	req := AsyncSubmitRequest{Client: c.ID, Version: version, Seq: seq, Grad: grad}
+	err := c.call(ctx, http.MethodPost, AsyncPathUpdate, &req, &out)
+	return out, err
+}
+
+// Heartbeat renews this session's liveness lease without submitting.
+func (c *AsyncClient) Heartbeat(ctx context.Context) (AsyncHeartbeatResponse, error) {
+	var out AsyncHeartbeatResponse
+	err := c.call(ctx, http.MethodPost, AsyncPathHeartbeat, &AsyncHeartbeatRequest{Client: c.ID}, &out)
+	return out, err
+}
+
+// Stats fetches the server's aggregator counters.
+func (c *AsyncClient) Stats(ctx context.Context) (asyncfl.Stats, error) {
+	var out asyncfl.Stats
+	err := c.call(ctx, http.MethodGet, AsyncPathStats, nil, &out)
+	return out, err
+}
+
+// call performs one JSON request/response exchange.
+func (c *AsyncClient) call(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		buf, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("transport: encoding %s request: %w", path, err)
+		}
+		body = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.url(path), body)
+	if err != nil {
+		return fmt.Errorf("transport: building %s request: %w", path, err)
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return fmt.Errorf("transport: %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+		return fmt.Errorf("transport: %s: HTTP %d: %s", path, resp.StatusCode, strings.TrimSpace(string(msg)))
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("transport: decoding %s response: %w", path, err)
+	}
+	return nil
+}
+
+// AsyncClientConfig describes one asynchronous participant loop.
+type AsyncClientConfig struct {
+	// Addr is the server address ("host:port" or http:// URL).
+	Addr string
+	// ID identifies the session.
+	ID string
+	// Compute produces the gradient for each fetched model; its round
+	// argument receives the model version (required).
+	Compute GradientFunc
+	// MaxUpdates stops after that many accepted submissions (0 = run
+	// until the server reports Done).
+	MaxUpdates int
+	// OnModel, when non-nil, observes every fetched model.
+	OnModel func(AsyncModelResponse)
+	// HTTP is the underlying client (nil = http.DefaultClient).
+	HTTP *http.Client
+}
+
+// RunAsyncClient joins an asynchronous training session: it repeatedly
+// fetches the versioned model, computes a gradient against it, and submits
+// — no waiting on other clients. It returns the latest fetched parameters
+// when the server reports Done, MaxUpdates is reached, or ctx is
+// cancelled.
+func RunAsyncClient(ctx context.Context, cfg AsyncClientConfig) ([]float64, error) {
+	if cfg.Compute == nil {
+		return nil, fmt.Errorf("transport: AsyncClientConfig.Compute is required")
+	}
+	c := &AsyncClient{Base: cfg.Addr, ID: cfg.ID, HTTP: cfg.HTTP}
+	var params []float64
+	for submitted := 0; ; {
+		if err := ctx.Err(); err != nil {
+			return params, fmt.Errorf("transport: cancelled: %w", err)
+		}
+		model, err := c.Model(ctx)
+		if err != nil {
+			return params, err
+		}
+		params = model.Params
+		if cfg.OnModel != nil {
+			cfg.OnModel(model)
+		}
+		if model.Done {
+			return params, nil
+		}
+		grad, err := cfg.Compute(model.Version, model.Params)
+		if err != nil {
+			return params, fmt.Errorf("transport: computing gradient for version %d: %w", model.Version, err)
+		}
+		res, err := c.Submit(ctx, model.Version, 0, grad)
+		if err != nil {
+			return params, err
+		}
+		if res.Done {
+			// Fetch the final model once more so the caller gets it.
+			final, err := c.Model(ctx)
+			if err != nil {
+				return params, err
+			}
+			return final.Params, nil
+		}
+		if res.Accepted {
+			submitted++
+			if cfg.MaxUpdates > 0 && submitted >= cfg.MaxUpdates {
+				return params, nil
+			}
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package transport
+
+// The asynchronous protocol is versioned under /asyncfl/v1 so wire changes
+// can coexist with deployed clients; the synchronous gob protocol
+// (messages.go) is untouched and keeps working alongside it.
+const (
+	// AsyncPathModel serves the current model: GET → AsyncModelResponse.
+	AsyncPathModel = "/asyncfl/v1/model"
+	// AsyncPathUpdate ingests one gradient: POST AsyncSubmitRequest →
+	// asyncfl.SubmitResult (the backpressure/staleness signals).
+	AsyncPathUpdate = "/asyncfl/v1/update"
+	// AsyncPathHeartbeat renews an idle client's liveness lease: POST
+	// AsyncHeartbeatRequest → AsyncHeartbeatResponse.
+	AsyncPathHeartbeat = "/asyncfl/v1/heartbeat"
+	// AsyncPathStats exposes the aggregator counters: GET → asyncfl.Stats.
+	AsyncPathStats = "/asyncfl/v1/stats"
+)
+
+// AsyncModelResponse is the server's answer to a model fetch.
+type AsyncModelResponse struct {
+	// Version is the model version; submits must echo it so the server
+	// can compute staleness.
+	Version int
+	// Params is the flat global parameter vector.
+	Params []float64
+	// Done reports training finished; Params then holds the final model.
+	Done bool
+}
+
+// AsyncSubmitRequest carries one client gradient.
+type AsyncSubmitRequest struct {
+	// Client identifies the session (also renews its liveness lease).
+	Client string
+	// Version is the model version the gradient was computed against.
+	Version int
+	// Seq is the schedule position in deterministic mode (ignored
+	// otherwise).
+	Seq int64
+	// Grad is the flat gradient vector.
+	Grad []float64
+}
+
+// AsyncHeartbeatRequest renews a session without submitting.
+type AsyncHeartbeatRequest struct {
+	Client string
+}
+
+// AsyncHeartbeatResponse reports the server state to an idle client.
+type AsyncHeartbeatResponse struct {
+	Version int
+	Done    bool
+}

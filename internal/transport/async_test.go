@@ -1,0 +1,189 @@
+package transport
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/signguard/signguard/internal/asyncfl"
+)
+
+// newAsyncTestServer spins a real HTTP server over a fresh aggregator.
+func newAsyncTestServer(t *testing.T, cfg asyncfl.Config) (*asyncfl.Aggregator, *httptest.Server) {
+	t.Helper()
+	agg, err := asyncfl.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewAsyncHandler(agg))
+	t.Cleanup(srv.Close)
+	return agg, srv
+}
+
+// quadCompute descends params toward target: grad = params - target.
+func quadCompute(target float64) GradientFunc {
+	return func(_ int, params []float64) ([]float64, error) {
+		g := make([]float64, len(params))
+		for i, p := range params {
+			g[i] = p - target
+		}
+		return g, nil
+	}
+}
+
+func TestAsyncProtocolEndToEnd(t *testing.T) {
+	dim := 6
+	init := make([]float64, dim)
+	for i := range init {
+		init[i] = 5
+	}
+	agg, srv := newAsyncTestServer(t, asyncfl.Config{
+		InitialParams: init,
+		K:             4,
+		Alpha:         0.5,
+		LR:            0.2,
+		TargetSteps:   25,
+		SessionTTL:    -1,
+	})
+
+	var wg sync.WaitGroup
+	errs := make([]error, 4)
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = RunAsyncClient(context.Background(), AsyncClientConfig{
+				Addr:    srv.URL,
+				ID:      fmt.Sprintf("client-%d", i),
+				Compute: quadCompute(0),
+			})
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("client %d: %v", i, err)
+		}
+	}
+
+	select {
+	case <-agg.Done():
+	default:
+		t.Fatal("aggregator not done after clients exited")
+	}
+	version, params, done := agg.Model()
+	if !done || version != 25 {
+		t.Fatalf("version %d done %v, want 25 steps", version, done)
+	}
+	for j, p := range params {
+		if math.Abs(p) >= 5 {
+			t.Fatalf("param %d = %v did not move toward 0", j, p)
+		}
+	}
+	st := agg.Stats()
+	if st.Arrivals < 100 {
+		t.Fatalf("stats = %+v, want >= 100 accepted arrivals", st)
+	}
+}
+
+func TestAsyncClientMaxUpdates(t *testing.T) {
+	_, srv := newAsyncTestServer(t, asyncfl.Config{
+		InitialParams: []float64{1},
+		K:             1000, // never steps
+		LR:            0.1,
+		SessionTTL:    -1,
+	})
+	done := make(chan error, 1)
+	go func() {
+		_, err := RunAsyncClient(context.Background(), AsyncClientConfig{
+			Addr:       srv.URL,
+			ID:         "c",
+			Compute:    quadCompute(0),
+			MaxUpdates: 3,
+		})
+		done <- err
+	}()
+	if err := <-done; err != nil {
+		t.Fatalf("client: %v", err)
+	}
+}
+
+func TestAsyncSubmitSignals(t *testing.T) {
+	agg, srv := newAsyncTestServer(t, asyncfl.Config{
+		InitialParams: []float64{0, 0},
+		K:             100,
+		QueueCap:      2,
+		LR:            0.1,
+		SessionTTL:    -1,
+	})
+	c := &AsyncClient{Base: srv.URL, ID: "c"}
+	ctx := context.Background()
+	for i := 0; i < 2; i++ {
+		if _, err := c.Submit(ctx, 0, 0, []float64{1, 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := c.Submit(ctx, 0, 0, []float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Dropped || !res.Backpressure || !res.Accepted {
+		t.Fatalf("overflow submit = %+v, want dropped+backpressure", res)
+	}
+	if st := agg.Stats(); st.Drops != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	hb, err := c.Heartbeat(ctx)
+	if err != nil || hb.Version != 0 || hb.Done {
+		t.Fatalf("heartbeat = %+v, %v", hb, err)
+	}
+	stats, err := c.Stats(ctx)
+	if err != nil || stats.Buffered != 2 {
+		t.Fatalf("stats over HTTP = %+v, %v", stats, err)
+	}
+}
+
+func TestAsyncBadRequests(t *testing.T) {
+	_, srv := newAsyncTestServer(t, asyncfl.Config{
+		InitialParams: []float64{0, 0},
+		K:             10,
+		LR:            0.1,
+		SessionTTL:    -1,
+	})
+	post := func(path, body string) *http.Response {
+		resp, err := http.Post(srv.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { resp.Body.Close() })
+		return resp
+	}
+	if resp := post(AsyncPathUpdate, `{"Client":"","Grad":[1,2]}`); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty client: HTTP %d, want 400", resp.StatusCode)
+	}
+	if resp := post(AsyncPathUpdate, `{"Client":"c","Grad":[1]}`); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("dim mismatch: HTTP %d, want 400", resp.StatusCode)
+	}
+	if resp := post(AsyncPathUpdate, `{"Client":"c","Grad":[1,2]} trailing`); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("trailing garbage: HTTP %d, want 400", resp.StatusCode)
+	}
+	if resp := post(AsyncPathHeartbeat, `{"Client":""}`); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty heartbeat client: HTTP %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestAsyncClientURLNormalization(t *testing.T) {
+	c := &AsyncClient{Base: "127.0.0.1:9000"}
+	if got := c.url(AsyncPathModel); got != "http://127.0.0.1:9000"+AsyncPathModel {
+		t.Fatalf("url = %q", got)
+	}
+	c.Base = "http://example.com/"
+	if got := c.url(AsyncPathModel); got != "http://example.com"+AsyncPathModel {
+		t.Fatalf("url = %q", got)
+	}
+}
