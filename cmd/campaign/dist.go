@@ -14,6 +14,7 @@ import (
 
 	"github.com/signguard/signguard/internal/campaign"
 	"github.com/signguard/signguard/internal/campaign/dist"
+	"github.com/signguard/signguard/internal/cliutil"
 	"github.com/signguard/signguard/internal/experiments"
 	"github.com/signguard/signguard/internal/parallel"
 )
@@ -114,6 +115,31 @@ func joinHint(addr net.Addr) string {
 	return "http://" + net.JoinHostPort(host, port)
 }
 
+// codecPolicy builds the -codec worker guard: a CheckSpec hook refusing
+// grids whose cells use any compression codec other than pin. The empty
+// spelling and "identity" are one codec (they hash identically), so a
+// worker pinned to identity accepts uncompressed grids and vice versa.
+func codecPolicy(pin string) func(campaign.Spec) error {
+	if pin == "" {
+		return nil
+	}
+	norm := func(name string) string {
+		if name == "" {
+			return campaign.CodecIdentity
+		}
+		return name
+	}
+	pin = norm(pin)
+	return func(spec campaign.Spec) error {
+		for _, c := range spec.Cells {
+			if got := norm(c.Codec); got != pin {
+				return fmt.Errorf("cell %s uses codec %s, this worker is pinned to -codec %s", c.ID(), got, pin)
+			}
+		}
+		return nil
+	}
+}
+
 // cmdWork joins a coordinator and executes leased cells until the campaign
 // completes. Any number of work processes, on any hosts that can reach the
 // coordinator, share one grid and one result store.
@@ -126,14 +152,15 @@ func cmdWork(args []string) error {
 	batchClients := fs.Bool("batch-clients", false,
 		"compute client gradients in one stacked batch per simulation worker (byte-identical, so uploaded results match any other worker's)")
 	poll := fs.Duration("poll", 2*time.Second, "idle wait when every pending cell is leased elsewhere")
+	codecPin := fs.String("codec", "", "refuse grids whose cells use any compression codec but this one (operator policy; empty = accept all)")
 	verbose := fs.Bool("v", false, "log every finished cell")
 	fs.Parse(args)
 
 	if err := parallel.ValidateWorkers(*workers); err != nil {
 		return fmt.Errorf("-workers: %w", err)
 	}
-	if *batch < 1 {
-		return fmt.Errorf("-batch must be >= 1, got %d", *batch)
+	if err := cliutil.PositiveInt("-batch", *batch); err != nil {
+		return err
 	}
 
 	// Split the CPUs between cell slots and each cell's in-simulation
@@ -147,14 +174,15 @@ func cmdWork(args []string) error {
 		logf = nil
 	}
 	w := &dist.Worker{
-		URL:      *coordURL,
-		ID:       *id,
-		Runner:   &campaign.Runner{Registry: experiments.Registry(), SimWorkers: simWorkers, BatchClients: *batchClients},
-		Registry: experiments.Registry(),
-		Slots:    *workers,
-		Batch:    *batch,
-		Poll:     *poll,
-		Logf:     logf,
+		URL:       *coordURL,
+		ID:        *id,
+		Runner:    &campaign.Runner{Registry: experiments.Registry(), SimWorkers: simWorkers, BatchClients: *batchClients},
+		Registry:  experiments.Registry(),
+		CheckSpec: codecPolicy(*codecPin),
+		Slots:     *workers,
+		Batch:     *batch,
+		Poll:      *poll,
+		Logf:      logf,
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)

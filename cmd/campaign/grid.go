@@ -7,18 +7,22 @@ import (
 	"strings"
 
 	"github.com/signguard/signguard/internal/campaign"
+	"github.com/signguard/signguard/internal/cliutil"
 	"github.com/signguard/signguard/internal/experiments"
 )
 
-// gridFlags are the flags shared by run/status/export: they select,
-// replicate and filter a campaign's cell grid.
+// gridFlags are the flags shared by run/serve/status/export: they select,
+// replicate and filter a campaign's cell grid, and optionally stamp a
+// gradient-compression codec onto every cell.
 type gridFlags struct {
-	name     string
-	scale    string
-	seed     int64
-	seeds    string
-	filter   string
-	cacheDir string
+	name       string
+	scale      string
+	seed       int64
+	seeds      string
+	filter     string
+	cacheDir   string
+	codec      string
+	codecHyper string
 }
 
 func (g *gridFlags) register(fs *flag.FlagSet) {
@@ -28,6 +32,8 @@ func (g *gridFlags) register(fs *flag.FlagSet) {
 	fs.StringVar(&g.seeds, "seeds", "", "comma-separated seed list; replicates every cell per seed (overrides -seed)")
 	fs.StringVar(&g.filter, "filter", "", "keep only cells whose ID contains this substring (applied after -seeds replication)")
 	fs.StringVar(&g.cacheDir, "cache-dir", ".campaign-cache", "cell result cache directory")
+	fs.StringVar(&g.codec, "codec", "", "gradient-compression codec stamped onto every cell (see 'campaign rules'; empty = cells' own codec axis)")
+	fs.StringVar(&g.codecHyper, "codec-hyper", "", "codec hyperparameters as key=value[,key=value], e.g. k=64 (requires -codec)")
 }
 
 // parseSeeds parses the -seeds list ("1,2,3").
@@ -75,7 +81,21 @@ func resolveSpec(name, scaleName string, seed int64, seedList, filter string) (c
 }
 
 func (g *gridFlags) spec() (campaign.Spec, error) {
-	return resolveSpec(g.name, g.scale, g.seed, g.seeds, g.filter)
+	spec, err := resolveSpec(g.name, g.scale, g.seed, g.seeds, g.filter)
+	if err != nil {
+		return campaign.Spec{}, err
+	}
+	hyper, err := cliutil.ParseHyper("-codec-hyper", g.codecHyper)
+	if err != nil {
+		return campaign.Spec{}, err
+	}
+	if g.codec == "" && hyper != nil {
+		return campaign.Spec{}, fmt.Errorf("-codec-hyper requires -codec")
+	}
+	// Codec is cell identity: stamped cells hash and cache separately from
+	// their uncompressed originals, so run/status/export all see the same
+	// grid for the same flags.
+	return campaign.ApplyCodec(spec, g.codec, hyper), nil
 }
 
 func (g *gridFlags) store() (*campaign.Store, error) {

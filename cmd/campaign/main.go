@@ -11,6 +11,7 @@
 //	campaign status -name all -scale standard -cache-dir .campaign-cache
 //	campaign export -name table1 -scale standard -cache-dir .campaign-cache -format csv -out table1.csv
 //	campaign list
+//	campaign rules
 //
 // Runs are resumable: every finished cell is persisted immediately, so an
 // interrupted campaign (Ctrl-C) picks up where it left off. A completed
@@ -25,9 +26,11 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strings"
 	"time"
 
 	"github.com/signguard/signguard/internal/campaign"
+	"github.com/signguard/signguard/internal/codec"
 	"github.com/signguard/signguard/internal/experiments"
 	"github.com/signguard/signguard/internal/parallel"
 )
@@ -54,6 +57,8 @@ func main() {
 		err = cmdExport(args)
 	case "list":
 		err = cmdList()
+	case "rules":
+		err = cmdRules()
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -66,7 +71,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, `usage: campaign <run|serve|work|status|export|list> [flags]
+	fmt.Fprintf(os.Stderr, `usage: campaign <run|serve|work|status|export|list|rules> [flags]
 
   run     execute a campaign's cells (concurrent, cached, resumable)
   serve   coordinate a distributed campaign: serve the grid to 'work' processes
@@ -75,6 +80,8 @@ func usage() {
   status  report cached vs pending cells for a campaign (index-backed, O(1) per cell)
   export  emit cached results as CSV/JSON, per cell or aggregated by seed group
   list    list the named campaigns and their cell counts
+  rules   list the registered defenses and compression codecs with their
+          declared hyperparameters
 
 Campaigns cover the paper's tables and figures plus the scenario axes
 (client subsampling, defense hyperparameter sweeps, adaptive attacks);
@@ -250,7 +257,32 @@ func cmdList() error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("%-8s %4d cells\n", name, len(spec.Cells))
+		fmt.Printf("%-11s %4d cells\n", name, len(spec.Cells))
 	}
 	return nil
+}
+
+// cmdRules prints the defense and codec registries — the one listing
+// surface for both pluggable-stage catalogs, with the hyperparameter
+// names each constructor accepts (usable in RuleHyper / -codec-hyper).
+func cmdRules() error {
+	defs := experiments.Defenses().Specs()
+	fmt.Printf("defenses (%d):\n", len(defs))
+	for _, s := range defs {
+		printRule(s.Name, s.Hyper)
+	}
+	codecs := codec.Builtin().Specs()
+	fmt.Printf("\ncodecs (%d):\n", len(codecs))
+	for _, s := range codecs {
+		printRule(s.Name, s.Hyper)
+	}
+	return nil
+}
+
+func printRule(name string, hyper []string) {
+	if len(hyper) == 0 {
+		fmt.Printf("  %s\n", name)
+		return
+	}
+	fmt.Printf("  %-24s hyper: %s\n", name, strings.Join(hyper, ", "))
 }

@@ -9,6 +9,9 @@
 // the synchronous gob rounds: fetch the versioned model, compute a
 // gradient against it, submit, repeat — no waiting on other clients —
 // until the server reports Done (or -updates submissions were accepted).
+// -codec compresses each async submission with a gradient codec
+// (topk, qsgd, signsgd); the server must advertise the codec as accepted
+// or the client fails fast on its first submission.
 package main
 
 import (
@@ -17,6 +20,8 @@ import (
 	"fmt"
 	"log"
 
+	"github.com/signguard/signguard/internal/cliutil"
+	"github.com/signguard/signguard/internal/codec"
 	"github.com/signguard/signguard/internal/data"
 	"github.com/signguard/signguard/internal/fl"
 	"github.com/signguard/signguard/internal/nn"
@@ -26,42 +31,70 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", "127.0.0.1:9000", "server address")
-		id      = flag.Int("id", 0, "client id in [0, clients)")
-		clients = flag.Int("clients", 4, "total number of clients (must match server)")
-		batch   = flag.Int("batch", 16, "local mini-batch size")
-		seed    = flag.Int64("seed", 1, "shared dataset/model seed (must match server)")
-		byzStr  = flag.String("byzantine", "", "misbehave: signflip|reverse|random|labelflip (empty = honest)")
-		async   = flag.Bool("async", false, "speak the asynchronous HTTP protocol (server must run flserver -async)")
-		updates = flag.Int("updates", 0, "async: stop after this many accepted submissions (0 = until server Done)")
+		addr     = flag.String("addr", "127.0.0.1:9000", "server address")
+		id       = flag.Int("id", 0, "client id in [0, clients)")
+		clients  = flag.Int("clients", 4, "total number of clients (must match server)")
+		batch    = flag.Int("batch", 16, "local mini-batch size")
+		seed     = flag.Int64("seed", 1, "shared dataset/model seed (must match server)")
+		byzStr   = flag.String("byzantine", "", "misbehave: signflip|reverse|random|labelflip (empty = honest)")
+		async    = flag.Bool("async", false, "speak the asynchronous HTTP protocol (server must run flserver -async)")
+		updates  = flag.Int("updates", 0, "async: stop after this many accepted submissions (0 = until server Done)")
+		codecStr = flag.String("codec", "", "async: compress submissions with this codec (identity|topk|qsgd|signsgd; the server must accept it)")
+		hyperStr = flag.String("codec-hyper", "", "async: codec hyperparameters as key=value[,key=value], e.g. k=64 (requires -codec)")
 	)
 	flag.Parse()
 
 	if err := validateFlags(*id, *clients, *batch, *updates); err != nil {
 		log.Fatalf("flclient: %v", err)
 	}
-	if err := run(*addr, *id, *clients, *batch, *seed, *byzStr, *async, *updates); err != nil {
+	wire, err := buildCodec(*codecStr, *hyperStr, *async)
+	if err != nil {
+		log.Fatalf("flclient: %v", err)
+	}
+	if err := run(*addr, *id, *clients, *batch, *seed, *byzStr, *async, *updates, wire); err != nil {
 		log.Fatalf("flclient: %v", err)
 	}
 }
 
 // validateFlags rejects out-of-range flag values up front with clear
-// errors, mirroring cmd/campaign's -workers check.
+// errors naming the offending flag (internal/cliutil).
 func validateFlags(id, clients, batch, updates int) error {
-	switch {
-	case clients < 1:
-		return fmt.Errorf("-clients must be >= 1 (got %d)", clients)
-	case id < 0 || id >= clients:
-		return fmt.Errorf("-id %d out of [0, %d)", id, clients)
-	case batch < 1:
-		return fmt.Errorf("-batch must be >= 1 (got %d)", batch)
-	case updates < 0:
-		return fmt.Errorf("-updates must be >= 0 (got %d)", updates)
+	if err := cliutil.PositiveInt("-clients", clients); err != nil {
+		return err
 	}
-	return nil
+	if err := cliutil.IndexInRange("-id", id, clients); err != nil {
+		return err
+	}
+	if err := cliutil.PositiveInt("-batch", batch); err != nil {
+		return err
+	}
+	return cliutil.NonNegativeInt("-updates", updates)
 }
 
-func run(addr string, id, clients, batch int, seed int64, byzStr string, async bool, updates int) error {
+// buildCodec resolves the -codec/-codec-hyper flags to a wire codec
+// instance (nil = uncompressed submissions).
+func buildCodec(name, hyperStr string, async bool) (codec.Codec, error) {
+	hyper, err := cliutil.ParseHyper("-codec-hyper", hyperStr)
+	if err != nil {
+		return nil, err
+	}
+	if name == "" {
+		if hyper != nil {
+			return nil, fmt.Errorf("-codec-hyper requires -codec")
+		}
+		return nil, nil
+	}
+	if !async {
+		return nil, fmt.Errorf("-codec requires -async (the synchronous gob protocol is uncompressed)")
+	}
+	c, err := codec.Builtin().Build(name, codec.Params{Hyper: hyper})
+	if err != nil {
+		return nil, fmt.Errorf("-codec: %w", err)
+	}
+	return c, nil
+}
+
+func run(addr string, id, clients, batch int, seed int64, byzStr string, async bool, updates int, wire codec.Codec) error {
 	ds, err := data.MNISTLike(seed, 4000, 1000)
 	if err != nil {
 		return err
@@ -131,6 +164,8 @@ func run(addr string, id, clients, batch int, seed int64, byzStr string, async b
 			ID:         fmt.Sprintf("client-%d", id),
 			Compute:    compute,
 			MaxUpdates: updates,
+			Codec:      wire,
+			Rng:        tensor.NewRNG(seed + 900 + int64(id)),
 		})
 	} else {
 		final, err = transport.RunClient(context.Background(), transport.ClientConfig{

@@ -27,7 +27,9 @@
 //
 //	flserver -addr :9000 -clients 4 -rounds 100 -rule signguard
 //	flserver -addr :9000 -async -buffer 8 -alpha 0.5 -rounds 200
+//	flserver -addr :9000 -async -codec identity,topk   # accept only these codecs
 //	flserver -loadtest -load-clients 100000 -load-byz 0.1
+//	flserver -loadtest -codec topk -codec-hyper k=8    # compressed submissions
 package main
 
 import (
@@ -39,11 +41,14 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"strings"
 	"time"
 
 	"github.com/signguard/signguard/internal/aggregate"
 	"github.com/signguard/signguard/internal/asyncfl"
 	"github.com/signguard/signguard/internal/asyncfl/loadtest"
+	"github.com/signguard/signguard/internal/cliutil"
+	"github.com/signguard/signguard/internal/codec"
 	"github.com/signguard/signguard/internal/core"
 	"github.com/signguard/signguard/internal/data"
 	"github.com/signguard/signguard/internal/fl"
@@ -77,21 +82,40 @@ func main() {
 		loadByz     = flag.Float64("load-byz", 0, "loadtest: Byzantine client fraction")
 		loadChurn   = flag.Float64("load-churn", 0, "loadtest: churned client fraction")
 		loadRule    = flag.String("load-rule", "", "loadtest: defense in front of the buffer (empty = none)")
+
+		codecStr = flag.String("codec", "", "async: comma-separated accepted codec list advertised to clients (empty = all built-ins); loadtest: compress simulated client submissions with this codec")
+		hyperStr = flag.String("codec-hyper", "", "loadtest: codec hyperparameters as key=value[,key=value], e.g. k=8 (requires -codec)")
 	)
 	flag.Parse()
 
 	if err := validateFlags(*clients, *rounds, *lr, *timeout, *buffer, *alpha); err != nil {
 		log.Fatalf("flserver: %v", err)
 	}
+	if err := cliutil.Fraction("-load-byz", *loadByz); err != nil {
+		log.Fatalf("flserver: %v", err)
+	}
+	if err := cliutil.Fraction("-load-churn", *loadChurn); err != nil {
+		log.Fatalf("flserver: %v", err)
+	}
 
 	var err error
 	switch {
 	case *loadRun:
-		err = runLoadtest(*loadRule, *loadClients, *loadUpdates, *loadConc, *loadDim, *buffer, *alpha, *loadByz, *loadChurn, *seed)
+		var wire codec.Codec
+		if wire, err = buildLoadCodec(*codecStr, *hyperStr); err == nil {
+			err = runLoadtest(*loadRule, *loadClients, *loadUpdates, *loadConc, *loadDim, *buffer, *alpha, *loadByz, *loadChurn, *seed, wire)
+		}
 	case *async:
-		err = runAsync(*addr, *ruleStr, *buffer, *rounds, *byz, *queueCap, *lr, *alpha, *seed, *ttl)
+		var accepted []string
+		if accepted, err = parseAccepted(*codecStr, *hyperStr); err == nil {
+			err = runAsync(*addr, *ruleStr, *buffer, *rounds, *byz, *queueCap, *lr, *alpha, *seed, *ttl, accepted)
+		}
 	default:
-		err = run(*addr, *ruleStr, *clients, *rounds, *byz, *lr, *seed, *timeout)
+		if *codecStr != "" || *hyperStr != "" {
+			err = fmt.Errorf("-codec applies to -async (accepted list) or -loadtest (client codec); the synchronous gob protocol is uncompressed")
+		} else {
+			err = run(*addr, *ruleStr, *clients, *rounds, *byz, *lr, *seed, *timeout)
+		}
 	}
 	if err != nil {
 		log.Fatalf("flserver: %v", err)
@@ -99,24 +123,66 @@ func main() {
 }
 
 // validateFlags rejects out-of-range flag values up front with clear
-// errors instead of passing them through to fail (or misbehave) deep in
-// the protocol — mirroring cmd/campaign's -workers check.
+// errors naming the offending flag (internal/cliutil) instead of passing
+// them through to fail (or misbehave) deep in the protocol.
 func validateFlags(clients, rounds int, lr float64, timeout time.Duration, buffer int, alpha float64) error {
-	switch {
-	case clients < 1:
-		return fmt.Errorf("-clients must be >= 1 (got %d)", clients)
-	case rounds < 1:
-		return fmt.Errorf("-rounds must be >= 1 (got %d)", rounds)
-	case lr <= 0:
-		return fmt.Errorf("-lr must be positive (got %v)", lr)
-	case timeout <= 0:
-		return fmt.Errorf("-round-timeout must be positive (got %v)", timeout)
-	case buffer < 1:
-		return fmt.Errorf("-buffer must be >= 1 (got %d)", buffer)
-	case alpha < 0:
-		return fmt.Errorf("-alpha must be >= 0 (got %v)", alpha)
+	if err := cliutil.PositiveInt("-clients", clients); err != nil {
+		return err
 	}
-	return nil
+	if err := cliutil.PositiveInt("-rounds", rounds); err != nil {
+		return err
+	}
+	if err := cliutil.PositiveFloat("-lr", lr); err != nil {
+		return err
+	}
+	if err := cliutil.PositiveDuration("-round-timeout", timeout); err != nil {
+		return err
+	}
+	if err := cliutil.PositiveInt("-buffer", buffer); err != nil {
+		return err
+	}
+	return cliutil.NonNegativeFloat("-alpha", alpha)
+}
+
+// buildLoadCodec resolves -codec/-codec-hyper in loadtest mode to the
+// codec simulated clients compress their submissions with (nil = dense).
+func buildLoadCodec(name, hyperStr string) (codec.Codec, error) {
+	hyper, err := cliutil.ParseHyper("-codec-hyper", hyperStr)
+	if err != nil {
+		return nil, err
+	}
+	if name == "" {
+		if hyper != nil {
+			return nil, fmt.Errorf("-codec-hyper requires -codec")
+		}
+		return nil, nil
+	}
+	c, err := codec.Builtin().Build(name, codec.Params{Hyper: hyper})
+	if err != nil {
+		return nil, fmt.Errorf("-codec: %w", err)
+	}
+	return c, nil
+}
+
+// parseAccepted resolves -codec in async mode to the accepted-codec list
+// the server advertises (nil = every built-in). Decoding is
+// hyperparameter-independent, so -codec-hyper has no async meaning.
+func parseAccepted(codecStr, hyperStr string) ([]string, error) {
+	if hyperStr != "" {
+		return nil, fmt.Errorf("-codec-hyper only applies to -loadtest (async decoding is hyperparameter-independent)")
+	}
+	if codecStr == "" {
+		return nil, nil
+	}
+	var accepted []string
+	for _, name := range strings.Split(codecStr, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			return nil, fmt.Errorf("-codec: empty name in accepted list %q", codecStr)
+		}
+		accepted = append(accepted, name)
+	}
+	return accepted, nil
 }
 
 // buildRule maps the CLI rule name to an aggregation rule. n is the
@@ -206,7 +272,9 @@ func run(addr, ruleStr string, clients, rounds, byz int, lr float64, seed int64,
 
 // runAsync serves the buffered asynchronous protocol until the target
 // number of aggregation steps completes, then evaluates the global model.
-func runAsync(addr, ruleStr string, buffer, steps, byz, queueCap int, lr, alpha float64, seed int64, ttl time.Duration) error {
+// accepted is the codec accept-list advertised to clients (nil = every
+// built-in codec).
+func runAsync(addr, ruleStr string, buffer, steps, byz, queueCap int, lr, alpha float64, seed int64, ttl time.Duration, accepted []string) error {
 	rule, err := buildRule(ruleStr, buffer, byz, seed)
 	if err != nil {
 		return err
@@ -237,11 +305,15 @@ func runAsync(addr, ruleStr string, buffer, steps, byz, queueCap int, lr, alpha 
 		return err
 	}
 
+	handler, err := transport.NewAsyncCodecHandler(agg, accepted)
+	if err != nil {
+		return err
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return fmt.Errorf("listen %s: %w", addr, err)
 	}
-	httpSrv := &http.Server{Handler: transport.NewAsyncHandler(agg)}
+	httpSrv := &http.Server{Handler: handler}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()
 	log.Printf("flserver: async serving on %s (rule=%s, buffer=%d, alpha=%v, steps=%d)",
@@ -278,7 +350,7 @@ func runAsync(addr, ruleStr string, buffer, steps, byz, queueCap int, lr, alpha 
 }
 
 // runLoadtest drives the in-process load harness and prints its report.
-func runLoadtest(ruleStr string, clients, updates, concurrency, dim, buffer int, alpha, byzFrac, churnFrac float64, seed int64) error {
+func runLoadtest(ruleStr string, clients, updates, concurrency, dim, buffer int, alpha, byzFrac, churnFrac float64, seed int64, wire codec.Codec) error {
 	var rule aggregate.Rule
 	if ruleStr != "" {
 		var err error
@@ -296,6 +368,7 @@ func runLoadtest(ruleStr string, clients, updates, concurrency, dim, buffer int,
 		Rule:             rule,
 		ByzFraction:      byzFrac,
 		ChurnFraction:    churnFrac,
+		Codec:            wire,
 		Seed:             seed,
 		Logf:             log.Printf,
 	})

@@ -10,8 +10,10 @@
 //	reproduce -exp all -scale standard -workers 8 -cache-dir .campaign-cache -out results.md
 //
 // Experiments: table1, table2, table3, fig2, fig4, fig5, fig6, the
-// post-paper scenario axes (subsample, coordfrac, adaptive, batched), and
-// all.
+// post-paper scenario axes (subsample, coordfrac, adaptive, batched,
+// compression), and all. -codec stamps a gradient-compression codec onto
+// every cell of whichever experiment runs (the codec is cell identity, so
+// compressed reruns cache separately).
 package main
 
 import (
@@ -23,13 +25,14 @@ import (
 	"time"
 
 	"github.com/signguard/signguard/internal/campaign"
+	"github.com/signguard/signguard/internal/cliutil"
 	"github.com/signguard/signguard/internal/experiments"
 	"github.com/signguard/signguard/internal/parallel"
 )
 
 func main() {
 	var (
-		expFlag     = flag.String("exp", "table1", "experiment id: table1|table2|table3|fig2|fig4|fig5|fig6|subsample|coordfrac|adaptive|batched|all")
+		expFlag     = flag.String("exp", "table1", "experiment id: table1|table2|table3|fig2|fig4|fig5|fig6|subsample|coordfrac|adaptive|batched|compression|all")
 		datasetFlag = flag.String("dataset", "", "table1 only: restrict to one dataset (mnist|fashion|cifar|agnews)")
 		scaleFlag   = flag.String("scale", "bench", "scale preset: bench|standard|full")
 		formatFlag  = flag.String("format", "md", "output format: md|tsv")
@@ -37,20 +40,29 @@ func main() {
 		seedFlag    = flag.Int64("seed", 1, "experiment seed")
 		workersFlag = flag.Int("workers", parallel.Default(), "concurrent experiment cells (default: all CPUs)")
 		batchFlag   = flag.Bool("batch-clients", false, "compute client gradients in one stacked batch per simulation worker (byte-identical to the per-client path)")
+		codecFlag   = flag.String("codec", "", "gradient-compression codec stamped onto every cell (identity|topk|qsgd|signsgd; empty = the experiment's own codec axis)")
+		hyperFlag   = flag.String("codec-hyper", "", "codec hyperparameters as key=value[,key=value], e.g. k=64 (requires -codec)")
 		cacheFlag   = flag.String("cache-dir", "", "cell result cache directory (empty = no cache)")
 		verbose     = flag.Bool("v", false, "log per-cell progress to stderr")
 	)
 	flag.Parse()
 
 	if err := run(*expFlag, *datasetFlag, *scaleFlag, *formatFlag, *outFlag, *seedFlag,
-		*workersFlag, *batchFlag, *cacheFlag, *verbose); err != nil {
+		*workersFlag, *batchFlag, *codecFlag, *hyperFlag, *cacheFlag, *verbose); err != nil {
 		log.Fatalf("reproduce: %v", err)
 	}
 }
 
-func run(exp, dataset, scaleName, format, outPath string, seed int64, workers int, batchClients bool, cacheDir string, verbose bool) error {
+func run(exp, dataset, scaleName, format, outPath string, seed int64, workers int, batchClients bool, codecName, codecHyper, cacheDir string, verbose bool) error {
 	if err := parallel.ValidateWorkers(workers); err != nil {
 		return fmt.Errorf("-workers: %w", err)
+	}
+	hyper, err := cliutil.ParseHyper("-codec-hyper", codecHyper)
+	if err != nil {
+		return err
+	}
+	if codecName == "" && hyper != nil {
+		return fmt.Errorf("-codec-hyper requires -codec")
 	}
 	scale, err := experiments.ParseScale(scaleName)
 	if err != nil {
@@ -72,6 +84,8 @@ func run(exp, dataset, scaleName, format, outPath string, seed int64, workers in
 	}
 	engine := experiments.NewEngine(workers, store, logf)
 	engine.BatchClients = batchClients
+	engine.Codec = codecName
+	engine.CodecHyper = hyper
 
 	var out io.Writer = os.Stdout
 	if outPath != "" {
@@ -195,6 +209,13 @@ func run(exp, dataset, scaleName, format, outPath string, seed int64, workers in
 		}
 		return emit(t)
 	}
+	runCompression := func() error {
+		t, err := experiments.Compression(engine, p)
+		if err != nil {
+			return err
+		}
+		return emit(t)
+	}
 
 	switch exp {
 	case "table1":
@@ -219,9 +240,11 @@ func run(exp, dataset, scaleName, format, outPath string, seed int64, workers in
 		return runAdaptive()
 	case "batched":
 		return runBatched()
+	case "compression":
+		return runCompression()
 	case "all":
 		for _, f := range []func() error{runFig2, runTable1, runTable2, runFig4, runFig5, runFig6, runTable3,
-			runSubsample, runCoordFrac, runAdaptive, runBatched} {
+			runSubsample, runCoordFrac, runAdaptive, runBatched, runCompression} {
 			if err := f(); err != nil {
 				return err
 			}

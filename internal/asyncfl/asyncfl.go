@@ -125,6 +125,10 @@ type Update struct {
 	Seq int64
 	// Grad is the flat gradient vector.
 	Grad []float64
+	// WireBytes is the size this update occupied on the wire (the encoded
+	// form under the client's codec). 0 means unreported: the ingest
+	// accounting falls back to the dense float64 size of Grad.
+	WireBytes int
 }
 
 // SubmitResult tells the submitter what happened to its update.
@@ -185,7 +189,10 @@ type Stats struct {
 	// MeanOccupancy is the buffer population averaged over accepted
 	// arrivals — how full the buffer runs in steady state.
 	MeanOccupancy float64
-	Done          bool
+	// IngestBytes is the total wire size of accepted updates (each
+	// update's reported WireBytes, dense size when unreported).
+	IngestBytes int64
+	Done        bool
 }
 
 // entry is one buffered update.
@@ -218,6 +225,7 @@ type Aggregator struct {
 	reorder  map[int64]Update
 
 	steps        int64
+	ingestBytes  int64
 	drops        int64
 	rejects      int64
 	ruleErrors   int64
@@ -370,6 +378,11 @@ func (a *Aggregator) applyLocked(u Update) SubmitResult {
 	a.arrival++
 	a.queues[u.Client] = q
 	a.buffered++
+	wb := u.WireBytes
+	if wb == 0 {
+		wb = 8 * len(u.Grad)
+	}
+	a.ingestBytes += int64(wb)
 	res.Accepted = true
 	res.Backpressure = len(q) >= a.queueCap
 
@@ -528,6 +541,7 @@ func (a *Aggregator) Stats() Stats {
 		AliveSessions: a.sessions.Alive(),
 		Expired:       a.sessions.Expired(),
 		PurgedUpdates: a.purged,
+		IngestBytes:   a.ingestBytes,
 		Done:          a.done,
 	}
 	if a.occN > 0 {

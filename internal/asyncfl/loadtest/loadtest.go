@@ -30,6 +30,7 @@ import (
 
 	"github.com/signguard/signguard/internal/aggregate"
 	"github.com/signguard/signguard/internal/asyncfl"
+	"github.com/signguard/signguard/internal/codec"
 	"github.com/signguard/signguard/internal/tensor"
 	"github.com/signguard/signguard/internal/transport"
 )
@@ -54,6 +55,10 @@ type Config struct {
 	QueueCap int
 	// Rule, when non-nil, filters each buffer before the merge.
 	Rule aggregate.Rule
+	// Codec, when non-nil, compresses every client's submissions through
+	// this wire format (each session encodes with its own RNG stream, so
+	// stochastic codecs stay per-client deterministic).
+	Codec codec.Codec
 	// LR is the server learning rate (default 0.05).
 	LR float64
 	// ByzFraction of clients submit sign-flipped, 5x-scaled gradients.
@@ -135,6 +140,11 @@ type Report struct {
 	IngestP99 time.Duration
 	// MeanBufferOccupancy is the buffer population averaged over arrivals.
 	MeanBufferOccupancy float64
+	// IngestBytes is the total wire size of accepted updates;
+	// BytesPerUpdate the mean. Under a lossy codec both drop well below
+	// the dense-float64 volume of the same fleet.
+	IngestBytes    int64
+	BytesPerUpdate float64
 	// InitialError / FinalError are RMS distances from the global model to
 	// the synthetic optimum before and after the run — the model-quality
 	// readout. ErrorReduction is 1 - Final/Initial (1 = fully converged,
@@ -150,11 +160,13 @@ func (r *Report) String() string {
   throughput   %.1f rounds/s (%d aggregation steps), %.0f updates/s ingested
   ingest p50   %v
   ingest p99   %v
+  ingest bytes %d (%.0f B/update)
   buffer       mean occupancy %.1f, drops %d, rejects %d, purged %d (expired sessions %d)
   model error  %.4f -> %.4f (reduction %.1f%%)`,
 		r.Clients, r.Byzantine, r.Churned, r.Updates, r.Duration.Round(time.Millisecond),
 		r.RoundsPerSec, r.Steps, r.IngestPerSec,
 		r.IngestP50, r.IngestP99,
+		r.IngestBytes, r.BytesPerUpdate,
 		r.MeanBufferOccupancy, r.Drops, r.Rejects, r.Purged, r.Expired,
 		r.InitialError, r.FinalError, 100*r.ErrorReduction)
 }
@@ -298,11 +310,15 @@ func Run(cfg Config) (*Report, error) {
 		IngestP50:           pct(0.50),
 		IngestP99:           pct(0.99),
 		MeanBufferOccupancy: st.MeanOccupancy,
+		IngestBytes:         st.IngestBytes,
 		InitialError:        rmsError(initial, optimum),
 		FinalError:          rmsError(params, optimum),
 	}
 	if rep.InitialError > 0 {
 		rep.ErrorReduction = 1 - rep.FinalError/rep.InitialError
+	}
+	if rep.Updates > 0 {
+		rep.BytesPerUpdate = float64(rep.IngestBytes) / float64(rep.Updates)
 	}
 	logf("%s", rep)
 	return rep, nil
@@ -344,7 +360,18 @@ func runClient(cfg *Config, base string, httpc *http.Client, optimum []float64, 
 			grad[j] = g
 		}
 		t0 := time.Now()
-		res, err := c.Submit(ctx, model.Version, 0, grad)
+		var res asyncfl.SubmitResult
+		if cfg.Codec == nil {
+			res, err = c.Submit(ctx, model.Version, 0, grad)
+		} else {
+			// The noise RNG doubles as the codec stream: both are
+			// per-session, so encoding stays deterministic per client.
+			enc, encErr := cfg.Codec.Encode(grad, noise)
+			if encErr != nil {
+				return fmt.Errorf("client %d: codec %s: %w", i, cfg.Codec.Name(), encErr)
+			}
+			res, err = c.SubmitEncoded(ctx, model.Version, 0, enc)
+		}
 		lat := time.Since(t0)
 		if err != nil {
 			return fmt.Errorf("client %d: %w", i, err)

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"github.com/signguard/signguard/internal/codec"
 	"github.com/signguard/signguard/internal/core"
 )
 
@@ -83,6 +84,44 @@ func TestLoadHarnessDefenseBeatsAttack(t *testing.T) {
 	}
 	if withRule.ErrorReduction < 0.5 {
 		t.Fatalf("SignGuard-defended run failed to converge: %+v", withRule)
+	}
+}
+
+// TestLoadHarnessCodecReducesIngest runs the same defended, heavily-attacked
+// fleet over the dense wire format and over topk: compression must cut the
+// ingested byte volume while the defense still beats the attack.
+func TestLoadHarnessCodecReducesIngest(t *testing.T) {
+	base := Config{
+		Clients:          800,
+		UpdatesPerClient: 2,
+		Concurrency:      64,
+		Dim:              32,
+		K:                16,
+		ByzFraction:      0.3,
+		Rule:             core.NewPlain(3),
+		Seed:             3,
+	}
+	dense, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compressed := base
+	compressed.Codec = codec.TopKCodec{K: 8}
+	topk, err := Run(compressed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dense.IngestBytes <= 0 || topk.IngestBytes <= 0 {
+		t.Fatalf("ingest bytes not tracked: dense %d, topk %d", dense.IngestBytes, topk.IngestBytes)
+	}
+	if topk.BytesPerUpdate >= dense.BytesPerUpdate/2 {
+		t.Fatalf("topk shipped %.0f B/update, dense %.0f — compression not reflected in ingest accounting",
+			topk.BytesPerUpdate, dense.BytesPerUpdate)
+	}
+	// Quality survives the lossy wire: the defense still filters the -5x
+	// traffic and the model still converges.
+	if topk.ErrorReduction < 0.5 {
+		t.Fatalf("defended run under topk failed to converge: %+v", topk)
 	}
 }
 

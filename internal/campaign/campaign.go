@@ -47,6 +47,12 @@ const (
 	ParticipationUniform = "uniform"
 )
 
+// CodecIdentity is the codec name equivalent to no codec at all: the
+// identity round trip is byte-identical to an uncompressed run, so "" and
+// "identity" normalize to one cell identity (mirroring Participation
+// ""/"full").
+const CodecIdentity = "identity"
+
 // Cell is the declarative description of one experiment run. Every field
 // is plain data so the cell can be hashed, stored and compared; behaviour
 // is attached by name through a Registry. All extension fields are
@@ -89,6 +95,15 @@ type Cell struct {
 	// accuracy), which is why it is cell identity: fast results must never
 	// share a cache entry with exact ones. Requires BatchClients.
 	FastLocal bool `json:",omitempty"`
+	// Codec names the gradient-compression codec every submitted gradient
+	// passes through between the adversary and the defense ("" or
+	// "identity" = the lossless wire format; both spellings share one cell
+	// identity). Names resolve through the codec registry.
+	Codec string `json:",omitempty"`
+	// CodecHyper holds named codec hyperparameters (topk's "k", qsgd's
+	// "levels"), resolved through the codec registry like RuleHyper.
+	// Unknown names fail validation before any cell trains.
+	CodecHyper map[string]float64 `json:",omitempty"`
 	// Probe names an optional registered per-round observer whose output
 	// is stored with the result (e.g. the Fig. 2 sign-statistics probe).
 	Probe      string  `json:",omitempty"`
@@ -149,6 +164,13 @@ func (c Cell) id(withSeed bool) string {
 		b.WriteString("/batched")
 		if c.FastLocal {
 			b.WriteString("-fast")
+		}
+	}
+	if c.Codec != "" && c.Codec != CodecIdentity {
+		fmt.Fprintf(&b, "/codec=%s", c.Codec)
+		if len(c.CodecHyper) > 0 {
+			b.WriteString(":")
+			b.WriteString(formatHyper(c.CodecHyper, ","))
 		}
 	}
 	if c.Probe != "" {
@@ -215,6 +237,24 @@ func (c Cell) EffectiveCohort() int {
 		return c.SampleK
 	}
 	return c.Params.Clients
+}
+
+// ApplyCodec returns a copy of the spec with the named codec (and its
+// hyperparameters) stamped onto every cell — the grid-wide compression
+// axis behind the -codec CLI flags. The codec is cell identity, so the
+// stamped cells hash (and cache) separately from their uncompressed
+// originals; an empty name returns the spec unchanged.
+func ApplyCodec(s Spec, name string, hyper map[string]float64) Spec {
+	if name == "" {
+		return s
+	}
+	out := Spec{Name: s.Name, Cells: make([]Cell, len(s.Cells))}
+	for i, c := range s.Cells {
+		c.Codec = name
+		c.CodecHyper = hyper
+		out.Cells[i] = c
+	}
+	return out
 }
 
 // ReplicateSeeds expands every cell across the given seeds, producing the

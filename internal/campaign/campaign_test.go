@@ -13,6 +13,7 @@ import (
 	"github.com/signguard/signguard/internal/aggregate"
 	"github.com/signguard/signguard/internal/attack"
 	"github.com/signguard/signguard/internal/campaign"
+	"github.com/signguard/signguard/internal/codec"
 	"github.com/signguard/signguard/internal/core"
 	"github.com/signguard/signguard/internal/data"
 	"github.com/signguard/signguard/internal/defense"
@@ -60,6 +61,7 @@ func testRegistry() *campaign.Registry {
 		panic(err)
 	}
 	reg.RegisterDefenses(defs)
+	reg.RegisterCodecs(codec.Builtin())
 	reg.RegisterAttack("NoAttack", func(_ campaign.Cell, _ int64) (attack.Attack, error) {
 		return attack.NewNone(), nil
 	})

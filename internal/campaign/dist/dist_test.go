@@ -16,6 +16,7 @@ import (
 	"github.com/signguard/signguard/internal/attack"
 	"github.com/signguard/signguard/internal/campaign"
 	"github.com/signguard/signguard/internal/campaign/dist"
+	"github.com/signguard/signguard/internal/codec"
 	"github.com/signguard/signguard/internal/data"
 	"github.com/signguard/signguard/internal/defense"
 	"github.com/signguard/signguard/internal/nn"
@@ -50,6 +51,7 @@ func testRegistry() *campaign.Registry {
 		panic(err)
 	}
 	reg.RegisterDefenses(defs)
+	reg.RegisterCodecs(codec.Builtin())
 	reg.RegisterAttack("SignFlip", func(_ campaign.Cell, _ int64) (attack.Attack, error) {
 		return attack.NewSignFlip(), nil
 	})
@@ -180,6 +182,12 @@ func exportGroupJSON(t *testing.T, store *campaign.Store, spec campaign.Spec) []
 // every per-cell result must hash identically.
 func TestDistributedMatchesLocal(t *testing.T) {
 	spec := testSpec()
+	// A stochastic-codec cell rides along: its RNG stream must land
+	// identically whether the cell runs in-process or on a leased worker.
+	qsgd := campaign.NewCell("tiny", "TrMean", "SignFlip", tinyParams(3))
+	qsgd.Codec = "qsgd"
+	qsgd.CodecHyper = map[string]float64{"levels": 8}
+	spec.Cells = append(spec.Cells, qsgd)
 
 	localStore := openStore(t)
 	e := &campaign.Engine{Registry: testRegistry(), Store: localStore, Workers: 2, SimWorkers: 1}

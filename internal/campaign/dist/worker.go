@@ -32,6 +32,11 @@ type Worker struct {
 	// runs, so a worker missing a dataset/rule/attack fails on join rather
 	// than mid-campaign.
 	Registry *campaign.Registry
+	// CheckSpec, when non-nil, vets the joined grid after Registry
+	// validation and before any cell is leased — the hook behind operator
+	// policy like `campaign work -codec`, which refuses grids whose cells
+	// use a codec other than the pinned one.
+	CheckSpec func(campaign.Spec) error
 	// Slots is the number of cells executed concurrently (0 = 1).
 	Slots int
 	// Batch is how many cells each slot leases per request (0 = 1). Larger
@@ -204,13 +209,20 @@ func (w *Worker) Run(ctx context.Context) (WorkerStats, error) {
 		}
 		cells[sc.Key] = sc.Cell
 	}
-	if w.Registry != nil {
+	if w.Registry != nil || w.CheckSpec != nil {
 		grid := campaign.Spec{Name: spec.Name}
 		for _, sc := range spec.Cells {
 			grid.Cells = append(grid.Cells, sc.Cell)
 		}
-		if err := w.Registry.Validate(grid); err != nil {
-			return stats, fmt.Errorf("dist: campaign %s not runnable here: %w", spec.Name, err)
+		if w.Registry != nil {
+			if err := w.Registry.Validate(grid); err != nil {
+				return stats, fmt.Errorf("dist: campaign %s not runnable here: %w", spec.Name, err)
+			}
+		}
+		if w.CheckSpec != nil {
+			if err := w.CheckSpec(grid); err != nil {
+				return stats, fmt.Errorf("dist: campaign %s refused by worker policy: %w", spec.Name, err)
+			}
 		}
 	}
 	ttl := time.Duration(spec.TTLMillis) * time.Millisecond

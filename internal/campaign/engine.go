@@ -60,6 +60,14 @@ type Engine struct {
 	// batched engine (see Runner.BatchClients). Byte-identical to the
 	// per-client path, so cached results remain valid either way.
 	BatchClients bool
+	// Codec, when non-empty, stamps the named compression codec (with
+	// CodecHyper) onto every cell of every spec before hashing — the
+	// engine-level form of the -codec grid axis, used where specs are
+	// built out of the caller's reach (cmd/reproduce's renderers). Unlike
+	// SimWorkers/BatchClients this IS cell identity: stamped cells hash
+	// and cache separately from their uncompressed originals.
+	Codec      string
+	CodecHyper map[string]float64
 	// Progress, when non-nil, observes every completed cell. It is called
 	// from worker goroutines under the engine's bookkeeping lock, so
 	// callbacks need no further synchronization.
@@ -129,6 +137,7 @@ func (e *Engine) Run(ctx context.Context, spec Spec) (*Report, error) {
 	if e.Registry == nil {
 		return nil, fmt.Errorf("campaign: engine has no registry")
 	}
+	spec = ApplyCodec(spec, e.Codec, e.CodecHyper)
 	if err := e.Registry.Validate(spec); err != nil {
 		return nil, fmt.Errorf("campaign %s: %w", spec.Name, err)
 	}

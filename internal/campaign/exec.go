@@ -6,6 +6,7 @@ import (
 
 	"github.com/signguard/signguard/internal/aggregate"
 	"github.com/signguard/signguard/internal/attack"
+	"github.com/signguard/signguard/internal/codec"
 	"github.com/signguard/signguard/internal/data"
 	"github.com/signguard/signguard/internal/fl"
 	"github.com/signguard/signguard/internal/nn"
@@ -26,8 +27,11 @@ type CellExec struct {
 	// Participation overrides the round pipeline's client-selection stage
 	// (nil = full participation).
 	Participation fl.Participation
-	Hook          func(*fl.RoundState)
-	Params        Params
+	// Codec overrides the round pipeline's gradient-compression stage
+	// (nil = the lossless identity wire format).
+	Codec  codec.Codec
+	Hook   func(*fl.RoundState)
+	Params Params
 	// SimWorkers bounds the in-simulation parallelism (0 = automatic,
 	// 1 = sequential): the per-client gradient phase and the aggregation
 	// rule's kernels (threaded through fl.Config.Workers into
@@ -57,7 +61,7 @@ func (x *CellExec) Run() (*fl.RunResult, error) {
 		EvalEvery:    x.Params.EvalEvery,
 		EvalSamples:  x.Params.EvalSamples,
 		NonIID:       x.NonIID,
-		Pipeline:     fl.Pipeline{Participation: x.Participation},
+		Pipeline:     fl.Pipeline{Participation: x.Participation, Codec: x.Codec},
 		Seed:         x.Params.Seed,
 		RoundHook:    x.Hook,
 		Workers:      x.SimWorkers,
@@ -98,6 +102,10 @@ type CellResult struct {
 	// TrainLoss is the per-round mean honest training loss.
 	TrainLoss []float64 `json:",omitempty"`
 
+	// WireBytes is the bytes-shipped total across all rounds: the sum of
+	// every submitted gradient's encoded wire size under the cell's codec.
+	WireBytes int64 `json:",omitempty"`
+
 	// Probe holds the serialized output of the cell's probe, if any.
 	Probe json.RawMessage `json:",omitempty"`
 
@@ -119,6 +127,7 @@ func newCellResult(c Cell, key string, res *fl.RunResult) *CellResult {
 		BestAccuracy:  res.BestAccuracy,
 		FinalAccuracy: res.FinalAccuracy,
 		Diverged:      res.Diverged,
+		WireBytes:     res.WireBytes,
 	}
 	if h, m, ok := res.SelectionRates(); ok {
 		out.HasSelection = true

@@ -11,10 +11,10 @@ import (
 // csvHeader is the column layout of WriteCSV, one row per cell result.
 var csvHeader = []string{
 	"key", "id", "dataset", "rule", "attack", "attack_param", "rule_hyper",
-	"participation", "sample_k",
+	"participation", "sample_k", "codec", "codec_hyper",
 	"num_byz", "noniid_s", "seed", "clients", "rounds",
 	"best_acc", "final_acc", "diverged",
-	"sel_honest", "sel_malicious", "duration_ms", "cached",
+	"sel_honest", "sel_malicious", "wire_bytes", "duration_ms", "cached",
 }
 
 // WriteCSV emits one row per result, suitable for spreadsheet/pandas
@@ -34,11 +34,12 @@ func WriteCSV(w io.Writer, results []*CellResult) error {
 		row := []string{
 			r.Key, c.ID(), c.Dataset, c.Rule, c.Attack, f(c.AttackParam),
 			formatHyper(c.RuleHyper, " "), c.Participation, strconv.Itoa(c.SampleK),
+			c.Codec, formatHyper(c.CodecHyper, " "),
 			strconv.Itoa(r.Cell.EffectiveByz()), f(c.NonIIDS),
 			strconv.FormatInt(c.Params.Seed, 10),
 			strconv.Itoa(c.Params.Clients), strconv.Itoa(c.Params.Rounds),
 			f(r.BestAccuracy), f(r.FinalAccuracy), strconv.FormatBool(r.Diverged),
-			selH, selM,
+			selH, selM, strconv.FormatInt(r.WireBytes, 10),
 			strconv.FormatInt(r.DurationMS, 10), strconv.FormatBool(r.Cached),
 		}
 		if err := cw.Write(row); err != nil {

@@ -25,10 +25,15 @@ func hashJSON(v any) (string, error) {
 // Key returns the cell's content hash: the identity under which its result
 // is stored and resumed. Two cells with equal specs share a key. The
 // documented-equivalent participation spellings "" and "full" normalize to
-// one identity.
+// one identity, as do the codec spellings "" and "identity" (the identity
+// round trip is byte-identical to no codec stage at all, so the results
+// are interchangeable).
 func (c Cell) Key() (string, error) {
 	if c.Participation == ParticipationFull {
 		c.Participation = ""
+	}
+	if c.Codec == CodecIdentity && len(c.CodecHyper) == 0 {
+		c.Codec = ""
 	}
 	envelope := struct {
 		Version int

@@ -7,6 +7,7 @@ import (
 
 	"github.com/signguard/signguard/internal/aggregate"
 	"github.com/signguard/signguard/internal/attack"
+	"github.com/signguard/signguard/internal/codec"
 	"github.com/signguard/signguard/internal/data"
 	"github.com/signguard/signguard/internal/defense"
 	"github.com/signguard/signguard/internal/fl"
@@ -44,16 +45,18 @@ type ProbeBuilder func(c Cell) (*ProbeInstance, error)
 type Registry struct {
 	datasets map[string]DatasetBuilder
 	defenses *defense.Registry
+	codecs   *codec.Registry
 	attacks  map[string]AttackBuilder
 	probes   map[string]ProbeBuilder
 }
 
-// NewRegistry returns an empty registry (no defenses; call
-// RegisterDefenses).
+// NewRegistry returns an empty registry (no defenses or codecs; call
+// RegisterDefenses / RegisterCodecs).
 func NewRegistry() *Registry {
 	return &Registry{
 		datasets: map[string]DatasetBuilder{},
 		defenses: defense.NewRegistry(),
+		codecs:   codec.NewRegistry(),
 		attacks:  map[string]AttackBuilder{},
 		probes:   map[string]ProbeBuilder{},
 	}
@@ -68,6 +71,13 @@ func (r *Registry) RegisterDefenses(d *defense.Registry) { r.defenses = d }
 
 // Defenses returns the installed defense catalog.
 func (r *Registry) Defenses() *defense.Registry { return r.defenses }
+
+// RegisterCodecs installs the codec catalog cells resolve their Codec
+// names and CodecHyper parameters against.
+func (r *Registry) RegisterCodecs(c *codec.Registry) { r.codecs = c }
+
+// Codecs returns the installed codec catalog.
+func (r *Registry) Codecs() *codec.Registry { return r.codecs }
 
 // RegisterAttack binds name to an attack builder.
 func (r *Registry) RegisterAttack(name string, b AttackBuilder) { r.attacks[name] = b }
@@ -118,6 +128,18 @@ func (r *Registry) probe(name string) (ProbeBuilder, error) {
 	return b, nil
 }
 
+// codecFor builds the cell's codec stage (nil = engine default, i.e. the
+// lossless identity codec).
+func (r *Registry) codecFor(c Cell) (codec.Codec, error) {
+	if c.Codec == "" {
+		if len(c.CodecHyper) > 0 {
+			return nil, fmt.Errorf("campaign: CodecHyper %v requires a Codec name", c.CodecHyper)
+		}
+		return nil, nil
+	}
+	return r.codecs.Build(c.Codec, codec.Params{Hyper: c.CodecHyper})
+}
+
 // participationFor maps a cell's participation fields to the fl stage
 // (nil = engine default, i.e. full participation).
 func participationFor(c Cell) (fl.Participation, error) {
@@ -153,6 +175,13 @@ func (r *Registry) Validate(spec Spec) error {
 		}
 		if _, err := participationFor(c); err != nil {
 			return fmt.Errorf("cell %d (%s): %w", i, c.ID(), err)
+		}
+		if c.Codec != "" {
+			if err := r.codecs.ValidateHyper(c.Codec, c.CodecHyper); err != nil {
+				return fmt.Errorf("cell %d (%s): %w", i, c.ID(), err)
+			}
+		} else if len(c.CodecHyper) > 0 {
+			return fmt.Errorf("cell %d (%s): CodecHyper %v requires a Codec name", i, c.ID(), c.CodecHyper)
 		}
 		if c.FastLocal && !c.BatchClients {
 			return fmt.Errorf("cell %d (%s): FastLocal requires BatchClients", i, c.ID())

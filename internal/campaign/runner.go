@@ -108,6 +108,10 @@ func (r *Runner) executeCell(c Cell, key string) (*CellResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	wireCodec, err := r.Registry.codecFor(c)
+	if err != nil {
+		return nil, fmt.Errorf("building codec %s: %w", c.Codec, err)
+	}
 
 	x := &CellExec{
 		Dataset:       dataset,
@@ -118,6 +122,7 @@ func (r *Runner) executeCell(c Cell, key string) (*CellResult, error) {
 		NumByz:        numByz,
 		NonIID:        nonIID,
 		Participation: participation,
+		Codec:         wireCodec,
 		Params:        p,
 		SimWorkers:    r.SimWorkers,
 		BatchClients:  c.BatchClients || r.BatchClients,

@@ -1,0 +1,126 @@
+// Package cliutil is the flag-validation vocabulary shared by the
+// command-line tools (cmd/flserver, cmd/flclient, cmd/campaign,
+// cmd/reproduce): range checks that reject out-of-range flag values up
+// front with errors naming the offending flag, instead of passing them
+// through to fail (or misbehave) deep inside the protocol. Every helper
+// takes the flag's user-facing name ("-clients") and includes it verbatim
+// in the error, so a failing invocation reads like the usage line that
+// fixes it.
+package cliutil
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// PositiveInt requires v >= 1.
+func PositiveInt(flag string, v int) error {
+	if v < 1 {
+		return fmt.Errorf("%s must be >= 1 (got %d)", flag, v)
+	}
+	return nil
+}
+
+// NonNegativeInt requires v >= 0.
+func NonNegativeInt(flag string, v int) error {
+	if v < 0 {
+		return fmt.Errorf("%s must be >= 0 (got %d)", flag, v)
+	}
+	return nil
+}
+
+// IndexInRange requires v in [0, n) — a client id against a fleet size.
+func IndexInRange(flag string, v, n int) error {
+	if v < 0 || v >= n {
+		return fmt.Errorf("%s %d out of [0, %d)", flag, v, n)
+	}
+	return nil
+}
+
+// PositiveFloat requires v > 0.
+func PositiveFloat(flag string, v float64) error {
+	if v <= 0 {
+		return fmt.Errorf("%s must be positive (got %v)", flag, v)
+	}
+	return nil
+}
+
+// NonNegativeFloat requires v >= 0.
+func NonNegativeFloat(flag string, v float64) error {
+	if v < 0 {
+		return fmt.Errorf("%s must be >= 0 (got %v)", flag, v)
+	}
+	return nil
+}
+
+// Fraction requires v in [0, 1].
+func Fraction(flag string, v float64) error {
+	if v < 0 || v > 1 {
+		return fmt.Errorf("%s must be in [0, 1] (got %v)", flag, v)
+	}
+	return nil
+}
+
+// PositiveDuration requires d > 0.
+func PositiveDuration(flag string, d time.Duration) error {
+	if d <= 0 {
+		return fmt.Errorf("%s must be positive (got %v)", flag, d)
+	}
+	return nil
+}
+
+// Enum requires v to be one of allowed ("" is rejected like any other
+// non-member; callers treating empty as "unset" should skip the check).
+func Enum(flag, v string, allowed ...string) error {
+	for _, a := range allowed {
+		if v == a {
+			return nil
+		}
+	}
+	return fmt.Errorf("%s: unknown value %q (want %s)", flag, v, strings.Join(allowed, "|"))
+}
+
+// ParseHyper parses a "key=value,key=value" hyperparameter flag
+// ("k=64" / "levels=4,seed=7") into the map form the registries take.
+// An empty string is no hyperparameters (nil map).
+func ParseHyper(flag, s string) (map[string]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := map[string]float64{}
+	for _, pair := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(pair, "=")
+		k = strings.TrimSpace(k)
+		if !ok || k == "" {
+			return nil, fmt.Errorf("%s: bad hyperparameter %q (want key=value)", flag, pair)
+		}
+		f, err := strconv.ParseFloat(strings.TrimSpace(v), 64)
+		if err != nil {
+			return nil, fmt.Errorf("%s: bad value in %q: %v", flag, pair, err)
+		}
+		if _, dup := out[k]; dup {
+			return nil, fmt.Errorf("%s: duplicate hyperparameter %q", flag, k)
+		}
+		out[k] = f
+	}
+	return out, nil
+}
+
+// FormatHyper renders a hyperparameter map deterministically
+// ("k=64,levels=4", keys sorted) — the inverse of ParseHyper, for logs
+// and listings.
+func FormatHyper(h map[string]float64) string {
+	keys := make([]string, 0, len(h))
+	for k := range h {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s=%v", k, h[k])
+	}
+	return strings.Join(parts, ",")
+}

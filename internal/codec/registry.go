@@ -1,0 +1,184 @@
+package codec
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Params is the typed constructor input of every codec: optional named
+// hyperparameters, mirroring defense.Params.
+type Params struct {
+	// Hyper holds optional codec-specific hyperparameters by name. Absent
+	// keys fall back to the codec's default; unknown keys are rejected by
+	// Registry.Build so a typo cannot silently run defaults.
+	Hyper map[string]float64
+}
+
+// hyper returns the named hyperparameter or def when absent.
+func (p Params) hyper(name string, def float64) float64 {
+	if v, ok := p.Hyper[name]; ok {
+		return v
+	}
+	return def
+}
+
+// Spec declares one registered codec.
+type Spec struct {
+	// Name is the stable registry key and the Encoded.Codec wire tag.
+	Name string
+	// Hyper lists the hyperparameter names the constructor accepts.
+	Hyper []string
+	// Build constructs an instance with the given hyperparameters.
+	Build func(p Params) (Codec, error)
+}
+
+// Registry is an ordered name → codec catalog. The zero value is unusable;
+// use NewRegistry or Builtin.
+type Registry struct {
+	order []string
+	specs map[string]Spec
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{specs: map[string]Spec{}}
+}
+
+// Register adds a codec spec. Re-registering a name replaces the spec but
+// keeps its original position, so presentation order stays stable.
+func (r *Registry) Register(s Spec) error {
+	if s.Name == "" {
+		return fmt.Errorf("codec: spec with empty name")
+	}
+	if s.Build == nil {
+		return fmt.Errorf("codec: %s has no constructor", s.Name)
+	}
+	if _, ok := r.specs[s.Name]; !ok {
+		r.order = append(r.order, s.Name)
+	}
+	r.specs[s.Name] = s
+	return nil
+}
+
+// mustRegister is Register for the package's own statically-valid specs.
+func (r *Registry) mustRegister(s Spec) {
+	if err := r.Register(s); err != nil {
+		panic(err)
+	}
+}
+
+// Names returns the registered codec names in registration order.
+func (r *Registry) Names() []string {
+	return append([]string(nil), r.order...)
+}
+
+// Has reports whether name is registered.
+func (r *Registry) Has(name string) bool {
+	_, ok := r.specs[name]
+	return ok
+}
+
+// Lookup returns the spec registered under name.
+func (r *Registry) Lookup(name string) (Spec, error) {
+	s, ok := r.specs[name]
+	if !ok {
+		return Spec{}, fmt.Errorf("codec: unknown codec %q", name)
+	}
+	return s, nil
+}
+
+// Specs returns the registered specs in registration order — the listing
+// surface behind `campaign rules`.
+func (r *Registry) Specs() []Spec {
+	out := make([]Spec, 0, len(r.order))
+	for _, name := range r.order {
+		out = append(out, r.specs[name])
+	}
+	return out
+}
+
+// Build constructs the named codec. Hyperparameter keys not declared by
+// the spec are an error: a sweep axis that silently fell back to defaults
+// would corrupt a whole grid.
+func (r *Registry) Build(name string, p Params) (Codec, error) {
+	s, err := r.Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	if err := checkHyper(s, p.Hyper); err != nil {
+		return nil, err
+	}
+	return s.Build(p)
+}
+
+// ValidateHyper checks that name is registered and accepts every given
+// hyperparameter, without building anything — the pre-flight check grid
+// validation runs before a sweep starts.
+func (r *Registry) ValidateHyper(name string, hyper map[string]float64) error {
+	s, err := r.Lookup(name)
+	if err != nil {
+		return err
+	}
+	return checkHyper(s, hyper)
+}
+
+// Decode reconstructs a gradient from a wire payload, dispatching on the
+// payload's own Codec tag. Decoding never depends on sender-side
+// hyperparameters (everything needed travels in the payload), so the
+// receiver builds the named codec with defaults.
+func (r *Registry) Decode(e Encoded) ([]float64, error) {
+	c, err := r.Build(e.Codec, Params{})
+	if err != nil {
+		return nil, err
+	}
+	return c.Decode(e)
+}
+
+// checkHyper rejects hyperparameter names the spec does not declare.
+func checkHyper(s Spec, hyper map[string]float64) error {
+	if len(hyper) == 0 {
+		return nil
+	}
+	declared := map[string]bool{}
+	for _, h := range s.Hyper {
+		declared[h] = true
+	}
+	var bad []string
+	for k := range hyper {
+		if !declared[k] {
+			bad = append(bad, k)
+		}
+	}
+	if len(bad) > 0 {
+		sort.Strings(bad)
+		return fmt.Errorf("codec: %s does not accept hyperparameter(s) %v (accepts %v)", s.Name, bad, s.Hyper)
+	}
+	return nil
+}
+
+// Builtin returns the registry of the four shipped codecs. Callers may
+// extend the returned registry freely; each call returns a fresh copy.
+func Builtin() *Registry {
+	r := NewRegistry()
+	r.mustRegister(Spec{Name: Identity, Build: func(Params) (Codec, error) {
+		return IdentityCodec{}, nil
+	}})
+	r.mustRegister(Spec{Name: TopK, Hyper: []string{"k"}, Build: func(p Params) (Codec, error) {
+		k := int(p.hyper("k", 0))
+		if k < 0 {
+			return nil, fmt.Errorf("codec: topk k %d must be >= 0 (0 = d/10)", k)
+		}
+		return TopKCodec{K: k}, nil
+	}})
+	r.mustRegister(Spec{Name: QSGD, Hyper: []string{"levels"}, Build: func(p Params) (Codec, error) {
+		s := int(p.hyper("levels", DefaultQSGDLevels))
+		if s < 1 || s > 127 {
+			return nil, fmt.Errorf("codec: qsgd levels %d out of [1,127]", s)
+		}
+		return QSGDCodec{Levels: s}, nil
+	}})
+	r.mustRegister(Spec{Name: SignSGD, Build: func(Params) (Codec, error) {
+		return SignSGDCodec{}, nil
+	}})
+	return r
+}

@@ -109,6 +109,16 @@ func (r *Registry) Lookup(name string) (Spec, error) {
 	return s, nil
 }
 
+// Specs returns the registered specs in registration order — the listing
+// surface behind `campaign rules`, shared with the codec registry.
+func (r *Registry) Specs() []Spec {
+	out := make([]Spec, 0, len(r.order))
+	for _, name := range r.order {
+		out = append(out, r.specs[name])
+	}
+	return out
+}
+
 // Build constructs the named defense. Hyperparameter keys not declared by
 // the spec are an error: a sweep axis that silently fell back to defaults
 // would corrupt a whole grid.

@@ -8,6 +8,7 @@ import (
 	"github.com/signguard/signguard/internal/aggregate"
 	"github.com/signguard/signguard/internal/attack"
 	"github.com/signguard/signguard/internal/campaign"
+	"github.com/signguard/signguard/internal/codec"
 	"github.com/signguard/signguard/internal/defense"
 	"github.com/signguard/signguard/internal/fl"
 	"github.com/signguard/signguard/internal/stats"
@@ -54,6 +55,7 @@ func Registry() *campaign.Registry {
 		return attack.NewTimeVarying(attack.DefaultTimeVaryingPool(), switchEvery, c.Params.Seed+29)
 	})
 	reg.RegisterProbe(SignStatsProbe, newSignStatsProbe)
+	reg.RegisterCodecs(codec.Builtin())
 	return reg
 }
 
@@ -153,7 +155,8 @@ func newSignStatsProbe(c campaign.Cell) (*campaign.ProbeInstance, error) {
 func CampaignNames() []string {
 	return []string{
 		"table1", "table2", "table3", "fig2", "fig4", "fig5", "fig6",
-		"subsample", "coordfrac", "dncsubdim", "adaptive", "batched", "all",
+		"subsample", "coordfrac", "dncsubdim", "adaptive", "batched",
+		"compression", "all",
 	}
 }
 
@@ -191,6 +194,8 @@ func CampaignByName(name string, p Params) (campaign.Spec, error) {
 		return AdaptiveSpec(p), nil
 	case "batched":
 		return BatchedSpec(p), nil
+	case "compression":
+		return CompressionSpec(p), nil
 	case "all":
 		names := CampaignNames()
 		specs := make([]campaign.Spec, 0, len(names)-1)

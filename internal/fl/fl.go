@@ -4,12 +4,13 @@
 // adversary), synchronous aggregation rounds (Algorithm 1), robust gradient
 // aggregation, and server-side momentum SGD.
 //
-// Every round flows through the explicit five-stage pipeline declared in
-// pipeline.go (Participation → LocalCompute → Adversary → Defense →
-// ServerUpdate); the default stages reproduce the paper's protocol — full
-// participation, a static attack, the configured aggregation rule — while
-// scenario axes like client subsampling or adaptive round-aware attacks
-// plug in as alternative stages.
+// Every round flows through the explicit six-stage pipeline declared in
+// pipeline.go (Participation → LocalCompute → Adversary → Codec → Defense
+// → ServerUpdate); the default stages reproduce the paper's protocol —
+// full participation, a static attack, the lossless identity codec, the
+// configured aggregation rule — while scenario axes like client
+// subsampling, gradient compression, or adaptive round-aware attacks plug
+// in as alternative stages.
 //
 // The engine is the substrate under every table and figure: it exposes the
 // per-round gradients, filtering decisions, and accuracy traces the
@@ -24,6 +25,7 @@ import (
 
 	"github.com/signguard/signguard/internal/aggregate"
 	"github.com/signguard/signguard/internal/attack"
+	"github.com/signguard/signguard/internal/codec"
 	"github.com/signguard/signguard/internal/data"
 	"github.com/signguard/signguard/internal/nn"
 	"github.com/signguard/signguard/internal/parallel"
@@ -46,8 +48,12 @@ type RoundState struct {
 	// Participants lists the client ids selected by the participation
 	// stage, ascending.
 	Participants []int
-	// Grads holds all submitted gradients in server arrival order.
+	// Grads holds all submitted gradients in server arrival order, as the
+	// defense saw them: after the codec round trip.
 	Grads [][]float64
+	// WireBytes is the round's total bytes-shipped accounting: the sum of
+	// every submitted gradient's encoded wire size.
+	WireBytes int64
 	// ByzMask marks which arrival positions carry malicious gradients.
 	ByzMask []bool
 	// Honest holds the honest gradients of the benign clients only.
@@ -168,15 +174,16 @@ func (c *Config) validate() error {
 
 // Simulation is a configured, ready-to-run federated training session.
 type Simulation struct {
-	cfg     Config
-	model   nn.Classifier
-	clients []*Client
-	pipe    Pipeline
-	attRng  *rand.Rand
-	permRng *rand.Rand
-	partRng *rand.Rand
-	global  []float64
-	workers int
+	cfg      Config
+	model    nn.Classifier
+	clients  []*Client
+	pipe     Pipeline
+	attRng   *rand.Rand
+	permRng  *rand.Rand
+	partRng  *rand.Rand
+	codecRng *rand.Rand
+	global   []float64
+	workers  int
 	// replicas are the per-worker model copies of the parallel gradient
 	// path; replicas[0] is the main model.
 	replicas []nn.Classifier
@@ -212,6 +219,10 @@ func New(cfg Config) (*Simulation, error) {
 	// enabling subsampling perturbs neither the attack nor the arrival
 	// permutation. FullParticipation never draws from it.
 	participationRng := tensor.NewRNG(cfg.Seed + 5)
+	// The codec stage likewise owns a derived stream: lossy stochastic
+	// codecs (qsgd) consume it per submitted gradient in arrival order,
+	// deterministic codecs never touch it.
+	codecRng := tensor.NewRNG(cfg.Seed + 6)
 
 	model, err := cfg.NewModel(modelRng)
 	if err != nil {
@@ -269,6 +280,9 @@ func New(cfg Config) (*Simulation, error) {
 	if pipe.Adversary == nil {
 		pipe.Adversary = attack.Promote(att)
 	}
+	if pipe.Codec == nil {
+		pipe.Codec = codec.IdentityCodec{}
+	}
 	if pipe.Defense == nil {
 		pipe.Defense = RuleDefense{Rule: cfg.Rule}
 	}
@@ -311,6 +325,7 @@ func New(cfg Config) (*Simulation, error) {
 		attRng:   attRng,
 		permRng:  permRng,
 		partRng:  participationRng,
+		codecRng: codecRng,
 		global:   model.ParamVector(),
 		workers:  workers,
 		replicas: replicas,
@@ -345,9 +360,10 @@ func (s *Simulation) resolveParticipants(ids []int) ([]*Client, error) {
 	return out, nil
 }
 
-// Step executes one synchronous round through the five pipeline stages:
-// participant selection, local gradients, attack crafting, robust
-// aggregation and the server update. It returns the round metrics.
+// Step executes one synchronous round through the six pipeline stages:
+// participant selection, local gradients, attack crafting, the codec wire
+// round trip, robust aggregation and the server update. It returns the
+// round metrics.
 func (s *Simulation) Step(round int) (*RoundMetrics, error) {
 	if err := s.model.SetParamVector(s.global); err != nil {
 		return nil, err
@@ -457,7 +473,29 @@ func (s *Simulation) Step(round int) (*RoundMetrics, error) {
 		}
 	}
 
-	// Stage 4: defense.
+	// Stage 4: codec. Each submitted gradient crosses the wire in encoded
+	// form; the defense sees only what survives the round trip. Encoding
+	// walks arrival order sequentially so a stochastic codec's RNG draws
+	// are identical for any worker count.
+	var wireBytes int64
+	for i, g := range grads {
+		enc, err := s.pipe.Codec.Encode(g, s.codecRng)
+		if err != nil {
+			return nil, fmt.Errorf("fl: codec %s encode: %w", s.pipe.Codec.Name(), err)
+		}
+		wireBytes += int64(enc.Bytes())
+		dec, err := s.pipe.Codec.Decode(enc)
+		if err != nil {
+			return nil, fmt.Errorf("fl: codec %s decode: %w", s.pipe.Codec.Name(), err)
+		}
+		if len(dec) != len(g) {
+			return nil, fmt.Errorf("fl: codec %s round trip changed dimension %d → %d",
+				s.pipe.Codec.Name(), len(g), len(dec))
+		}
+		grads[i] = dec
+	}
+
+	// Stage 5: defense.
 	res, err := s.pipe.Defense.Aggregate(round, grads)
 	if err != nil {
 		return nil, fmt.Errorf("fl: rule %s: %w", s.pipe.Defense.Name(), err)
@@ -467,7 +505,7 @@ func (s *Simulation) Step(round int) (*RoundMetrics, error) {
 			ErrDiverged, s.pipe.Defense.Name(), round)
 	}
 
-	// Stage 5: server update.
+	// Stage 6: server update.
 	if err := s.pipe.Update.Apply(round, s.global, res.Gradient); err != nil {
 		return nil, err
 	}
@@ -482,13 +520,14 @@ func (s *Simulation) Step(round int) (*RoundMetrics, error) {
 			Round:        round,
 			Participants: ids,
 			Grads:        grads,
+			WireBytes:    wireBytes,
 			ByzMask:      byzMask,
 			Honest:       benign,
 			Result:       res,
 		})
 	}
 
-	m := &RoundMetrics{Round: round, TrainLoss: lossSum / float64(max(lossCnt, 1))}
+	m := &RoundMetrics{Round: round, TrainLoss: lossSum / float64(max(lossCnt, 1)), WireBytes: wireBytes}
 	m.countSelection(res.Selected, byzMask)
 	return m, nil
 }

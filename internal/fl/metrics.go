@@ -8,6 +8,10 @@ type RoundMetrics struct {
 	TestAccuracy float64
 	Evaluated    bool
 
+	// WireBytes is the total encoded size of the round's submitted
+	// gradients — what the codec stage shipped across the wire.
+	WireBytes int64
+
 	// Selection accounting against the ground-truth Byzantine mask. A
 	// value of -1 for the counts means the rule did not report a selection
 	// (coordinate-wise rules).
@@ -58,6 +62,10 @@ type RunResult struct {
 	// the finite range (a fully successful destructive attack).
 	Diverged bool
 
+	// WireBytes is the bytes-shipped total across all rounds: the sum of
+	// every round's encoded gradient sizes.
+	WireBytes int64
+
 	selHonest, selByz     int
 	totalHonest, totalByz int
 	selRounds             int
@@ -66,6 +74,7 @@ type RunResult struct {
 // Add appends one round's metrics and updates the summaries.
 func (r *RunResult) Add(m *RoundMetrics) {
 	r.History = append(r.History, *m)
+	r.WireBytes += m.WireBytes
 	if m.Evaluated {
 		if m.TestAccuracy > r.BestAccuracy {
 			r.BestAccuracy = m.TestAccuracy

@@ -1,16 +1,17 @@
 package fl
 
-// The round pipeline: every aggregation round flows through five explicit,
+// The round pipeline: every aggregation round flows through six explicit,
 // individually pluggable stages —
 //
-//	Participation → LocalCompute → Adversary → Defense → ServerUpdate
+//	Participation → LocalCompute → Adversary → Codec → Defense → ServerUpdate
 //
 // Each stage is a small interface whose default implementation reproduces
 // the classic monolithic engine byte for byte (full participation, the
-// configured static attack, the configured aggregation rule, server
-// momentum SGD). Every stage with randomness draws from its own derived
-// RNG stream, so swapping one stage (e.g. enabling client subsampling)
-// perturbs no other stage's random choices.
+// configured static attack, the lossless identity codec, the configured
+// aggregation rule, server momentum SGD). Every stage with randomness
+// draws from its own derived RNG stream, so swapping one stage (e.g.
+// enabling client subsampling or a lossy codec) perturbs no other stage's
+// random choices.
 
 import (
 	"fmt"
@@ -19,6 +20,7 @@ import (
 
 	"github.com/signguard/signguard/internal/aggregate"
 	"github.com/signguard/signguard/internal/attack"
+	"github.com/signguard/signguard/internal/codec"
 	"github.com/signguard/signguard/internal/data"
 	"github.com/signguard/signguard/internal/nn"
 	"github.com/signguard/signguard/internal/parallel"
@@ -27,14 +29,19 @@ import (
 // Pipeline overrides individual round-pipeline stages; nil fields fall
 // back to the defaults derived from Config (FullParticipation,
 // ReplicaCompute — or BatchedCompute when Config.BatchClients is set —
-// the promoted Config.Attack, Config.Rule wrapped as a RuleDefense, and
-// momentum SGDUpdate).
+// the promoted Config.Attack, the lossless codec.IdentityCodec,
+// Config.Rule wrapped as a RuleDefense, and momentum SGDUpdate).
 type Pipeline struct {
 	Participation Participation
 	Local         LocalCompute
 	Adversary     attack.Adversary
-	Defense       Defense
-	Update        ServerUpdate
+	// Codec is stage 4: every submitted gradient — honest and malicious
+	// alike — is encoded and decoded through it in arrival order, so the
+	// defense aggregates exactly what crossed the wire. Lossy codec
+	// randomness comes from the stage's own derived RNG stream.
+	Codec   codec.Codec
+	Defense Defense
+	Update  ServerUpdate
 }
 
 // Client is one simulated participant, visible to pipeline stages.
@@ -176,9 +183,10 @@ func localGradient(env *LocalEnv, m nn.Classifier, c *Client) ClientGrad {
 	return ClientGrad{Grad: m.GradVector(), Loss: loss}
 }
 
-// Defense is stage 4: it filters and aggregates the round's submitted
-// gradients. Implementations may be stateful across rounds (SignGuard
-// keeps the previous aggregate as its similarity reference).
+// Defense is stage 5: it filters and aggregates the round's submitted
+// gradients, after they have passed through the codec round trip.
+// Implementations may be stateful across rounds (SignGuard keeps the
+// previous aggregate as its similarity reference).
 type Defense interface {
 	Name() string
 	Aggregate(round int, grads [][]float64) (*aggregate.Result, error)
@@ -196,7 +204,7 @@ func (d RuleDefense) Aggregate(_ int, grads [][]float64) (*aggregate.Result, err
 	return d.Rule.Aggregate(grads)
 }
 
-// ServerUpdate is stage 5: it folds the aggregated gradient into the
+// ServerUpdate is stage 6: it folds the aggregated gradient into the
 // global parameter vector in place.
 type ServerUpdate interface {
 	Name() string

@@ -6,10 +6,13 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
+	"slices"
 	"strings"
 
 	"github.com/signguard/signguard/internal/asyncfl"
+	"github.com/signguard/signguard/internal/codec"
 )
 
 // maxAsyncBody bounds an update upload; flat gradients of the models here
@@ -20,12 +23,37 @@ const maxAsyncBody = 64 << 20
 // buffered asynchronous aggregator: clients fetch the versioned model and
 // submit gradients whenever they finish computing, with no round barrier —
 // the HTTP face of internal/asyncfl, sharing nothing with the synchronous
-// gob protocol except the package.
+// gob protocol except the package. Every builtin compression codec is
+// accepted on submit; use NewAsyncCodecHandler to narrow the list.
 func NewAsyncHandler(agg *asyncfl.Aggregator) http.Handler {
+	h, err := NewAsyncCodecHandler(agg, nil)
+	if err != nil {
+		panic(err) // unreachable: a nil accepted list is always valid
+	}
+	return h
+}
+
+// NewAsyncCodecHandler is NewAsyncHandler with an explicit accepted-codec
+// policy: accepted lists the internal/codec registry names the server
+// advertises in model fetches and decodes on submit (nil = all builtin).
+// Encoded submits naming any other codec are refused, so a fleet can be
+// held to, say, topk-only traffic.
+func NewAsyncCodecHandler(agg *asyncfl.Aggregator, accepted []string) (http.Handler, error) {
+	reg := codec.Builtin()
+	if accepted == nil {
+		accepted = reg.Names()
+	}
+	acceptSet := make(map[string]bool, len(accepted))
+	for _, name := range accepted {
+		if !reg.Has(name) {
+			return nil, fmt.Errorf("transport: unknown codec %q in accepted list (registry has %v)", name, reg.Names())
+		}
+		acceptSet[name] = true
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET "+AsyncPathModel, func(w http.ResponseWriter, _ *http.Request) {
 		version, params, done := agg.Model()
-		asyncWriteJSON(w, AsyncModelResponse{Version: version, Params: params, Done: done})
+		asyncWriteJSON(w, AsyncModelResponse{Version: version, Params: params, Codecs: accepted, Done: done})
 	})
 	mux.HandleFunc("POST "+AsyncPathUpdate, func(w http.ResponseWriter, r *http.Request) {
 		var req AsyncSubmitRequest
@@ -36,11 +64,39 @@ func NewAsyncHandler(agg *asyncfl.Aggregator) http.Handler {
 			http.Error(w, "update requires a Client id", http.StatusBadRequest)
 			return
 		}
+		grad, wireBytes := req.Grad, 0
+		switch {
+		case req.Encoded != nil && len(req.Grad) > 0:
+			http.Error(w, "update carries both Grad and Encoded", http.StatusBadRequest)
+			return
+		case req.Encoded != nil:
+			if req.Codec != "" && req.Codec != req.Encoded.Codec {
+				http.Error(w, fmt.Sprintf("declared codec %q does not match payload codec %q",
+					req.Codec, req.Encoded.Codec), http.StatusBadRequest)
+				return
+			}
+			if !acceptSet[req.Encoded.Codec] {
+				http.Error(w, fmt.Sprintf("codec %q not accepted (server accepts %v)",
+					req.Encoded.Codec, accepted), http.StatusBadRequest)
+				return
+			}
+			var err error
+			grad, err = reg.Decode(*req.Encoded)
+			if err != nil {
+				http.Error(w, fmt.Sprintf("decoding %s payload: %v", req.Encoded.Codec, err), http.StatusBadRequest)
+				return
+			}
+			wireBytes = req.Encoded.Bytes()
+		case req.Codec != "":
+			http.Error(w, fmt.Sprintf("codec %q declared without an Encoded payload", req.Codec), http.StatusBadRequest)
+			return
+		}
 		res, err := agg.Submit(asyncfl.Update{
-			Client:  req.Client,
-			Version: req.Version,
-			Seq:     req.Seq,
-			Grad:    req.Grad,
+			Client:    req.Client,
+			Version:   req.Version,
+			Seq:       req.Seq,
+			Grad:      grad,
+			WireBytes: wireBytes,
 		})
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusBadRequest)
@@ -63,7 +119,7 @@ func NewAsyncHandler(agg *asyncfl.Aggregator) http.Handler {
 	mux.HandleFunc("GET "+AsyncPathStats, func(w http.ResponseWriter, _ *http.Request) {
 		asyncWriteJSON(w, agg.Stats())
 	})
-	return mux
+	return mux, nil
 }
 
 func asyncWriteJSON(w http.ResponseWriter, v any) {
@@ -127,6 +183,15 @@ func (c *AsyncClient) Submit(ctx context.Context, version int, seq int64, grad [
 	return out, err
 }
 
+// SubmitEncoded uploads one compressed gradient. The server must accept
+// the payload's codec (see AsyncModelResponse.Codecs) or the submit fails.
+func (c *AsyncClient) SubmitEncoded(ctx context.Context, version int, seq int64, enc codec.Encoded) (asyncfl.SubmitResult, error) {
+	var out asyncfl.SubmitResult
+	req := AsyncSubmitRequest{Client: c.ID, Version: version, Seq: seq, Codec: enc.Codec, Encoded: &enc}
+	err := c.call(ctx, http.MethodPost, AsyncPathUpdate, &req, &out)
+	return out, err
+}
+
 // Heartbeat renews this session's liveness lease without submitting.
 func (c *AsyncClient) Heartbeat(ctx context.Context) (AsyncHeartbeatResponse, error) {
 	var out AsyncHeartbeatResponse
@@ -185,6 +250,14 @@ type AsyncClientConfig struct {
 	// MaxUpdates stops after that many accepted submissions (0 = run
 	// until the server reports Done).
 	MaxUpdates int
+	// Codec, when non-nil, compresses every submission through this wire
+	// format. The server must advertise the codec's registry name
+	// (AsyncModelResponse.Codecs) or the client fails fast on the first
+	// fetch rather than ship payloads the server cannot decode.
+	Codec codec.Codec
+	// Rng feeds stochastic codecs (qsgd); required when Codec uses
+	// randomness, unused otherwise.
+	Rng *rand.Rand
 	// OnModel, when non-nil, observes every fetched model.
 	OnModel func(AsyncModelResponse)
 	// HTTP is the underlying client (nil = http.DefaultClient).
@@ -202,6 +275,7 @@ func RunAsyncClient(ctx context.Context, cfg AsyncClientConfig) ([]float64, erro
 	}
 	c := &AsyncClient{Base: cfg.Addr, ID: cfg.ID, HTTP: cfg.HTTP}
 	var params []float64
+	checkedCodec := cfg.Codec == nil
 	for submitted := 0; ; {
 		if err := ctx.Err(); err != nil {
 			return params, fmt.Errorf("transport: cancelled: %w", err)
@@ -221,7 +295,24 @@ func RunAsyncClient(ctx context.Context, cfg AsyncClientConfig) ([]float64, erro
 		if err != nil {
 			return params, fmt.Errorf("transport: computing gradient for version %d: %w", model.Version, err)
 		}
-		res, err := c.Submit(ctx, model.Version, 0, grad)
+		var res asyncfl.SubmitResult
+		if cfg.Codec == nil {
+			res, err = c.Submit(ctx, model.Version, 0, grad)
+		} else {
+			enc, encErr := cfg.Codec.Encode(grad, cfg.Rng)
+			if encErr != nil {
+				return params, fmt.Errorf("transport: codec %s encode: %w", cfg.Codec.Name(), encErr)
+			}
+			if !checkedCodec {
+				// Fail fast on the first submit: a server that does not
+				// advertise the codec would reject every upload anyway.
+				if !slices.Contains(model.Codecs, enc.Codec) {
+					return params, fmt.Errorf("transport: server does not accept codec %q (advertises %v)", enc.Codec, model.Codecs)
+				}
+				checkedCodec = true
+			}
+			res, err = c.SubmitEncoded(ctx, model.Version, 0, enc)
+		}
 		if err != nil {
 			return params, err
 		}

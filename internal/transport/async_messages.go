@@ -1,5 +1,7 @@
 package transport
 
+import "github.com/signguard/signguard/internal/codec"
+
 // The asynchronous protocol is versioned under /asyncfl/v1 so wire changes
 // can coexist with deployed clients; the synchronous gob protocol
 // (messages.go) is untouched and keeps working alongside it.
@@ -23,6 +25,11 @@ type AsyncModelResponse struct {
 	Version int
 	// Params is the flat global parameter vector.
 	Params []float64
+	// Codecs lists the compression codec names (internal/codec registry
+	// names) this server accepts on submit. Absent on pre-codec servers:
+	// clients configured with a codec must fail fast rather than ship
+	// encoded payloads the server cannot decode.
+	Codecs []string `json:",omitempty"`
 	// Done reports training finished; Params then holds the final model.
 	Done bool
 }
@@ -36,8 +43,16 @@ type AsyncSubmitRequest struct {
 	// Seq is the schedule position in deterministic mode (ignored
 	// otherwise).
 	Seq int64
-	// Grad is the flat gradient vector.
-	Grad []float64
+	// Grad is the flat gradient vector of an uncompressed submit.
+	// Exactly one of Grad and Encoded must be set.
+	Grad []float64 `json:",omitempty"`
+	// Codec names the compression codec Encoded was produced by (the
+	// base registry name, matching Encoded.Codec). Optional — Encoded is
+	// self-describing — but when set it must agree with the payload.
+	Codec string `json:",omitempty"`
+	// Encoded is the compressed form of the gradient; the server decodes
+	// it through its codec registry and accounts its wire size.
+	Encoded *codec.Encoded `json:",omitempty"`
 }
 
 // AsyncHeartbeatRequest renews a session without submitting.
