@@ -46,6 +46,9 @@ const (
 	DefaultQueueCap = 4
 	// DefaultSessionTTL is the liveness lease lifetime.
 	DefaultSessionTTL = time.Minute
+	// DefaultReorderWindow bounds how far ahead of the next schedule
+	// position a deterministic-mode update may park.
+	DefaultReorderWindow = 1 << 14
 )
 
 // Config describes a buffered asynchronous aggregator.
@@ -89,6 +92,12 @@ type Config struct {
 	// arrivals and applies everything in sequence order, so any concurrent
 	// interleaving of a fixed schedule produces byte-identical aggregates.
 	Deterministic bool
+	// ReorderWindow bounds the deterministic reorder buffer: an update
+	// whose Seq is ReorderWindow or more positions ahead of the next
+	// schedule position is refused instead of parked, so a client cannot
+	// grow the buffer without limit by skipping ahead (0 =
+	// DefaultReorderWindow; ignored outside deterministic mode).
+	ReorderWindow int
 	// Now supplies the liveness clock (nil = time.Now); injectable so
 	// churn tests expire sessions by advancing a fake clock.
 	Now func() time.Time
@@ -110,6 +119,8 @@ func (c *Config) validate() error {
 		return fmt.Errorf("asyncfl: queue capacity %d invalid", c.QueueCap)
 	case c.MaxStaleness < 0:
 		return fmt.Errorf("asyncfl: max staleness %d invalid", c.MaxStaleness)
+	case c.ReorderWindow < 0:
+		return fmt.Errorf("asyncfl: reorder window %d invalid", c.ReorderWindow)
 	}
 	return nil
 }
@@ -222,7 +233,11 @@ type Aggregator struct {
 	arrival  int64 // next server-assigned arrival number
 	sinceK   int   // accepted arrivals since the last step
 	seqNext  int64 // deterministic mode: next schedule position to apply
-	reorder  map[int64]Update
+	// reorder parks out-of-order deterministic-mode updates by schedule
+	// position; a nil entry is a tombstone for a position abandoned by
+	// session expiry, which the drain loop skips instead of wedging on.
+	reorder    map[int64]*Update
+	reorderWin int64
 
 	steps        int64
 	ingestBytes  int64
@@ -244,6 +259,9 @@ func New(cfg Config) (*Aggregator, error) {
 	if cfg.QueueCap == 0 {
 		cfg.QueueCap = DefaultQueueCap
 	}
+	if cfg.ReorderWindow == 0 {
+		cfg.ReorderWindow = DefaultReorderWindow
+	}
 	ttl := cfg.SessionTTL
 	if ttl == 0 {
 		ttl = DefaultSessionTTL
@@ -253,14 +271,15 @@ func New(cfg Config) (*Aggregator, error) {
 	params := make([]float64, len(cfg.InitialParams))
 	copy(params, cfg.InitialParams)
 	return &Aggregator{
-		cfg:      cfg,
-		queueCap: cfg.QueueCap,
-		sessions: NewSessionTable(ttl, cfg.Now),
-		params:   params,
-		opt:      nn.NewSGD(cfg.LR, cfg.Momentum, cfg.WeightDecay),
-		doneCh:   make(chan struct{}),
-		queues:   map[string][]entry{},
-		reorder:  map[int64]Update{},
+		cfg:        cfg,
+		queueCap:   cfg.QueueCap,
+		sessions:   NewSessionTable(ttl, cfg.Now),
+		params:     params,
+		opt:        nn.NewSGD(cfg.LR, cfg.Momentum, cfg.WeightDecay),
+		doneCh:     make(chan struct{}),
+		queues:     map[string][]entry{},
+		reorder:    map[int64]*Update{},
+		reorderWin: int64(cfg.ReorderWindow),
 	}, nil
 }
 
@@ -297,10 +316,14 @@ func (a *Aggregator) Submit(u Update) (SubmitResult, error) {
 	if u.Seq < a.seqNext {
 		return SubmitResult{}, fmt.Errorf("asyncfl: schedule position %d already applied (next is %d)", u.Seq, a.seqNext)
 	}
+	if u.Seq >= a.seqNext+a.reorderWin {
+		return SubmitResult{}, fmt.Errorf("asyncfl: schedule position %d too far ahead of %d (reorder window %d)",
+			u.Seq, a.seqNext, a.reorderWin)
+	}
 	if _, dup := a.reorder[u.Seq]; dup {
 		return SubmitResult{}, fmt.Errorf("asyncfl: duplicate schedule position %d", u.Seq)
 	}
-	a.reorder[u.Seq] = u
+	a.reorder[u.Seq] = &u
 	res := SubmitResult{Held: true, Version: a.version, Done: a.done}
 	for {
 		next, ok := a.reorder[a.seqNext]
@@ -309,7 +332,10 @@ func (a *Aggregator) Submit(u Update) (SubmitResult, error) {
 		}
 		delete(a.reorder, a.seqNext)
 		a.seqNext++
-		r := a.applyLocked(next)
+		if next == nil {
+			continue // position abandoned by session expiry
+		}
+		r := a.applyLocked(*next)
 		if next.Seq == u.Seq {
 			res = r
 		}
@@ -337,6 +363,23 @@ func (a *Aggregator) purgeLocked(expired []string) {
 			a.purged += int64(len(q))
 			a.logf("asyncfl: session %s expired, %d queued updates purged", id, len(q))
 			delete(a.queues, id)
+		}
+	}
+	if len(expired) == 0 || len(a.reorder) == 0 {
+		return
+	}
+	// Deterministic mode: tombstone (don't delete) the parked updates of
+	// expired sessions so their schedule positions still drain — removing
+	// the key outright would wedge every later position behind the hole.
+	gone := make(map[string]bool, len(expired))
+	for _, id := range expired {
+		gone[id] = true
+	}
+	for seq, u := range a.reorder {
+		if u != nil && gone[u.Client] {
+			a.reorder[seq] = nil
+			a.purged++
+			a.logf("asyncfl: session %s expired, parked schedule position %d abandoned", u.Client, seq)
 		}
 	}
 }
@@ -503,6 +546,10 @@ func sortEntries(buf []entry) {
 		}
 	}
 }
+
+// Dim returns the model dimension every submitted gradient must match.
+// The dimension is fixed at construction, so no lock is needed.
+func (a *Aggregator) Dim() int { return len(a.cfg.InitialParams) }
 
 // Model returns the current version and a copy of the global parameters,
 // plus whether training is done.

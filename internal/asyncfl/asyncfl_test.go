@@ -379,6 +379,7 @@ func TestConfigValidation(t *testing.T) {
 		func(c *Config) { c.LR = 0 },
 		func(c *Config) { c.QueueCap = -1 },
 		func(c *Config) { c.MaxStaleness = -1 },
+		func(c *Config) { c.ReorderWindow = -1 },
 	}
 	for i, mutate := range cases {
 		cfg := base
@@ -506,6 +507,67 @@ func TestDeterministicRejectsDuplicateAndPastSeq(t *testing.T) {
 	}
 	if _, err := a.Submit(Update{Client: "c", Seq: 2, Grad: []float64{1}}); err == nil {
 		t.Fatal("duplicate parked seq must error")
+	}
+}
+
+// TestDeterministicReorderWindowBounded: a client skipping far ahead in the
+// schedule must be refused, not parked — an unbounded reorder buffer is a
+// memory hole a malicious or buggy submitter can grow forever.
+func TestDeterministicReorderWindowBounded(t *testing.T) {
+	cfg := testConfig(1, 10)
+	cfg.Deterministic = true
+	cfg.ReorderWindow = 4
+	a, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seq 3 is the furthest parkable position (window 4, next is 0).
+	if res, err := a.Submit(Update{Client: "c", Seq: 3, Grad: []float64{1}}); err != nil || !res.Held {
+		t.Fatalf("in-window seq refused: res=%+v err=%v", res, err)
+	}
+	if _, err := a.Submit(Update{Client: "c", Seq: 4, Grad: []float64{1}}); err == nil {
+		t.Fatal("seq beyond the reorder window must be refused")
+	}
+	// Filling the gap drains everything, sliding the window forward.
+	for seq := int64(0); seq < 3; seq++ {
+		if _, err := a.Submit(Update{Client: "c", Seq: seq, Grad: []float64{1}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if res, err := a.Submit(Update{Client: "c", Seq: 4, Grad: []float64{1}}); err != nil || !res.Accepted {
+		t.Fatalf("seq 4 after window slid: res=%+v err=%v", res, err)
+	}
+}
+
+// TestDeterministicParkedPurgedOnExpiry: a parked update whose session
+// expires is abandoned — and its schedule position must still drain, not
+// wedge every later position behind the hole.
+func TestDeterministicParkedPurgedOnExpiry(t *testing.T) {
+	clock := time.Unix(0, 0)
+	cfg := testConfig(1, 100)
+	cfg.Deterministic = true
+	cfg.SessionTTL = time.Minute
+	cfg.Now = func() time.Time { return clock }
+	a, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "ghost" parks seq 1 and goes silent; seq 0 never arrives from it.
+	if res, err := a.Submit(Update{Client: "ghost", Seq: 1, Grad: []float64{1}}); err != nil || !res.Held {
+		t.Fatalf("park: res=%+v err=%v", res, err)
+	}
+	clock = clock.Add(2 * time.Minute)
+	// "live" submits seq 0: ghost expired, its parked seq 1 is abandoned,
+	// and the drain walks straight through the tombstone.
+	if res, err := a.Submit(Update{Client: "live", Seq: 0, Grad: []float64{2}}); err != nil || !res.Accepted {
+		t.Fatalf("seq 0: res=%+v err=%v", res, err)
+	}
+	if res, err := a.Submit(Update{Client: "live", Seq: 2, Grad: []float64{3}}); err != nil || !res.Accepted {
+		t.Fatalf("seq 2 wedged behind abandoned position: res=%+v err=%v", res, err)
+	}
+	st := a.Stats()
+	if st.PurgedUpdates != 1 || st.Arrivals != 2 {
+		t.Fatalf("stats = %+v, want ghost's parked update purged and two arrivals", st)
 	}
 }
 

@@ -18,6 +18,7 @@ package campaign
 
 import (
 	"fmt"
+	"maps"
 	"sort"
 	"strings"
 )
@@ -251,7 +252,9 @@ func ApplyCodec(s Spec, name string, hyper map[string]float64) Spec {
 	out := Spec{Name: s.Name, Cells: make([]Cell, len(s.Cells))}
 	for i, c := range s.Cells {
 		c.Codec = name
-		c.CodecHyper = hyper
+		// Clone per cell: a shared map pointer would let one cell's later
+		// hyper mutation silently rewrite every cell (and the caller's map).
+		c.CodecHyper = maps.Clone(hyper)
 		out.Cells[i] = c
 	}
 	return out

@@ -154,6 +154,16 @@ func TestApplyCodec(t *testing.T) {
 			t.Fatal("ApplyCodec mutated the input spec")
 		}
 	}
+	// Each cell owns its hyper map: mutating one cell's (or the caller's
+	// original map) must not leak into any other cell.
+	hyper := map[string]float64{"levels": 8}
+	stamped = campaign.ApplyCodec(spec, "qsgd", hyper)
+	hyper["levels"] = 99
+	stamped.Cells[0].CodecHyper["levels"] = 4
+	if got := stamped.Cells[1].CodecHyper["levels"]; got != 8 {
+		t.Fatalf("cell 1 hyper = %v, shared map leaked across cells/caller", got)
+	}
+
 	same := campaign.ApplyCodec(spec, "", nil)
 	for i := range same.Cells {
 		if same.Cells[i].Codec != "" {

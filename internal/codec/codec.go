@@ -84,6 +84,18 @@ func (e Encoded) Bytes() int {
 	return n
 }
 
+// checkDim rejects a payload declaring a negative dimension before any
+// make([]float64, Dim) happens. Encoded values arrive from untrusted
+// clients over the async wire, so a decode allocation must never be sized
+// by a nonsensical attacker-controlled Dim (receivers additionally bound
+// Dim against the model dimension they expect before decoding).
+func checkDim(e Encoded) error {
+	if e.Dim < 0 {
+		return fmt.Errorf("codec: %s payload declares negative dim %d", e.Codec, e.Dim)
+	}
+	return nil
+}
+
 // Codec encodes gradients into their wire form and back. Implementations
 // are stateless values, safe for concurrent use; all randomness comes from
 // the rng passed to Encode (pass nil for deterministic codecs).
@@ -188,8 +200,14 @@ func (c TopKCodec) Encode(grad []float64, _ *rand.Rand) (Encoded, error) {
 
 // Decode implements Codec: the kept values scatter into a zero vector.
 func (TopKCodec) Decode(e Encoded) ([]float64, error) {
+	if err := checkDim(e); err != nil {
+		return nil, err
+	}
 	if len(e.Idx) != len(e.Val) {
 		return nil, fmt.Errorf("codec: topk payload has %d indices for %d values", len(e.Idx), len(e.Val))
+	}
+	if len(e.Idx) > e.Dim {
+		return nil, fmt.Errorf("codec: topk payload has %d indices for dim %d", len(e.Idx), e.Dim)
 	}
 	out := make([]float64, e.Dim)
 	for i, idx := range e.Idx {
@@ -299,6 +317,9 @@ func (SignSGDCodec) Encode(grad []float64, _ *rand.Rand) (Encoded, error) {
 
 // Decode implements Codec.
 func (SignSGDCodec) Decode(e Encoded) ([]float64, error) {
+	if err := checkDim(e); err != nil {
+		return nil, err
+	}
 	if want := (e.Dim + 7) / 8; len(e.Sign) != want {
 		return nil, fmt.Errorf("codec: signsgd payload has %d sign bytes for dim %d (want %d)", len(e.Sign), e.Dim, want)
 	}

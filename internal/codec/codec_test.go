@@ -294,6 +294,13 @@ func TestDecodeRejectsCorruptPayloads(t *testing.T) {
 		{Codec: TopK, Dim: 4, Idx: []int32{0, 1}, Val: []float64{1}},
 		{Codec: TopK, Dim: 4, Idx: []int32{9}, Val: []float64{1}},
 		{Codec: TopK, Dim: 4, Idx: []int32{-1}, Val: []float64{1}},
+		// Negative or undersized declared dimensions must be refused before
+		// any Dim-sized allocation: Encoded is untrusted wire input, and a
+		// Dim of -1 slips past signsgd's (Dim+7)/8 length check into a
+		// panicking makeslice without the explicit guard.
+		{Codec: TopK, Dim: -1},
+		{Codec: SignSGD, Dim: -1},
+		{Codec: TopK, Dim: 2, Idx: []int32{0, 1, 1}, Val: []float64{1, 2, 3}},
 		{Codec: QSGD, Dim: 4, Scale: 1, Levels: 4, Q: []int8{1}},
 		{Codec: QSGD, Dim: 1, Scale: 1, Levels: 0, Q: []int8{1}},
 		{Codec: SignSGD, Dim: 100, Sign: []byte{0}},

@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"slices"
 	"strings"
+	"time"
 
 	"github.com/signguard/signguard/internal/asyncfl"
 	"github.com/signguard/signguard/internal/codec"
@@ -78,6 +79,15 @@ func NewAsyncCodecHandler(agg *asyncfl.Aggregator, accepted []string) (http.Hand
 			if !acceptSet[req.Encoded.Codec] {
 				http.Error(w, fmt.Sprintf("codec %q not accepted (server accepts %v)",
 					req.Encoded.Codec, accepted), http.StatusBadRequest)
+				return
+			}
+			// Bound the declared dimension before decoding: Decode
+			// allocates Dim-sized buffers, and Dim is attacker-controlled
+			// wire input — a dimension the aggregator would reject anyway
+			// must not drive an allocation first.
+			if want := agg.Dim(); req.Encoded.Dim != want {
+				http.Error(w, fmt.Sprintf("encoded payload declares dim %d, want %d",
+					req.Encoded.Dim, want), http.StatusBadRequest)
 				return
 			}
 			var err error
@@ -260,9 +270,18 @@ type AsyncClientConfig struct {
 	Rng *rand.Rand
 	// OnModel, when non-nil, observes every fetched model.
 	OnModel func(AsyncModelResponse)
+	// RetryDelay spaces out the refetch after a refused submit (TooStale,
+	// version-rejected, ...) so a persistently-refused client does not
+	// hot-loop against the server (0 = DefaultAsyncRetryDelay; negative
+	// disables the delay).
+	RetryDelay time.Duration
 	// HTTP is the underlying client (nil = http.DefaultClient).
 	HTTP *http.Client
 }
+
+// DefaultAsyncRetryDelay is the refused-submit backoff when
+// AsyncClientConfig.RetryDelay is zero.
+const DefaultAsyncRetryDelay = 50 * time.Millisecond
 
 // RunAsyncClient joins an asynchronous training session: it repeatedly
 // fetches the versioned model, computes a gradient against it, and submits
@@ -328,6 +347,22 @@ func RunAsyncClient(ctx context.Context, cfg AsyncClientConfig) ([]float64, erro
 			submitted++
 			if cfg.MaxUpdates > 0 && submitted >= cfg.MaxUpdates {
 				return params, nil
+			}
+		} else if !res.Held {
+			// Refused (too stale, future-versioned, ...): the very next
+			// fetch/compute/submit would likely be refused for the same
+			// reason, so back off instead of hammering the server the
+			// backpressure signals are trying to protect.
+			delay := cfg.RetryDelay
+			if delay == 0 {
+				delay = DefaultAsyncRetryDelay
+			}
+			if delay > 0 {
+				select {
+				case <-ctx.Done():
+					return params, fmt.Errorf("transport: cancelled: %w", ctx.Err())
+				case <-time.After(delay):
+				}
 			}
 		}
 	}

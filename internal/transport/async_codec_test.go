@@ -149,6 +149,16 @@ func TestAsyncCodecPolicy(t *testing.T) {
 		!strings.Contains(err.Error(), "decoding") {
 		t.Fatalf("corrupt payload not rejected: %v", err)
 	}
+	// A declared dimension that disagrees with the model is refused before
+	// decode runs: Dim sizes the decode allocation, so a hostile payload
+	// claiming a gigantic (or negative) dimension must never reach it.
+	for _, dim := range []int{1 << 30, -1, 3} {
+		huge := codec.Encoded{Codec: codec.TopK, Dim: dim}
+		if err := post(AsyncSubmitRequest{Client: "c", Encoded: &huge}); err == nil ||
+			!strings.Contains(err.Error(), "declares dim") {
+			t.Fatalf("dim %d payload not rejected pre-decode: %v", dim, err)
+		}
+	}
 	// The valid form still lands.
 	if res, err := c.SubmitEncoded(ctx, 0, 0, enc); err != nil || !res.Accepted {
 		t.Fatalf("valid topk submit failed: res=%+v err=%v", res, err)
