@@ -6,7 +6,7 @@ GO ?= go
 # the BENCH_PR.json artifact).
 BENCHFLAGS ?=
 
-.PHONY: all build test race bench bench-gate bench-baseline profile cover fmt-check doc-check vet dist
+.PHONY: all build test race bench bench-gate bench-baseline profile profile-top cover fmt-check doc-check vet dist
 
 all: fmt-check doc-check build test
 
@@ -22,24 +22,26 @@ race:
 	$(GO) test -race -short -timeout 15m ./...
 
 # Compile and execute every benchmark exactly once: fast enough for a PR
-# gate, and it fails loudly when benchmark code rots. Silenced (@) because
-# CI pipes the output into BENCH_PR.json, where make's recipe echo would
-# corrupt the `go test -json` stream.
+# gate, and it fails loudly when benchmark code rots. -benchmem adds B/op
+# and allocs/op columns, which the gate compares alongside ns/op. Silenced
+# (@) because CI pipes the output into BENCH_PR.json, where make's recipe
+# echo would corrupt the `go test -json` stream.
 bench:
-	@$(GO) test $(BENCHFLAGS) -run '^$$' -bench . -benchtime 1x -timeout 15m ./...
+	@$(GO) test $(BENCHFLAGS) -run '^$$' -bench . -benchtime 1x -benchmem -timeout 15m ./...
 
 # Benchmark regression gate: run the bench sweep as a -json stream and
-# compare every benchmark's ns/op against the committed BENCH_BASELINE.json
-# (cmd/benchgate), failing on >15% slowdowns — the CI bench job runs this,
-# so a landed performance win stays won. The baseline is machine-class
-# dependent: refresh it with `make bench-baseline` after an intentional
-# perf change or a CI runner change.
+# compare every benchmark's ns/op, B/op and allocs/op against the committed
+# BENCH_BASELINE.json (cmd/benchgate), failing on >15% regressions on any
+# metric — the CI bench job runs this, so a landed performance win stays
+# won. The baseline is machine-class dependent: refresh it with
+# `make bench-baseline` after an intentional perf change or a CI runner
+# change.
 bench-gate:
-	@$(GO) test -json -run '^$$' -bench . -benchtime 1x -timeout 15m ./... > BENCH_PR.json
+	@$(GO) test -json -run '^$$' -bench . -benchtime 1x -benchmem -timeout 15m ./... > BENCH_PR.json
 	$(GO) run ./cmd/benchgate -input BENCH_PR.json -baseline BENCH_BASELINE.json -threshold 0.15
 
 bench-baseline:
-	@$(GO) test -json -run '^$$' -bench . -benchtime 1x -timeout 15m ./... > BENCH_PR.json
+	@$(GO) test -json -run '^$$' -bench . -benchtime 1x -benchmem -timeout 15m ./... > BENCH_PR.json
 	$(GO) run ./cmd/benchgate -input BENCH_PR.json -write -baseline BENCH_BASELINE.json
 
 # CPU/heap profiles of the two serving-critical benchmarks: the
@@ -52,6 +54,22 @@ profile:
 	$(GO) test -run '^$$' -bench BenchmarkAsyncLoad -benchtime 3x -timeout 15m -o profiles/loadtest.test \
 		-cpuprofile profiles/asyncload.cpu.pprof -memprofile profiles/asyncload.mem.pprof ./internal/asyncfl/loadtest
 	@echo "profiles written to ./profiles — e.g. go tool pprof -top profiles/localcompute.cpu.pprof"
+
+# Summarize saved profiles: the top-10 CPU nodes of every *.cpu.pprof and
+# the top-10 allocation-volume (alloc_space) nodes of every *.mem.pprof in
+# ./profiles. Run `make profile` first to (re)generate them.
+profile-top:
+	@ls profiles/*.pprof >/dev/null 2>&1 || { echo "no profiles found — run 'make profile' first"; exit 1; }
+	@for p in profiles/*.cpu.pprof; do \
+		[ -e "$$p" ] || continue; \
+		echo "== $$p (cpu) =="; \
+		$(GO) tool pprof -top -nodecount=10 "$$p" | tail -n +3; echo; \
+	done
+	@for p in profiles/*.mem.pprof; do \
+		[ -e "$$p" ] || continue; \
+		echo "== $$p (alloc_space) =="; \
+		$(GO) tool pprof -top -nodecount=10 -sample_index=alloc_space "$$p" | tail -n +3; echo; \
+	done
 
 # Coverage profile + per-package summary. The per-package lines come from
 # `go test -cover` itself; the closing line is the aggregate across every

@@ -1,14 +1,18 @@
 // Command benchgate turns the CI benchmark job into a regression gate: it
 // parses a `go test -json -bench` stream, extracts every benchmark's
-// ns/op, and compares against a committed baseline (BENCH_BASELINE.json),
-// failing when any benchmark slowed down by more than the threshold —
-// so a performance win, once landed, stays won.
+// ns/op — and, when the run used -benchmem, its B/op and allocs/op — and
+// compares against a committed baseline (BENCH_BASELINE.json), failing
+// when any benchmark regressed on any gated metric by more than the
+// threshold — so a performance win, once landed, stays won. Allocation
+// metrics use a small absolute floor (1 KiB, 16 allocs) below which
+// regressions are ignored: a 2-alloc benchmark tripling to 6 is noise, not
+// a leak.
 //
 // Benchmark names are normalized by stripping the trailing -GOMAXPROCS
 // suffix and prefixed with their package path, so the same baseline works
 // across machines with different core counts. When a stream carries
-// several samples of one benchmark (-count), the fastest is used — the
-// usual minimum-of-runs noise filter.
+// several samples of one benchmark (-count), the minimum per metric is
+// used — the usual minimum-of-runs noise filter.
 //
 // Usage:
 //
@@ -36,7 +40,7 @@ func main() {
 	var (
 		input     = flag.String("input", "BENCH_PR.json", "`go test -json` benchmark stream to read")
 		baseline  = flag.String("baseline", "BENCH_BASELINE.json", "committed baseline file")
-		threshold = flag.Float64("threshold", 0.15, "maximum tolerated ns/op regression (0.15 = +15%)")
+		threshold = flag.Float64("threshold", 0.15, "maximum tolerated regression on any metric (0.15 = +15%)")
 		write     = flag.Bool("write", false, "write the parsed results as the new baseline instead of comparing")
 		missingOK = flag.Bool("missing-ok", false, "tolerate baseline benchmarks absent from the input stream")
 		module    = flag.String("module", "github.com/signguard/signguard", "module prefix stripped from package paths")
@@ -48,14 +52,27 @@ func main() {
 	}
 }
 
-// Baseline is the committed file format.
+// Baseline is the committed file format. The allocation maps only hold
+// benchmarks whose recorded run reported memory stats (-benchmem or
+// b.ReportAllocs).
 type Baseline struct {
 	// Note documents how to regenerate the file.
 	Note string `json:"note"`
 	// NsPerOp maps "package.BenchmarkName" (GOMAXPROCS suffix stripped)
 	// to the benchmark's ns/op.
 	NsPerOp map[string]float64 `json:"ns_per_op"`
+	// BytesPerOp maps the same keys to B/op.
+	BytesPerOp map[string]float64 `json:"bytes_per_op,omitempty"`
+	// AllocsPerOp maps the same keys to allocs/op.
+	AllocsPerOp map[string]float64 `json:"allocs_per_op,omitempty"`
 }
+
+// Gating floors for the allocation metrics: baselines below these absolute
+// sizes are too small for a ratio threshold to be meaningful.
+const (
+	bytesFloor  = 1024
+	allocsFloor = 16
+)
 
 func run(input, baseline, module string, threshold float64, write, missingOK bool) error {
 	if threshold <= 0 {
@@ -71,8 +88,17 @@ func run(input, baseline, module string, threshold float64, write, missingOK boo
 
 	if write {
 		out := Baseline{
-			Note:    "benchmark ns/op baseline for the CI regression gate; regenerate with `make bench-baseline` on the machine class that runs the gate",
-			NsPerOp: results,
+			Note:        "benchmark ns/op, B/op and allocs/op baseline for the CI regression gate; regenerate with `make bench-baseline` on the machine class that runs the gate",
+			NsPerOp:     map[string]float64{},
+			BytesPerOp:  map[string]float64{},
+			AllocsPerOp: map[string]float64{},
+		}
+		for name, r := range results {
+			out.NsPerOp[name] = r.ns
+			if r.hasMem {
+				out.BytesPerOp[name] = r.bytes
+				out.AllocsPerOp[name] = r.allocs
+			}
 		}
 		buf, err := json.MarshalIndent(out, "", "  ")
 		if err != nil {
@@ -81,7 +107,8 @@ func run(input, baseline, module string, threshold float64, write, missingOK boo
 		if err := os.WriteFile(baseline, append(buf, '\n'), 0o644); err != nil {
 			return err
 		}
-		fmt.Printf("benchgate: wrote %d benchmarks to %s\n", len(results), baseline)
+		fmt.Printf("benchgate: wrote %d benchmarks (%d with allocation stats) to %s\n",
+			len(out.NsPerOp), len(out.BytesPerOp), baseline)
 		return nil
 	}
 
@@ -103,23 +130,45 @@ func run(input, baseline, module string, threshold float64, write, missingOK boo
 	}
 	sort.Strings(names)
 
+	// check gates one metric of one benchmark: a regression only counts
+	// when the baseline is above the metric's absolute floor.
 	var regressions, missing []string
 	improved, checked := 0, 0
+	check := func(name, unit string, want, got, floor float64) {
+		checked++
+		if want < floor {
+			return
+		}
+		delta := (got - want) / want
+		switch {
+		case delta > threshold:
+			regressions = append(regressions,
+				fmt.Sprintf("  %s: %.0f -> %.0f %s (%+.1f%%)", name, want, got, unit, 100*delta))
+		case delta < -threshold:
+			improved++
+		}
+	}
 	for _, name := range names {
-		want := base.NsPerOp[name]
 		got, ok := results[name]
 		if !ok {
 			missing = append(missing, name)
 			continue
 		}
-		checked++
-		delta := (got - want) / want
-		switch {
-		case delta > threshold:
-			regressions = append(regressions,
-				fmt.Sprintf("  %s: %.0f -> %.0f ns/op (%+.1f%%)", name, want, got, 100*delta))
-		case delta < -threshold:
-			improved++
+		check(name, "ns/op", base.NsPerOp[name], got.ns, 1)
+		wantBytes, gateBytes := base.BytesPerOp[name]
+		wantAllocs, gateAllocs := base.AllocsPerOp[name]
+		if (gateBytes || gateAllocs) && !got.hasMem {
+			// The baseline gates allocations but the stream carries none:
+			// -benchmem fell off the bench invocation. Treat as missing so
+			// the gate cannot silently weaken.
+			missing = append(missing, name+" (allocation stats)")
+			continue
+		}
+		if gateBytes {
+			check(name, "B/op", wantBytes, got.bytes, bytesFloor)
+		}
+		if gateAllocs {
+			check(name, "allocs/op", wantAllocs, got.allocs, allocsFloor)
 		}
 	}
 	newCount := 0
@@ -129,16 +178,25 @@ func run(input, baseline, module string, threshold float64, write, missingOK boo
 		}
 	}
 
-	fmt.Printf("benchgate: %d benchmarks checked against %s (threshold +%.0f%%): %d regressed, %d improved, %d new, %d missing\n",
+	fmt.Printf("benchgate: %d metrics checked against %s (threshold +%.0f%%): %d regressed, %d improved, %d new benchmarks, %d missing\n",
 		checked, baseline, 100*threshold, len(regressions), improved, newCount, len(missing))
 	if len(missing) > 0 && !missingOK {
-		return fmt.Errorf("baseline benchmarks missing from the input stream (deleted or renamed? regenerate the baseline, or pass -missing-ok):\n  %s",
+		return fmt.Errorf("baseline benchmarks missing from the input stream (deleted, renamed, or run without -benchmem? regenerate the baseline, or pass -missing-ok):\n  %s",
 			strings.Join(missing, "\n  "))
 	}
 	if len(regressions) > 0 {
-		return fmt.Errorf("throughput regressions beyond +%.0f%%:\n%s", 100*threshold, strings.Join(regressions, "\n"))
+		return fmt.Errorf("regressions beyond +%.0f%%:\n%s", 100*threshold, strings.Join(regressions, "\n"))
 	}
 	return nil
+}
+
+// benchResult is one benchmark's parsed metrics; hasMem reports whether
+// the result line carried -benchmem columns.
+type benchResult struct {
+	ns     float64
+	bytes  float64
+	allocs float64
+	hasMem bool
 }
 
 // testEvent is the subset of the `go test -json` event schema we need.
@@ -148,9 +206,10 @@ type testEvent struct {
 	Output  string
 }
 
-// parseStream extracts "pkg.BenchmarkName" -> min ns/op from a
-// `go test -json` stream.
-func parseStream(path, module string) (map[string]float64, error) {
+// parseStream extracts "pkg.BenchmarkName" -> metrics from a
+// `go test -json` stream. Duplicate samples (-count) keep the minimum of
+// each metric independently.
+func parseStream(path, module string) (map[string]benchResult, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("reading input: %w", err)
@@ -188,11 +247,11 @@ func parseStream(path, module string) (map[string]float64, error) {
 		return nil, err
 	}
 
-	results := map[string]float64{}
+	results := map[string]benchResult{}
 	for _, pkg := range pkgs {
 		short := strings.TrimPrefix(strings.TrimPrefix(pkg, module), "/")
 		for _, line := range strings.Split(perPkg[pkg].String(), "\n") {
-			name, ns, ok := parseBenchLine(line)
+			name, r, ok := parseBenchLine(line)
 			if !ok {
 				continue
 			}
@@ -200,32 +259,60 @@ func parseStream(path, module string) (map[string]float64, error) {
 			if short != "" {
 				key = short + "." + name
 			}
-			if old, seen := results[key]; !seen || ns < old {
-				results[key] = ns
+			old, seen := results[key]
+			if !seen {
+				results[key] = r
+				continue
 			}
+			if r.ns < old.ns {
+				old.ns = r.ns
+			}
+			if r.hasMem {
+				if !old.hasMem || r.bytes < old.bytes {
+					old.bytes = r.bytes
+				}
+				if !old.hasMem || r.allocs < old.allocs {
+					old.allocs = r.allocs
+				}
+				old.hasMem = true
+			}
+			results[key] = old
 		}
 	}
 	return results, nil
 }
 
 // parseBenchLine parses one benchmark result line
-// ("BenchmarkFoo/case-8   1   12345 ns/op   ...") into its normalized
-// name (GOMAXPROCS suffix stripped) and ns/op.
-func parseBenchLine(line string) (string, float64, bool) {
+// ("BenchmarkFoo/case-8   1   12345 ns/op   64 B/op   2 allocs/op") into
+// its normalized name (GOMAXPROCS suffix stripped) and metrics.
+func parseBenchLine(line string) (string, benchResult, bool) {
 	fields := strings.Fields(line)
 	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
-		return "", 0, false
+		return "", benchResult{}, false
 	}
+	var r benchResult
+	found := false
 	for i := 2; i+1 < len(fields); i++ {
-		if fields[i+1] == "ns/op" {
-			ns, err := strconv.ParseFloat(fields[i], 64)
-			if err != nil {
-				return "", 0, false
-			}
-			return stripProcs(fields[0]), ns, true
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			r.ns = v
+			found = true
+		case "B/op":
+			r.bytes = v
+			r.hasMem = true
+		case "allocs/op":
+			r.allocs = v
+			r.hasMem = true
 		}
 	}
-	return "", 0, false
+	if !found {
+		return "", benchResult{}, false
+	}
+	return stripProcs(fields[0]), r, true
 }
 
 // stripProcs removes the trailing -GOMAXPROCS from a benchmark name, so

@@ -9,9 +9,13 @@ import (
 )
 
 func TestParseBenchLine(t *testing.T) {
-	name, ns, ok := parseBenchLine("BenchmarkFoo/case=1/workers=2-8 \t       1\t  12345678 ns/op\t 99.5 clients/s")
-	if !ok || name != "BenchmarkFoo/case=1/workers=2" || ns != 12345678 {
-		t.Fatalf("got %q %v %v", name, ns, ok)
+	name, r, ok := parseBenchLine("BenchmarkFoo/case=1/workers=2-8 \t       1\t  12345678 ns/op\t 99.5 clients/s")
+	if !ok || name != "BenchmarkFoo/case=1/workers=2" || r.ns != 12345678 || r.hasMem {
+		t.Fatalf("got %q %+v %v", name, r, ok)
+	}
+	name, r, ok = parseBenchLine("BenchmarkFoo-4 \t 10\t 500 ns/op\t 2.1 clients/s\t 2048 B/op\t 7 allocs/op")
+	if !ok || name != "BenchmarkFoo" || r.ns != 500 || !r.hasMem || r.bytes != 2048 || r.allocs != 7 {
+		t.Fatalf("benchmem line: got %q %+v %v", name, r, ok)
 	}
 	if _, _, ok := parseBenchLine("ok  \tpkg\t0.5s"); ok {
 		t.Error("non-benchmark line parsed")
@@ -36,16 +40,27 @@ func TestStripProcs(t *testing.T) {
 	}
 }
 
+// benchEntry is one fabricated benchmark result; empty mem leaves the
+// -benchmem columns off the line.
+type benchEntry struct {
+	pkg, name, ns string
+	mem           string // e.g. "2048 B/op\t 7 allocs/op"
+}
+
 // writeStream fabricates a `go test -json` stream with one benchmark
-// result per (package, name, ns) triple.
-func writeStream(t *testing.T, path string, entries [][3]string) {
+// result per entry.
+func writeStream(t *testing.T, path string, entries []benchEntry) {
 	t.Helper()
 	var b strings.Builder
 	for _, e := range entries {
+		out := e.name + "-8 \t 1\t " + e.ns + " ns/op"
+		if e.mem != "" {
+			out += "\t " + e.mem
+		}
 		ev := map[string]string{
 			"Action":  "output",
-			"Package": e[0],
-			"Output":  e[1] + "-8 \t 1\t " + e[2] + " ns/op\n",
+			"Package": e.pkg,
+			"Output":  out + "\n",
 		}
 		buf, _ := json.Marshal(ev)
 		b.Write(buf)
@@ -63,10 +78,10 @@ func TestGateWriteAndCompare(t *testing.T) {
 	stream := filepath.Join(dir, "base.json")
 	baseline := filepath.Join(dir, "BENCH_BASELINE.json")
 	mod := "github.com/signguard/signguard"
-	writeStream(t, stream, [][3]string{
-		{mod + "/internal/fl", "BenchmarkA", "1000000"},
-		{mod + "/internal/fl", "BenchmarkA", "900000"}, // -count dupe: min wins
-		{mod + "/internal/asyncfl/loadtest", "BenchmarkB", "2000000"},
+	writeStream(t, stream, []benchEntry{
+		{mod + "/internal/fl", "BenchmarkA", "1000000", ""},
+		{mod + "/internal/fl", "BenchmarkA", "900000", ""}, // -count dupe: min wins
+		{mod + "/internal/asyncfl/loadtest", "BenchmarkB", "2000000", ""},
 	})
 	if err := run(stream, baseline, mod, 0.15, true, false); err != nil {
 		t.Fatalf("write: %v", err)
@@ -82,18 +97,18 @@ func TestGateWriteAndCompare(t *testing.T) {
 
 	// Within threshold: passes.
 	pr := filepath.Join(dir, "pr.json")
-	writeStream(t, pr, [][3]string{
-		{mod + "/internal/fl", "BenchmarkA", "1000000"}, // +11%
-		{mod + "/internal/asyncfl/loadtest", "BenchmarkB", "1500000"},
+	writeStream(t, pr, []benchEntry{
+		{mod + "/internal/fl", "BenchmarkA", "1000000", ""}, // +11%
+		{mod + "/internal/asyncfl/loadtest", "BenchmarkB", "1500000", ""},
 	})
 	if err := run(pr, baseline, mod, 0.15, false, false); err != nil {
 		t.Fatalf("within-threshold run failed: %v", err)
 	}
 
 	// Beyond threshold: fails and names the offender.
-	writeStream(t, pr, [][3]string{
-		{mod + "/internal/fl", "BenchmarkA", "1100000"}, // +22%
-		{mod + "/internal/asyncfl/loadtest", "BenchmarkB", "2000000"},
+	writeStream(t, pr, []benchEntry{
+		{mod + "/internal/fl", "BenchmarkA", "1100000", ""}, // +22%
+		{mod + "/internal/asyncfl/loadtest", "BenchmarkB", "2000000", ""},
 	})
 	err := run(pr, baseline, mod, 0.15, false, false)
 	if err == nil || !strings.Contains(err.Error(), "BenchmarkA") {
@@ -101,14 +116,107 @@ func TestGateWriteAndCompare(t *testing.T) {
 	}
 
 	// Missing benchmark: fails unless -missing-ok.
-	writeStream(t, pr, [][3]string{
-		{mod + "/internal/fl", "BenchmarkA", "900000"},
+	writeStream(t, pr, []benchEntry{
+		{mod + "/internal/fl", "BenchmarkA", "900000", ""},
 	})
 	if err := run(pr, baseline, mod, 0.15, false, false); err == nil {
 		t.Fatal("missing baseline benchmark tolerated without -missing-ok")
 	}
 	if err := run(pr, baseline, mod, 0.15, false, true); err != nil {
 		t.Fatalf("missing-ok run failed: %v", err)
+	}
+}
+
+func TestGateAllocationMetrics(t *testing.T) {
+	dir := t.TempDir()
+	stream := filepath.Join(dir, "base.json")
+	baseline := filepath.Join(dir, "BENCH_BASELINE.json")
+	mod := "github.com/signguard/signguard"
+	writeStream(t, stream, []benchEntry{
+		{mod + "/internal/fl", "BenchmarkA", "1000000", "1000000 B/op\t 500 allocs/op"},
+		{mod + "/internal/fl", "BenchmarkA", "1100000", "900000 B/op\t 480 allocs/op"}, // per-metric min
+		{mod + "/internal/fl", "BenchmarkTiny", "1000", "64 B/op\t 2 allocs/op"},
+	})
+	if err := run(stream, baseline, mod, 0.15, true, false); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	var base Baseline
+	raw, _ := os.ReadFile(baseline)
+	if err := json.Unmarshal(raw, &base); err != nil {
+		t.Fatal(err)
+	}
+	if base.BytesPerOp["internal/fl.BenchmarkA"] != 900000 || base.AllocsPerOp["internal/fl.BenchmarkA"] != 480 {
+		t.Fatalf("baseline allocation stats = %+v / %+v, want per-metric minima", base.BytesPerOp, base.AllocsPerOp)
+	}
+
+	pr := filepath.Join(dir, "pr.json")
+
+	// B/op regression beyond threshold fails even with ns/op flat.
+	writeStream(t, pr, []benchEntry{
+		{mod + "/internal/fl", "BenchmarkA", "1000000", "1100000 B/op\t 480 allocs/op"}, // +22% B/op
+		{mod + "/internal/fl", "BenchmarkTiny", "1000", "64 B/op\t 2 allocs/op"},
+	})
+	err := run(pr, baseline, mod, 0.15, false, false)
+	if err == nil || !strings.Contains(err.Error(), "B/op") {
+		t.Fatalf("B/op regression not caught: %v", err)
+	}
+
+	// allocs/op regression beyond threshold fails too.
+	writeStream(t, pr, []benchEntry{
+		{mod + "/internal/fl", "BenchmarkA", "1000000", "900000 B/op\t 600 allocs/op"}, // +25% allocs
+		{mod + "/internal/fl", "BenchmarkTiny", "1000", "64 B/op\t 2 allocs/op"},
+	})
+	err = run(pr, baseline, mod, 0.15, false, false)
+	if err == nil || !strings.Contains(err.Error(), "allocs/op") {
+		t.Fatalf("allocs/op regression not caught: %v", err)
+	}
+
+	// Sub-floor baselines are not ratio-gated: 64 B -> 512 B passes.
+	writeStream(t, pr, []benchEntry{
+		{mod + "/internal/fl", "BenchmarkA", "1000000", "900000 B/op\t 480 allocs/op"},
+		{mod + "/internal/fl", "BenchmarkTiny", "1000", "512 B/op\t 12 allocs/op"},
+	})
+	if err := run(pr, baseline, mod, 0.15, false, false); err != nil {
+		t.Fatalf("sub-floor allocation growth gated: %v", err)
+	}
+
+	// A stream without -benchmem cannot satisfy an allocation-gated
+	// baseline: treated as missing.
+	writeStream(t, pr, []benchEntry{
+		{mod + "/internal/fl", "BenchmarkA", "1000000", ""},
+		{mod + "/internal/fl", "BenchmarkTiny", "1000", ""},
+	})
+	if err := run(pr, baseline, mod, 0.15, false, false); err == nil {
+		t.Fatal("stream without allocation stats accepted against allocation-gated baseline")
+	}
+	if err := run(pr, baseline, mod, 0.15, false, true); err != nil {
+		t.Fatalf("missing-ok run without allocation stats failed: %v", err)
+	}
+}
+
+// TestGateLegacyBaseline: a baseline written before allocation gating
+// (ns_per_op only) still gates ns/op and accepts streams with or without
+// -benchmem columns.
+func TestGateLegacyBaseline(t *testing.T) {
+	dir := t.TempDir()
+	baseline := filepath.Join(dir, "BENCH_BASELINE.json")
+	legacy := `{"note":"old","ns_per_op":{"internal/fl.BenchmarkA":1000000}}`
+	if err := os.WriteFile(baseline, []byte(legacy), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	mod := "github.com/signguard/signguard"
+	pr := filepath.Join(dir, "pr.json")
+	writeStream(t, pr, []benchEntry{
+		{mod + "/internal/fl", "BenchmarkA", "1050000", "123456 B/op\t 99 allocs/op"},
+	})
+	if err := run(pr, baseline, mod, 0.15, false, false); err != nil {
+		t.Fatalf("legacy baseline with benchmem stream failed: %v", err)
+	}
+	writeStream(t, pr, []benchEntry{
+		{mod + "/internal/fl", "BenchmarkA", "1300000", ""},
+	})
+	if err := run(pr, baseline, mod, 0.15, false, false); err == nil {
+		t.Fatal("ns/op regression not caught against legacy baseline")
 	}
 }
 
@@ -120,7 +228,7 @@ func TestGateErrors(t *testing.T) {
 		t.Error("empty stream accepted")
 	}
 	stream := filepath.Join(dir, "s.json")
-	writeStream(t, stream, [][3]string{{"m/p", "BenchmarkA", "1"}})
+	writeStream(t, stream, []benchEntry{{"m/p", "BenchmarkA", "1", ""}})
 	if err := run(stream, filepath.Join(dir, "absent.json"), "m", 0.15, false, false); err == nil {
 		t.Error("absent baseline accepted")
 	}

@@ -1,11 +1,13 @@
 package fl
 
 import (
+	"errors"
 	"fmt"
 
 	"github.com/signguard/signguard/internal/data"
 	"github.com/signguard/signguard/internal/nn"
 	"github.com/signguard/signguard/internal/parallel"
+	"github.com/signguard/signguard/internal/tensor"
 )
 
 // BatchedCompute is the batched local stage: instead of one
@@ -19,20 +21,50 @@ import (
 // kernels accumulate each client's gradient terms in the exact order the
 // per-client path uses — so the outputs are byte-identical
 // (math.Float64bits) to ReplicaCompute for any worker count, pinned by
-// TestGoldenBatchedEquivalence. Models that cannot batch (the text RNN)
-// fall back to the per-client path transparently.
+// TestGoldenBatchedEquivalence. Both the image stacks (FeedForward) and
+// the text RNN batch; models that cannot fall back to the per-client path
+// transparently.
 //
 // Fast trades that bit-identity for reassociated reduction kernels
 // (unrolled independent accumulators): results agree to normal float64
 // accuracy but golden traces will differ, which is why it is a separate,
 // explicit knob (Config.FastLocal).
+//
+// The stage is stateful (use a pointer): each worker owns a workerScratch
+// holding an nn.Workspace arena plus the tile-assembly buffers, so
+// steady-state rounds run the stacked passes without re-allocating
+// activation, im2col or input matrices. Scratch is indexed by worker and
+// never shared across goroutines; reuse cannot change results because
+// every arena buffer is either fully overwritten or explicitly zeroed
+// before use (see nn.Workspace).
 type BatchedCompute struct {
 	// Fast enables the non-bitwise fast kernels on supporting models.
 	Fast bool
+
+	scratch []*workerScratch
+}
+
+// workerScratch is one worker's reusable buffers: the layer-scratch arena
+// and the tile input assembly (stacked examples, segmentation, labels and
+// the dense feature matrix or token row index).
+type workerScratch struct {
+	ws      *nn.Workspace
+	batches []data.Example
+	bounds  []int
+	labels  []int
+	tokens  [][]int
+	dense   tensor.Matrix
+}
+
+// ensureScratch grows the per-worker scratch table to n entries.
+func (bc *BatchedCompute) ensureScratch(n int) {
+	for len(bc.scratch) < n {
+		bc.scratch = append(bc.scratch, &workerScratch{ws: nn.NewWorkspace()})
+	}
 }
 
 // Name implements LocalCompute.
-func (bc BatchedCompute) Name() string {
+func (bc *BatchedCompute) Name() string {
 	if bc.Fast {
 		return "batched-sgd-fast"
 	}
@@ -42,7 +74,7 @@ func (bc BatchedCompute) Name() string {
 // Compute implements LocalCompute: participants are partitioned
 // contiguously over the worker model replicas exactly like ReplicaCompute,
 // and each worker trains its whole client range in one stacked pass.
-func (bc BatchedCompute) Compute(env *LocalEnv, participants []*Client) ([]ClientGrad, error) {
+func (bc *BatchedCompute) Compute(env *LocalEnv, participants []*Client) ([]ClientGrad, error) {
 	outs := make([]ClientGrad, len(participants))
 	workers := env.Workers
 	if workers > len(participants) {
@@ -50,9 +82,11 @@ func (bc BatchedCompute) Compute(env *LocalEnv, participants []*Client) ([]Clien
 	}
 	if workers <= 1 {
 		// Replicas[0] is the main model, already positioned at Global.
-		bc.computeRange(env, env.Replicas[0], participants, outs, 0, len(participants))
+		bc.ensureScratch(1)
+		bc.computeRange(env, env.Replicas[0], bc.scratch[0], participants, outs, 0, len(participants))
 		return outs, nil
 	}
+	bc.ensureScratch(workers)
 	parallel.For(workers, len(participants), func(w, start, end int) {
 		m := env.Replicas[w]
 		if err := m.SetParamVector(env.Global); err != nil {
@@ -61,7 +95,7 @@ func (bc BatchedCompute) Compute(env *LocalEnv, participants []*Client) ([]Clien
 			}
 			return
 		}
-		bc.computeRange(env, m, participants, outs, start, end)
+		bc.computeRange(env, m, bc.scratch[w], participants, outs, start, end)
 	})
 	return outs, nil
 }
@@ -71,19 +105,19 @@ func (bc BatchedCompute) Compute(env *LocalEnv, participants []*Client) ([]Clien
 // activation matrix far past the cache sizes, making the pass memory-bound
 // and erasing the amortization win; tiles of this many rows keep the
 // working set L2-resident while still spreading the per-pass fixed costs
-// (matrix allocations, kernel setup) over dozens of clients. Tiling only
-// groups whole client segments, so it cannot affect results.
+// over dozens of clients. Tiling only groups whole client segments, so it
+// cannot affect results.
 const batchTileRows = 1024
 
 // computeRange trains participants [start,end) on one model replica:
 // stacked tile passes when the model supports them, the per-client path
 // otherwise.
-func (bc BatchedCompute) computeRange(env *LocalEnv, m nn.Classifier, participants []*Client, outs []ClientGrad, start, end int) {
+func (bc *BatchedCompute) computeRange(env *LocalEnv, m nn.Classifier, sc *workerScratch, participants []*Client, outs []ClientGrad, start, end int) {
 	bm, ok := m.(nn.BatchClassifier)
 	if !ok {
-		// No batched path for this model family (e.g. the text RNN): fall
-		// back to the per-client loop, which draws the same batches from
-		// the same sampler streams.
+		// No batched path for this model family: fall back to the
+		// per-client loop, which draws the same batches from the same
+		// sampler streams.
 		for i := start; i < end; i++ {
 			outs[i] = localGradient(env, m, participants[i])
 		}
@@ -95,7 +129,7 @@ func (bc BatchedCompute) computeRange(env *LocalEnv, m nn.Classifier, participan
 		}
 	}
 	for tile := start; tile < end; {
-		next := bc.computeTile(env, bm, participants, outs, tile, end)
+		next := bc.computeTile(env, bm, sc, participants, outs, tile, end)
 		if next <= tile { // a failed tile reports through outs; stop the range
 			return
 		}
@@ -106,18 +140,18 @@ func (bc BatchedCompute) computeRange(env *LocalEnv, m nn.Classifier, participan
 // computeTile stacks the minibatches of as many clients from [start,end)
 // as fit in batchTileRows (at least one), trains them in one pass, and
 // returns the index after the last client it consumed.
-func (bc BatchedCompute) computeTile(env *LocalEnv, bm nn.BatchClassifier, participants []*Client, outs []ClientGrad, start, end int) int {
+func (bc *BatchedCompute) computeTile(env *LocalEnv, bm nn.BatchClassifier, sc *workerScratch, participants []*Client, outs []ClientGrad, start, end int) int {
 	// Draw minibatches in participant order (each from its own sampler
 	// stream) until the tile is full, recording the row segmentation. Tail
 	// batches at an epoch boundary may be smaller than BatchSize, so
 	// segments are not necessarily equal-sized.
-	batches := make([]data.Example, 0, min(batchTileRows+env.BatchSize, (end-start)*env.BatchSize))
-	bounds := []int{0}
+	sc.batches = sc.batches[:0]
+	sc.bounds = append(sc.bounds[:0], 0)
 	last := start
-	for last < end && (last == start || len(batches)+env.BatchSize <= batchTileRows) {
+	for last < end && (last == start || len(sc.batches)+env.BatchSize <= batchTileRows) {
 		b := participants[last].Sampler.Batch(env.BatchSize)
-		batches = append(batches, b...)
-		bounds = append(bounds, len(batches))
+		sc.batches = append(sc.batches, b...)
+		sc.bounds = append(sc.bounds, len(sc.batches))
 		last++
 	}
 
@@ -126,12 +160,17 @@ func (bc BatchedCompute) computeTile(env *LocalEnv, bm nn.BatchClassifier, parti
 			outs[i] = ClientGrad{Err: err}
 		}
 	}
-	in, labels, err := BatchInput(env.Dataset, batches)
+	in, labels, err := sc.tileInput(env.Dataset)
 	if err != nil {
 		fail(err)
 		return start
 	}
-	segs, err := bm.BatchedLossAndGrad(in, labels, bounds)
+	var segs []nn.SegmentGrad
+	if wm, ok := bm.(nn.WorkspaceBatchClassifier); ok {
+		segs, err = wm.BatchedLossAndGradWs(sc.ws, in, labels, sc.bounds)
+	} else {
+		segs, err = bm.BatchedLossAndGrad(in, labels, sc.bounds)
+	}
 	if err != nil {
 		fail(fmt.Errorf("fl: batched gradients for clients %d..%d: %w",
 			participants[start].ID, participants[last-1].ID, err))
@@ -141,4 +180,48 @@ func (bc BatchedCompute) computeTile(env *LocalEnv, bm nn.BatchClassifier, parti
 		outs[start+k] = ClientGrad{Grad: s.Grad, Loss: s.Loss}
 	}
 	return last
+}
+
+// tileInput assembles sc.batches into a model input, mirroring BatchInput
+// but through the scratch buffers: the label slice, token row index and
+// dense feature backing are all reused across tiles. None of them escape
+// the local stage — the nn kernels read the input and write gradients into
+// fresh vectors.
+func (sc *workerScratch) tileInput(ds *data.Dataset) (nn.Input, []int, error) {
+	batch := sc.batches
+	if len(batch) == 0 {
+		return nn.Input{}, nil, errors.New("fl: empty batch")
+	}
+	if cap(sc.labels) < len(batch) {
+		sc.labels = make([]int, len(batch))
+	}
+	labels := sc.labels[:len(batch)]
+	if ds.IsText() {
+		if cap(sc.tokens) < len(batch) {
+			sc.tokens = make([][]int, len(batch))
+		}
+		tokens := sc.tokens[:len(batch)]
+		for i, e := range batch {
+			if e.Tokens == nil {
+				return nn.Input{}, nil, fmt.Errorf("fl: example %d has no tokens in text dataset %s", i, ds.Name)
+			}
+			tokens[i] = e.Tokens
+			labels[i] = e.Label
+		}
+		return nn.Input{Tokens: tokens}, labels, nil
+	}
+	d := ds.FeatureDim()
+	if need := len(batch) * d; cap(sc.dense.Data) < need {
+		sc.dense.Data = make([]float64, need)
+	}
+	sc.dense.Rows, sc.dense.Cols = len(batch), d
+	sc.dense.Data = sc.dense.Data[:len(batch)*d]
+	for i, e := range batch {
+		if len(e.Features) != d {
+			return nn.Input{}, nil, fmt.Errorf("fl: example %d has %d features, want %d", i, len(e.Features), d)
+		}
+		copy(sc.dense.Row(i), e.Features)
+		labels[i] = e.Label
+	}
+	return nn.Input{Dense: &sc.dense}, labels, nil
 }

@@ -115,10 +115,11 @@ func TestBatchedByzantineOnlyRounds(t *testing.T) {
 	}
 }
 
-// TestBatchedTextModelFallsBack: the text RNN has no batched path; the
-// batched stage must transparently run its per-client loop with identical
-// results.
-func TestBatchedTextModelFallsBack(t *testing.T) {
+// TestBatchedTextModelEquivalence: the text RNN batches through the
+// time-major stacked kernel; its per-segment de-interleaving must be
+// byte-identical to the per-client path (variable-length sequences and
+// all).
+func TestBatchedTextModelEquivalence(t *testing.T) {
 	ds, err := data.AGNewsLike(3, 300, 60)
 	if err != nil {
 		t.Fatal(err)
@@ -137,7 +138,38 @@ func TestBatchedTextModelFallsBack(t *testing.T) {
 		}
 	}
 	if r, b := digestPair(t, build); r != b {
-		t.Errorf("text fallback: batched trace %s, per-client %s", b, r)
+		t.Errorf("text batched: batched trace %s, per-client %s", b, r)
+	}
+}
+
+// TestBatchedWorkerSurplus: more workers than participants must clamp to
+// the cohort size and stay byte-identical (each worker then handles at
+// most one client, so every stacked tile is a single segment).
+func TestBatchedWorkerSurplus(t *testing.T) {
+	build := func() Config {
+		cfg := baseConfig(tinyDataset(t))
+		cfg.Clients = 3
+		cfg.Workers = 7 // > clients: clamp, one client per active worker
+		cfg.Rounds = 10
+		return cfg
+	}
+	if r, b := digestPair(t, build); r != b {
+		t.Errorf("worker surplus: batched trace %s, per-client %s", b, r)
+	}
+}
+
+// TestBatchedOneRowTiles: BatchSize 1 makes every client segment a single
+// row, the smallest possible tile slices through the arena-backed kernels.
+func TestBatchedOneRowTiles(t *testing.T) {
+	build := func() Config {
+		cfg := baseConfig(tinyDataset(t))
+		cfg.BatchSize = 1
+		cfg.Rounds = 6
+		cfg.Workers = 2
+		return cfg
+	}
+	if r, b := digestPair(t, build); r != b {
+		t.Errorf("one-row tiles: batched trace %s, per-client %s", b, r)
 	}
 }
 
@@ -171,10 +203,10 @@ func TestFastLocalMode(t *testing.T) {
 // TestBatchedStageNames pins the stage names (they appear in logs and
 // error messages).
 func TestBatchedStageNames(t *testing.T) {
-	if n := (BatchedCompute{}).Name(); n != "batched-sgd" {
+	if n := (&BatchedCompute{}).Name(); n != "batched-sgd" {
 		t.Errorf("exact stage named %q", n)
 	}
-	if n := (BatchedCompute{Fast: true}).Name(); !strings.HasSuffix(n, "-fast") {
+	if n := (&BatchedCompute{Fast: true}).Name(); !strings.HasSuffix(n, "-fast") {
 		t.Errorf("fast stage named %q", n)
 	}
 }

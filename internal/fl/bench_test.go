@@ -31,8 +31,8 @@ func BenchmarkLocalCompute(b *testing.B) {
 		stage LocalCompute
 	}{
 		{"replica", ReplicaCompute{}},
-		{"batched", BatchedCompute{}},
-		{"batched-fast", BatchedCompute{Fast: true}},
+		{"batched", &BatchedCompute{}},
+		{"batched-fast", &BatchedCompute{Fast: true}},
 	}
 	for _, cohort := range []int{50, 200} {
 		for _, workers := range []int{1, 4} {
@@ -57,20 +57,87 @@ func BenchmarkLocalCompute(b *testing.B) {
 			}
 			for _, eng := range engines {
 				b.Run(fmt.Sprintf("cohort=%d/workers=%d/%s", cohort, workers, eng.name), func(b *testing.B) {
-					for i := 0; i < b.N; i++ {
-						outs, err := eng.stage.Compute(env, sim.clients)
-						if err != nil {
-							b.Fatal(err)
-						}
-						for _, o := range outs {
-							if o.Err != nil {
-								b.Fatal(o.Err)
-							}
-						}
-					}
+					b.ReportAllocs()
+					benchComputeLoop(b, eng.stage, env, sim.clients)
 					b.ReportMetric(float64(cohort*b.N)/b.Elapsed().Seconds(), "clients/s")
 				})
 			}
+		}
+	}
+}
+
+// benchComputeLoop measures steady-state rounds of one local-compute
+// engine: warm-up rounds outside the timer let the stateful engines
+// populate their per-worker arenas, so B/op reflects the per-round
+// allocation cost rather than one-time buffer growth. Three warm-up
+// rounds cover a full epoch of the benchmark samplers' minibatch cycle
+// (16, 16, 8 rows at 40 examples per client), so every tile shape the
+// timed rounds stack is already cached whatever the sampler phase.
+func benchComputeLoop(b *testing.B, stage LocalCompute, env *LocalEnv, clients []*Client) {
+	b.Helper()
+	run := func() {
+		outs, err := stage.Compute(env, clients)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, o := range outs {
+			if o.Err != nil {
+				b.Fatal(o.Err)
+			}
+		}
+	}
+	for i := 0; i < 3; i++ {
+		run()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run()
+	}
+}
+
+// BenchmarkLocalComputeText is BenchmarkLocalCompute's text-model twin:
+// the agnews-shaped RNN through the per-client replica loop vs the
+// time-major stacked kernel, so the allocation gate also covers the
+// token-sequence path (variable-length sequences, embedding scatter).
+func BenchmarkLocalComputeText(b *testing.B) {
+	ds, err := data.AGNewsLike(7, 4000, 200)
+	if err != nil {
+		b.Fatal(err)
+	}
+	engines := []struct {
+		name  string
+		stage LocalCompute
+	}{
+		{"replica", ReplicaCompute{}},
+		{"batched", &BatchedCompute{}},
+	}
+	const cohort = 50
+	for _, workers := range []int{1, 4} {
+		sim, err := New(Config{
+			Dataset: ds,
+			NewModel: func(rng *rand.Rand) (nn.Classifier, error) {
+				return nn.NewTextRNN(rng, 128, 16, 32, 4), nil
+			},
+			Rule:    aggregate.NewMean(),
+			Clients: cohort, NumByz: 0, Rounds: 1, BatchSize: 16,
+			LR: 0.03, EvalEvery: 1, Seed: 1, Workers: workers,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		env := &LocalEnv{
+			Dataset:   sim.cfg.Dataset,
+			BatchSize: sim.cfg.BatchSize,
+			Global:    sim.global,
+			Replicas:  sim.replicas,
+			Workers:   sim.workers,
+		}
+		for _, eng := range engines {
+			b.Run(fmt.Sprintf("cohort=%d/workers=%d/%s", cohort, workers, eng.name), func(b *testing.B) {
+				b.ReportAllocs()
+				benchComputeLoop(b, eng.stage, env, sim.clients)
+				b.ReportMetric(float64(cohort*b.N)/b.Elapsed().Seconds(), "clients/s")
+			})
 		}
 	}
 }

@@ -272,7 +272,7 @@ func New(cfg Config) (*Simulation, error) {
 	}
 	if pipe.Local == nil {
 		if cfg.BatchClients {
-			pipe.Local = BatchedCompute{Fast: cfg.FastLocal}
+			pipe.Local = &BatchedCompute{Fast: cfg.FastLocal}
 		} else {
 			pipe.Local = ReplicaCompute{}
 		}

@@ -13,17 +13,27 @@ type ReLU struct {
 }
 
 var _ Layer = (*ReLU)(nil)
+var _ arenaLayer = (*ReLU)(nil)
 
 // NewReLU returns a ReLU activation layer.
 func NewReLU() *ReLU { return &ReLU{} }
 
 // Forward applies the rectifier.
 func (r *ReLU) Forward(x *tensor.Matrix) (*tensor.Matrix, error) {
+	return r.forwardWs(nil, 0, x)
+}
+
+// forwardWs is Forward with an optional workspace buffer. The else branch
+// writes an explicit +0.0 — the value a fresh zeroed matrix holds — so a
+// stale arena buffer produces byte-identical output.
+func (r *ReLU) forwardWs(ws *Workspace, id int, x *tensor.Matrix) (*tensor.Matrix, error) {
 	r.lastInput = x
-	out := tensor.NewMatrix(x.Rows, x.Cols)
+	out := ws.matrix(id, wsFwd, x.Rows, x.Cols)
 	for i, v := range x.Data {
 		if v > 0 {
 			out.Data[i] = v
+		} else {
+			out.Data[i] = 0
 		}
 	}
 	return out, nil
@@ -31,6 +41,12 @@ func (r *ReLU) Forward(x *tensor.Matrix) (*tensor.Matrix, error) {
 
 // Backward gates the incoming gradient by the activation mask.
 func (r *ReLU) Backward(grad *tensor.Matrix) (*tensor.Matrix, error) {
+	return r.backwardWs(nil, 0, grad)
+}
+
+// backwardWs is Backward with an optional workspace buffer (fully
+// overwritten, like forwardWs).
+func (r *ReLU) backwardWs(ws *Workspace, id int, grad *tensor.Matrix) (*tensor.Matrix, error) {
 	if r.lastInput == nil {
 		return nil, fmt.Errorf("nn: ReLU.Backward before Forward")
 	}
@@ -38,10 +54,12 @@ func (r *ReLU) Backward(grad *tensor.Matrix) (*tensor.Matrix, error) {
 		return nil, fmt.Errorf("%w: ReLU.Backward got (%d,%d), want (%d,%d)",
 			ErrShape, grad.Rows, grad.Cols, r.lastInput.Rows, r.lastInput.Cols)
 	}
-	dx := tensor.NewMatrix(grad.Rows, grad.Cols)
+	dx := ws.matrix(id, wsDX, grad.Rows, grad.Cols)
 	for i, v := range r.lastInput.Data {
 		if v > 0 {
 			dx.Data[i] = grad.Data[i]
+		} else {
+			dx.Data[i] = 0
 		}
 	}
 	return dx, nil
@@ -56,13 +74,20 @@ type Tanh struct {
 }
 
 var _ Layer = (*Tanh)(nil)
+var _ arenaLayer = (*Tanh)(nil)
 
 // NewTanh returns a Tanh activation layer.
 func NewTanh() *Tanh { return &Tanh{} }
 
 // Forward applies tanh.
 func (t *Tanh) Forward(x *tensor.Matrix) (*tensor.Matrix, error) {
-	out := tensor.NewMatrix(x.Rows, x.Cols)
+	return t.forwardWs(nil, 0, x)
+}
+
+// forwardWs is Forward with an optional workspace buffer (every element is
+// overwritten, so a stale buffer is fine).
+func (t *Tanh) forwardWs(ws *Workspace, id int, x *tensor.Matrix) (*tensor.Matrix, error) {
+	out := ws.matrix(id, wsFwd, x.Rows, x.Cols)
 	for i, v := range x.Data {
 		out.Data[i] = math.Tanh(v)
 	}
@@ -72,6 +97,11 @@ func (t *Tanh) Forward(x *tensor.Matrix) (*tensor.Matrix, error) {
 
 // Backward multiplies the incoming gradient by 1 - tanh².
 func (t *Tanh) Backward(grad *tensor.Matrix) (*tensor.Matrix, error) {
+	return t.backwardWs(nil, 0, grad)
+}
+
+// backwardWs is Backward with an optional workspace buffer.
+func (t *Tanh) backwardWs(ws *Workspace, id int, grad *tensor.Matrix) (*tensor.Matrix, error) {
 	if t.lastOutput == nil {
 		return nil, fmt.Errorf("nn: Tanh.Backward before Forward")
 	}
@@ -79,7 +109,7 @@ func (t *Tanh) Backward(grad *tensor.Matrix) (*tensor.Matrix, error) {
 		return nil, fmt.Errorf("%w: Tanh.Backward got (%d,%d), want (%d,%d)",
 			ErrShape, grad.Rows, grad.Cols, t.lastOutput.Rows, t.lastOutput.Cols)
 	}
-	dx := tensor.NewMatrix(grad.Rows, grad.Cols)
+	dx := ws.matrix(id, wsDX, grad.Rows, grad.Cols)
 	for i, y := range t.lastOutput.Data {
 		dx.Data[i] = grad.Data[i] * (1 - y*y)
 	}

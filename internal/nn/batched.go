@@ -18,6 +18,12 @@ package nn
 // looping LossAndGrad over the segments, for any segmentation. The
 // explicitly opt-in fast mode (SetFastKernels) trades that bit-identity
 // for reassociated reduction kernels.
+//
+// The ...Ws variants additionally thread a per-worker Workspace arena
+// through every layer, so a steady-state tile pass checks out cached
+// buffers instead of allocating: the only remaining allocations are the
+// per-client gradient vectors themselves, which escape into the round
+// pipeline and therefore must stay fresh.
 
 import (
 	"errors"
@@ -48,10 +54,29 @@ type BatchClassifier interface {
 	BatchedLossAndGrad(in Input, labels []int, bounds []int) ([]SegmentGrad, error)
 }
 
+// WorkspaceBatchClassifier is a BatchClassifier whose batched pass can run
+// through a reusable per-worker Workspace arena. Passing a nil Workspace is
+// equivalent to BatchedLossAndGrad; passing a warm one eliminates the
+// scratch-matrix allocations without changing a single output bit.
+type WorkspaceBatchClassifier interface {
+	BatchClassifier
+	BatchedLossAndGradWs(ws *Workspace, in Input, labels []int, bounds []int) ([]SegmentGrad, error)
+}
+
 // FastKernels is implemented by models whose layers can switch to the
 // reassociated (non-bitwise) fast kernels.
 type FastKernels interface {
 	SetFastKernels(on bool)
+}
+
+// arenaLayer is implemented by layers whose forward/backward can check
+// scratch buffers out of a Workspace. id is the layer's index in its model,
+// which namespaces the arena keys; a nil Workspace falls back to fresh
+// allocation, so Forward(x) ≡ forwardWs(nil, 0, x).
+type arenaLayer interface {
+	Layer
+	forwardWs(ws *Workspace, id int, x *tensor.Matrix) (*tensor.Matrix, error)
+	backwardWs(ws *Workspace, id int, grad *tensor.Matrix) (*tensor.Matrix, error)
 }
 
 // segmentedLayer is implemented by parameter-carrying layers that can
@@ -61,7 +86,7 @@ type FastKernels interface {
 // Backward over that segment.
 type segmentedLayer interface {
 	Layer
-	backwardSegmented(grad *tensor.Matrix, bounds []int, segGrads [][][]float64) (*tensor.Matrix, error)
+	backwardSegmented(ws *Workspace, id int, grad *tensor.Matrix, bounds []int, segGrads [][][]float64) (*tensor.Matrix, error)
 }
 
 // fastKernelLayer is implemented by layers with a fast-kernel toggle.
@@ -88,6 +113,7 @@ func validateBounds(bounds []int, rows int) error {
 }
 
 var _ BatchClassifier = (*FeedForward)(nil)
+var _ WorkspaceBatchClassifier = (*FeedForward)(nil)
 var _ FastKernels = (*FeedForward)(nil)
 
 // SetFastKernels toggles the fast reduction kernels (unrolled independent
@@ -110,17 +136,27 @@ func (ff *FeedForward) SetFastKernels(on bool) {
 // does not touch the model's own accumulated gradients (ZeroGrad /
 // GradVector state is unaffected).
 func (ff *FeedForward) BatchedLossAndGrad(in Input, labels []int, bounds []int) ([]SegmentGrad, error) {
+	return ff.BatchedLossAndGradWs(nil, in, labels, bounds)
+}
+
+// BatchedLossAndGradWs is BatchedLossAndGrad through a per-worker
+// Workspace arena: every activation, im2col and delta buffer is checked
+// out of ws instead of allocated. The returned gradients are NOT
+// arena-backed — they escape into the round pipeline (adversary, defense,
+// hooks may retain them), so they are freshly allocated every call.
+func (ff *FeedForward) BatchedLossAndGradWs(ws *Workspace, in Input, labels []int, bounds []int) ([]SegmentGrad, error) {
 	if in.Dense == nil {
 		return nil, errors.New("nn: FeedForward requires dense input")
 	}
 	if err := validateBounds(bounds, in.Dense.Rows); err != nil {
 		return nil, err
 	}
-	logits, err := ff.forward(in.Dense)
+	logits, err := ff.forwardWs(ws, in.Dense)
 	if err != nil {
 		return nil, err
 	}
-	losses, grad, correct, err := SoftmaxCrossEntropySegmented(logits, labels, bounds)
+	grad := ws.matrix(wsHead, wsLossGrad, logits.Rows, logits.Cols)
+	losses, correct, err := softmaxCrossEntropySegmentedInto(grad, logits, labels, bounds)
 	if err != nil {
 		return nil, err
 	}
@@ -132,28 +168,17 @@ func (ff *FeedForward) BatchedLossAndGrad(in Input, labels []int, bounds []int) 
 	flat := make([]float64, segs*total)
 	out := make([]SegmentGrad, segs)
 	for s := range out {
-		// Full three-index slice: the segments share one backing array, so
-		// capping each slice's capacity keeps a consumer's append from
-		// silently overwriting the next client's gradient.
 		out[s] = SegmentGrad{Loss: losses[s], Correct: correct[s], Grad: flat[s*total : (s+1)*total : (s+1)*total]}
 	}
-	layerSegGrads := make([][][][]float64, len(ff.layers)) // [layer][segment][param]
+	scaffold := ws.gradScaffold(len(ff.layers))
 	off := 0
 	for li, l := range ff.layers {
 		params := l.Params()
 		if len(params) == 0 {
+			scaffold[li] = nil
 			continue
 		}
-		layerSegGrads[li] = make([][][]float64, segs)
-		for s := 0; s < segs; s++ {
-			views := make([][]float64, len(params))
-			o := off
-			for k, p := range params {
-				views[k] = out[s].Grad[o : o+len(p.W)]
-				o += len(p.W)
-			}
-			layerSegGrads[li][s] = views
-		}
+		segGradViews(scaffold, li, flat, total, segs, off, params)
 		for _, p := range params {
 			off += len(p.W)
 		}
@@ -164,9 +189,13 @@ func (ff *FeedForward) BatchedLossAndGrad(in Input, labels []int, bounds []int) 
 		if len(l.Params()) == 0 {
 			// Parameter-free layers have nothing to segment; their input
 			// gradient is row-independent already.
-			grad, err = l.Backward(grad)
+			if al, ok := l.(arenaLayer); ok {
+				grad, err = al.backwardWs(ws, i, grad)
+			} else {
+				grad, err = l.Backward(grad)
+			}
 		} else if sl, ok := l.(segmentedLayer); ok {
-			grad, err = sl.backwardSegmented(grad, bounds, layerSegGrads[i])
+			grad, err = sl.backwardSegmented(ws, i, grad, bounds, scaffold[i])
 		} else {
 			return nil, fmt.Errorf("nn: layer %d (%T) does not support batched per-client gradients", i, l)
 		}

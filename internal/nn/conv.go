@@ -26,11 +26,16 @@ type Conv2D struct {
 	fast bool
 
 	lastInput *tensor.Matrix
-	lastCols  []*tensor.Matrix // per-sample im2col buffers from Forward
+	// lastCols stacks every sample's im2col columns into one matrix:
+	// sample n's (InC*K*K) rows start at n*InC*K*K. One buffer for the
+	// whole tile replaces the per-sample matrix allocations that used to
+	// dominate the allocation profile.
+	lastCols *tensor.Matrix
 }
 
 var _ Layer = (*Conv2D)(nil)
 var _ segmentedLayer = (*Conv2D)(nil)
+var _ arenaLayer = (*Conv2D)(nil)
 
 // NewConv2D builds a stride-1 convolution layer with He-uniform init.
 func NewConv2D(rng *rand.Rand, inC, inH, inW, outC, k, pad int) (*Conv2D, error) {
@@ -59,32 +64,40 @@ func (c *Conv2D) OutputSize() int { return c.OutC * c.OutH * c.OutW }
 
 func (c *Conv2D) setFastKernels(on bool) { c.fast = on }
 
-// im2col unrolls one CHW sample into a (InC*K*K) x (OutH*OutW) matrix.
-func (c *Conv2D) im2col(sample []float64) *tensor.Matrix {
-	cols := tensor.NewMatrix(c.InC*c.K*c.K, c.OutH*c.OutW)
+// im2colInto unrolls one CHW sample into rows [rowOff, rowOff+InC*K*K) of
+// cols. Every element of those rows is written — positions that fall in the
+// zero padding get an explicit 0, the value the old allocate-per-sample
+// implementation inherited from the zeroed allocation — so a stale arena
+// buffer produces byte-identical columns.
+func (c *Conv2D) im2colInto(cols *tensor.Matrix, rowOff int, sample []float64) {
 	for ch := 0; ch < c.InC; ch++ {
 		chOff := ch * c.InH * c.InW
 		for ki := 0; ki < c.K; ki++ {
 			for kj := 0; kj < c.K; kj++ {
 				rowIdx := (ch*c.K+ki)*c.K + kj
-				row := cols.Row(rowIdx)
+				row := cols.Row(rowOff + rowIdx)
 				for oi := 0; oi < c.OutH; oi++ {
 					si := oi - c.Pad + ki
+					seg := row[oi*c.OutW : (oi+1)*c.OutW]
 					if si < 0 || si >= c.InH {
+						for p := range seg {
+							seg[p] = 0
+						}
 						continue
 					}
-					for oj := 0; oj < c.OutW; oj++ {
+					src := sample[chOff+si*c.InW:]
+					for oj := range seg {
 						sj := oj - c.Pad + kj
 						if sj < 0 || sj >= c.InW {
-							continue
+							seg[oj] = 0
+						} else {
+							seg[oj] = src[sj]
 						}
-						row[oi*c.OutW+oj] = sample[chOff+si*c.InW+sj]
 					}
 				}
 			}
 		}
 	}
-	return cols
 }
 
 // col2im scatters a (InC*K*K) x (OutH*OutW) gradient back into a CHW sample.
@@ -115,33 +128,41 @@ func (c *Conv2D) col2im(cols *tensor.Matrix, sample []float64) {
 
 // Forward convolves each sample in the batch.
 func (c *Conv2D) Forward(x *tensor.Matrix) (*tensor.Matrix, error) {
+	return c.forwardWs(nil, 0, x)
+}
+
+// forwardWs is Forward with optional workspace buffers for the output and
+// the stacked im2col columns (both fully overwritten).
+func (c *Conv2D) forwardWs(ws *Workspace, id int, x *tensor.Matrix) (*tensor.Matrix, error) {
 	if x.Cols != c.InC*c.InH*c.InW {
 		return nil, fmt.Errorf("%w: Conv2D expects %d inputs, got %d", ErrShape, c.InC*c.InH*c.InW, x.Cols)
 	}
 	c.lastInput = x
-	c.lastCols = make([]*tensor.Matrix, x.Rows)
-	out := tensor.NewMatrix(x.Rows, c.OutputSize())
+	colRows := c.InC * c.K * c.K
 	spatial := c.OutH * c.OutW
+	cols := ws.matrix(id, wsCols, x.Rows*colRows, spatial)
+	c.lastCols = cols
+	out := ws.matrix(id, wsFwd, x.Rows, c.OutputSize())
 	for n := 0; n < x.Rows; n++ {
-		cols := c.im2col(x.Row(n))
-		c.lastCols[n] = cols
+		base := n * colRows
+		c.im2colInto(cols, base, x.Row(n))
 		oRow := out.Row(n)
 		for oc := 0; oc < c.OutC; oc++ {
-			w := c.weight.W[oc*cols.Rows : (oc+1)*cols.Rows]
+			w := c.weight.W[oc*colRows : (oc+1)*colRows]
 			b := c.bias.W[oc]
 			dst := oRow[oc*spatial : (oc+1)*spatial]
 			for p := range dst {
 				dst[p] = b
 			}
 			if c.fast {
-				forwardAccFast(dst, w, cols)
+				forwardAccFast(dst, w, cols, base)
 				continue
 			}
 			for r, wv := range w {
 				if wv == 0 {
 					continue
 				}
-				src := cols.Row(r)
+				src := cols.Row(base + r)
 				for p, sv := range src {
 					dst[p] += wv * sv
 				}
@@ -154,12 +175,12 @@ func (c *Conv2D) Forward(x *tensor.Matrix) (*tensor.Matrix, error) {
 // forwardAccFast accumulates the filter response with four im2col rows per
 // pass: one load/store of dst buys four multiply-adds. Grouping the four
 // products before the add reassociates the sum — non-bitwise, fast mode
-// only.
-func forwardAccFast(dst, w []float64, cols *tensor.Matrix) {
+// only. base is the sample's first row in the stacked columns matrix.
+func forwardAccFast(dst, w []float64, cols *tensor.Matrix, base int) {
 	r := 0
 	for ; r+4 <= len(w); r += 4 {
 		w0, w1, w2, w3 := w[r], w[r+1], w[r+2], w[r+3]
-		s0, s1, s2, s3 := cols.Row(r), cols.Row(r+1), cols.Row(r+2), cols.Row(r+3)
+		s0, s1, s2, s3 := cols.Row(base+r), cols.Row(base+r+1), cols.Row(base+r+2), cols.Row(base+r+3)
 		for p := range dst {
 			dst[p] += ((w0*s0[p] + w1*s1[p]) + w2*s2[p]) + w3*s3[p]
 		}
@@ -169,7 +190,7 @@ func forwardAccFast(dst, w []float64, cols *tensor.Matrix) {
 		if wv == 0 {
 			continue
 		}
-		src := cols.Row(r)
+		src := cols.Row(base + r)
 		for p, sv := range src {
 			dst[p] += wv * sv
 		}
@@ -178,7 +199,12 @@ func forwardAccFast(dst, w []float64, cols *tensor.Matrix) {
 
 // Backward accumulates filter/bias gradients and returns the input gradient.
 func (c *Conv2D) Backward(grad *tensor.Matrix) (*tensor.Matrix, error) {
-	return c.backward(grad, nil, func(int) (w, b []float64) { return c.weight.Grad, c.bias.Grad })
+	return c.backwardWs(nil, 0, grad)
+}
+
+// backwardWs is Backward with optional workspace buffers.
+func (c *Conv2D) backwardWs(ws *Workspace, id int, grad *tensor.Matrix) (*tensor.Matrix, error) {
+	return c.backward(ws, id, grad, nil, func(int) (w, b []float64) { return c.weight.Grad, c.bias.Grad })
 }
 
 // backwardSegmented implements segmentedLayer: one backward pass over the
@@ -186,14 +212,14 @@ func (c *Conv2D) Backward(grad *tensor.Matrix) (*tensor.Matrix, error) {
 // buffers of the row segment it belongs to. Samples are visited in
 // ascending order, so segment s's buffers are byte-identical to a
 // standalone Backward over rows [bounds[s], bounds[s+1]).
-func (c *Conv2D) backwardSegmented(grad *tensor.Matrix, bounds []int, segGrads [][][]float64) (*tensor.Matrix, error) {
-	return c.backward(grad, bounds, func(s int) (w, b []float64) { return segGrads[s][0], segGrads[s][1] })
+func (c *Conv2D) backwardSegmented(ws *Workspace, id int, grad *tensor.Matrix, bounds []int, segGrads [][][]float64) (*tensor.Matrix, error) {
+	return c.backward(ws, id, grad, bounds, func(s int) (w, b []float64) { return segGrads[s][0], segGrads[s][1] })
 }
 
 // backward is the shared gradient computation. sink maps a segment index
 // to the filter and bias gradient buffers; bounds is nil for the
 // unsegmented path (one segment spanning the batch).
-func (c *Conv2D) backward(grad *tensor.Matrix, bounds []int, sink func(s int) (w, b []float64)) (*tensor.Matrix, error) {
+func (c *Conv2D) backward(ws *Workspace, id int, grad *tensor.Matrix, bounds []int, sink func(s int) (w, b []float64)) (*tensor.Matrix, error) {
 	if c.lastInput == nil {
 		return nil, fmt.Errorf("nn: Conv2D.Backward before Forward")
 	}
@@ -201,10 +227,13 @@ func (c *Conv2D) backward(grad *tensor.Matrix, bounds []int, sink func(s int) (w
 		return nil, fmt.Errorf("%w: Conv2D.Backward got (%d,%d), want (%d,%d)",
 			ErrShape, grad.Rows, grad.Cols, c.lastInput.Rows, c.OutputSize())
 	}
-	dx := tensor.NewMatrix(c.lastInput.Rows, c.lastInput.Cols)
+	// dX is accumulated into by col2im: zeroed checkout required.
+	dx := ws.matrixZeroed(id, wsDX, c.lastInput.Rows, c.lastInput.Cols)
 	spatial := c.OutH * c.OutW
 	colRows := c.InC * c.K * c.K
-	dcols := tensor.NewMatrix(colRows, spatial)
+	// dcols is zeroed per sample inside the loop, so a stale checkout is
+	// fine.
+	dcols := ws.matrix(id, wsDCols, colRows, spatial)
 	seg := 0
 	gw, bg := sink(0)
 	for n := 0; n < grad.Rows; n++ {
@@ -214,7 +243,7 @@ func (c *Conv2D) backward(grad *tensor.Matrix, bounds []int, sink func(s int) (w
 				gw, bg = sink(seg)
 			}
 		}
-		cols := c.lastCols[n]
+		base := n * colRows
 		gRow := grad.Row(n)
 		for i := range dcols.Data {
 			dcols.Data[i] = 0
@@ -226,7 +255,7 @@ func (c *Conv2D) backward(grad *tensor.Matrix, bounds []int, sink func(s int) (w
 			w := c.weight.W[oc*colRows : (oc+1)*colRows]
 			gwoc := gw[oc*colRows : (oc+1)*colRows]
 			for r := 0; r < colRows; r++ {
-				src := cols.Row(r)
+				src := c.lastCols.Row(base + r)
 				drow := dcols.Row(r)
 				wv := w[r]
 				if c.fast {
@@ -274,11 +303,14 @@ type MaxPool2D struct {
 
 	OutH, OutW int
 
-	lastArgmax [][]int // per sample: argmax input index per output cell
+	// lastArgmax holds every sample's argmax input index per output cell in
+	// one flat buffer: sample n's indices start at n*OutputSize().
+	lastArgmax []int
 	inRows     int
 }
 
 var _ Layer = (*MaxPool2D)(nil)
+var _ arenaLayer = (*MaxPool2D)(nil)
 
 // NewMaxPool2D builds a pooling layer. H and W must be divisible by size.
 func NewMaxPool2D(c, h, w, size int) (*MaxPool2D, error) {
@@ -293,22 +325,24 @@ func (p *MaxPool2D) OutputSize() int { return p.C * p.OutH * p.OutW }
 
 // Forward takes the max over each pooling window.
 func (p *MaxPool2D) Forward(x *tensor.Matrix) (*tensor.Matrix, error) {
+	return p.forwardWs(nil, 0, x)
+}
+
+// forwardWs is Forward with optional workspace buffers (output and argmax
+// are fully overwritten).
+func (p *MaxPool2D) forwardWs(ws *Workspace, id int, x *tensor.Matrix) (*tensor.Matrix, error) {
 	if x.Cols != p.C*p.H*p.W {
 		return nil, fmt.Errorf("%w: MaxPool2D expects %d inputs, got %d", ErrShape, p.C*p.H*p.W, x.Cols)
 	}
 	p.inRows = x.Rows
-	p.lastArgmax = make([][]int, x.Rows)
-	// One backing array for every sample's argmax slice: len(batch) fewer
-	// allocations per pass.
-	backing := make([]int, x.Rows*p.OutputSize())
-	out := tensor.NewMatrix(x.Rows, p.OutputSize())
+	p.lastArgmax = ws.intSlice(id, wsArgmax, x.Rows*p.OutputSize())
+	out := ws.matrix(id, wsFwd, x.Rows, p.OutputSize())
 	for n := 0; n < x.Rows; n++ {
 		sample := x.Row(n)
 		oRow := out.Row(n)
-		argmax := backing[n*p.OutputSize() : (n+1)*p.OutputSize()]
+		argmax := p.lastArgmax[n*p.OutputSize() : (n+1)*p.OutputSize()]
 		if p.Size == 2 {
 			p.forward2x2(sample, oRow, argmax)
-			p.lastArgmax[n] = argmax
 			continue
 		}
 		for c := 0; c < p.C; c++ {
@@ -331,7 +365,6 @@ func (p *MaxPool2D) Forward(x *tensor.Matrix) (*tensor.Matrix, error) {
 				}
 			}
 		}
-		p.lastArgmax[n] = argmax
 	}
 	return out, nil
 }
@@ -374,6 +407,12 @@ func (p *MaxPool2D) forward2x2(sample, oRow []float64, argmax []int) {
 
 // Backward routes each output gradient to its argmax input position.
 func (p *MaxPool2D) Backward(grad *tensor.Matrix) (*tensor.Matrix, error) {
+	return p.backwardWs(nil, 0, grad)
+}
+
+// backwardWs is Backward with an optional workspace buffer (dX is an
+// accumulation target: zeroed checkout).
+func (p *MaxPool2D) backwardWs(ws *Workspace, id int, grad *tensor.Matrix) (*tensor.Matrix, error) {
 	if p.lastArgmax == nil {
 		return nil, fmt.Errorf("nn: MaxPool2D.Backward before Forward")
 	}
@@ -381,11 +420,12 @@ func (p *MaxPool2D) Backward(grad *tensor.Matrix) (*tensor.Matrix, error) {
 		return nil, fmt.Errorf("%w: MaxPool2D.Backward got (%d,%d), want (%d,%d)",
 			ErrShape, grad.Rows, grad.Cols, p.inRows, p.OutputSize())
 	}
-	dx := tensor.NewMatrix(p.inRows, p.C*p.H*p.W)
+	dx := ws.matrixZeroed(id, wsDX, p.inRows, p.C*p.H*p.W)
 	for n := 0; n < grad.Rows; n++ {
 		gRow := grad.Row(n)
 		dRow := dx.Row(n)
-		for outIdx, inIdx := range p.lastArgmax[n] {
+		argmax := p.lastArgmax[n*p.OutputSize() : (n+1)*p.OutputSize()]
+		for outIdx, inIdx := range argmax {
 			dRow[inIdx] += gRow[outIdx]
 		}
 	}

@@ -29,13 +29,28 @@ func SoftmaxCrossEntropy(logits *tensor.Matrix, labels []int) (loss float64, gra
 // on row i and its segment's size, so the result is byte-identical to
 // running the unsegmented function per segment.
 func SoftmaxCrossEntropySegmented(logits *tensor.Matrix, labels []int, bounds []int) (losses []float64, grad *tensor.Matrix, correct []int, err error) {
-	if logits.Rows != len(labels) {
-		return nil, nil, nil, fmt.Errorf("%w: %d logit rows vs %d labels", ErrShape, logits.Rows, len(labels))
-	}
-	if err := validateBounds(bounds, logits.Rows); err != nil {
+	grad = tensor.NewMatrix(logits.Rows, logits.Cols)
+	losses, correct, err = softmaxCrossEntropySegmentedInto(grad, logits, labels, bounds)
+	if err != nil {
 		return nil, nil, nil, err
 	}
-	grad = tensor.NewMatrix(logits.Rows, logits.Cols)
+	return losses, grad, correct, nil
+}
+
+// softmaxCrossEntropySegmentedInto is SoftmaxCrossEntropySegmented writing
+// the gradient into a caller-provided matrix. Every gradient row is fully
+// overwritten, so a stale workspace buffer yields byte-identical results.
+func softmaxCrossEntropySegmentedInto(grad, logits *tensor.Matrix, labels []int, bounds []int) (losses []float64, correct []int, err error) {
+	if logits.Rows != len(labels) {
+		return nil, nil, fmt.Errorf("%w: %d logit rows vs %d labels", ErrShape, logits.Rows, len(labels))
+	}
+	if grad.Rows != logits.Rows || grad.Cols != logits.Cols {
+		return nil, nil, fmt.Errorf("%w: loss grad buffer (%d,%d) vs logits (%d,%d)",
+			ErrShape, grad.Rows, grad.Cols, logits.Rows, logits.Cols)
+	}
+	if err := validateBounds(bounds, logits.Rows); err != nil {
+		return nil, nil, err
+	}
 	segs := len(bounds) - 1
 	losses = make([]float64, segs)
 	correct = make([]int, segs)
@@ -45,7 +60,7 @@ func SoftmaxCrossEntropySegmented(logits *tensor.Matrix, labels []int, bounds []
 			row := logits.Row(i)
 			y := labels[i]
 			if y < 0 || y >= logits.Cols {
-				return nil, nil, nil, fmt.Errorf("%w: label %d out of [0,%d)", ErrShape, y, logits.Cols)
+				return nil, nil, fmt.Errorf("%w: label %d out of [0,%d)", ErrShape, y, logits.Cols)
 			}
 			// Numerically stable log-softmax.
 			maxv := row[0]
@@ -71,5 +86,5 @@ func SoftmaxCrossEntropySegmented(logits *tensor.Matrix, labels []int, bounds []
 			}
 		}
 	}
-	return losses, grad, correct, nil
+	return losses, correct, nil
 }

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+
+	"github.com/signguard/signguard/internal/tensor"
 )
 
 // TextRNN is a recurrent text classifier: an embedding table feeding a
@@ -13,6 +15,15 @@ import (
 // AG-News task, sized to be trainable in pure Go while producing gradients
 // with the same structure: sparse embedding rows plus dense recurrent and
 // output blocks.
+//
+// Training runs through one time-major batched kernel (lossAndGradKernel):
+// per step t, the active rows' embeddings are gathered into a stacked
+// matrix and the whole tile advances through H_t = tanh(bh + E_t·Wxhᵀ +
+// H_{t-1}·Whhᵀ) with the exact matmul kernels. LossAndGrad is that kernel
+// over a single segment and BatchedLossAndGrad de-interleaves per-segment
+// gradients from the same pass, so the batched path is byte-identical to
+// the per-client one by construction — every per-segment accumulation
+// touches only that segment's rows, in the same order either way.
 type TextRNN struct {
 	Vocab, Embed, Hidden, Classes int
 
@@ -27,6 +38,8 @@ type TextRNN struct {
 }
 
 var _ Classifier = (*TextRNN)(nil)
+var _ BatchClassifier = (*TextRNN)(nil)
+var _ WorkspaceBatchClassifier = (*TextRNN)(nil)
 
 // NewTextRNN builds a TextRNN with Xavier-uniform initialization.
 func NewTextRNN(rng *rand.Rand, vocab, embed, hidden, classes int) *TextRNN {
@@ -68,128 +81,220 @@ func (m *TextRNN) GradVector() []float64 { return flattenGrads(m.params) }
 // ZeroGrad clears the accumulated gradients.
 func (m *TextRNN) ZeroGrad() { zeroGrads(m.params) }
 
-// rnnTrace stores the per-step activations needed for backprop through time.
-type rnnTrace struct {
-	tokens []int
-	embeds [][]float64 // T x Embed
-	hs     [][]float64 // T x Hidden (post-tanh)
-	pooled []float64   // Hidden
-	logits []float64   // Classes
+// validateTokens checks every sequence is non-empty and in-vocab, and
+// returns the maximum sequence length.
+func (m *TextRNN) validateTokens(tokens [][]int) (int, error) {
+	tmax := 0
+	for r, seq := range tokens {
+		if len(seq) == 0 {
+			return 0, fmt.Errorf("nn: TextRNN received empty token sequence (row %d)", r)
+		}
+		for _, tok := range seq {
+			if tok < 0 || tok >= m.Vocab {
+				return 0, fmt.Errorf("%w: token %d out of vocab [0,%d)", ErrShape, tok, m.Vocab)
+			}
+		}
+		if len(seq) > tmax {
+			tmax = len(seq)
+		}
+	}
+	return tmax, nil
 }
 
-// forwardSample runs the RNN over one token sequence.
-func (m *TextRNN) forwardSample(tokens []int) (*rnnTrace, error) {
-	if len(tokens) == 0 {
-		return nil, errors.New("nn: TextRNN received empty token sequence")
-	}
-	tr := &rnnTrace{
-		tokens: tokens,
-		embeds: make([][]float64, len(tokens)),
-		hs:     make([][]float64, len(tokens)),
-		pooled: make([]float64, m.Hidden),
-		logits: make([]float64, m.Classes),
-	}
-	hPrev := make([]float64, m.Hidden)
-	for t, tok := range tokens {
-		if tok < 0 || tok >= m.Vocab {
-			return nil, fmt.Errorf("%w: token %d out of vocab [0,%d)", ErrShape, tok, m.Vocab)
-		}
-		e := m.emb.W[tok*m.Embed : (tok+1)*m.Embed]
-		tr.embeds[t] = e
-		h := make([]float64, m.Hidden)
-		for i := 0; i < m.Hidden; i++ {
-			a := m.bh.W[i]
-			wx := m.wxh.W[i*m.Embed : (i+1)*m.Embed]
-			for j, ev := range e {
-				a += wx[j] * ev
-			}
-			wh := m.whh.W[i*m.Hidden : (i+1)*m.Hidden]
-			for j, hv := range hPrev {
-				a += wh[j] * hv
-			}
-			h[i] = math.Tanh(a)
-		}
-		tr.hs[t] = h
-		hPrev = h
-		for i, hv := range h {
-			tr.pooled[i] += hv
-		}
-	}
-	invT := 1.0 / float64(len(tokens))
-	for i := range tr.pooled {
-		tr.pooled[i] *= invT
-	}
-	for c := 0; c < m.Classes; c++ {
-		w := m.wout.W[c*m.Hidden : (c+1)*m.Hidden]
-		s := m.bout.W[c]
-		for i, pv := range tr.pooled {
-			s += w[i] * pv
-		}
-		tr.logits[c] = s
-	}
-	return tr, nil
+// stepView is the (rows, cols) view over time step t of a time-major
+// (Tmax*rows, cols) buffer: step t occupies rows [t*rows, (t+1)*rows).
+func stepView(m *tensor.Matrix, t, rows int) tensor.Matrix {
+	return tensor.Matrix{Rows: rows, Cols: m.Cols, Data: m.Data[t*rows*m.Cols : (t+1)*rows*m.Cols]}
 }
 
-// backwardSample backpropagates dLogits through one sample's trace.
-func (m *TextRNN) backwardSample(tr *rnnTrace, dlogits []float64) {
-	T := len(tr.tokens)
-	dpooled := make([]float64, m.Hidden)
-	for c, g := range dlogits {
-		if g == 0 {
-			continue
-		}
-		m.bout.Grad[c] += g
-		w := m.wout.W[c*m.Hidden : (c+1)*m.Hidden]
-		gw := m.wout.Grad[c*m.Hidden : (c+1)*m.Hidden]
-		for i, pv := range tr.pooled {
-			gw[i] += g * pv
-			dpooled[i] += g * w[i]
-		}
+// rnnSink indexes the per-segment gradient views in m.params order.
+const (
+	rnnEmb = iota
+	rnnWxh
+	rnnWhh
+	rnnBh
+	rnnWout
+	rnnBout
+)
+
+// lossAndGradKernel is the shared time-major forward/backward pass.
+// sinks[s] holds the six gradient buffers (m.params order) that segment
+// s's gradient terms accumulate into; every accumulation into sinks[s]
+// touches only rows [bounds[s], bounds[s+1]), in row-ascending order per
+// time step, so a segment's result depends only on its own rows — the
+// property that makes LossAndGrad (one segment) and BatchedLossAndGrad
+// (many) byte-identical on the same rows.
+//
+// Rows whose sequence has ended at step t ("inactive" rows) carry stale
+// values in the stacked embedding/hidden buffers; they contribute nothing
+// because (a) every forward read of row r stops at len(tokens[r]) and (b)
+// the backward delta matrix keeps inactive rows at exactly 0, which the
+// kernels' zero-skip treats as absent terms.
+func (m *TextRNN) lossAndGradKernel(ws *Workspace, tokens [][]int, labels []int, bounds []int, sinks [][][]float64) ([]float64, []int, error) {
+	rows := len(tokens)
+	tmax, err := m.validateTokens(tokens)
+	if err != nil {
+		return nil, nil, err
 	}
-	invT := 1.0 / float64(T)
-	dh := make([]float64, m.Hidden) // gradient flowing into h_t from the future
-	da := make([]float64, m.Hidden)
-	for t := T - 1; t >= 0; t-- {
-		h := tr.hs[t]
-		for i := range dh {
-			dh[i] += dpooled[i] * invT
-			da[i] = dh[i] * (1 - h[i]*h[i])
-		}
-		var hPrev []float64
-		if t > 0 {
-			hPrev = tr.hs[t-1]
-		}
-		e := tr.embeds[t]
-		tok := tr.tokens[t]
-		dEmb := m.emb.Grad[tok*m.Embed : (tok+1)*m.Embed]
-		// Reset dh for the next (earlier) step; accumulate Whhᵀ·da into it.
-		for i := range dh {
-			dh[i] = 0
-		}
-		for i, g := range da {
-			if g == 0 {
+	wxhM := &tensor.Matrix{Rows: m.Hidden, Cols: m.Embed, Data: m.wxh.W}
+	whhM := &tensor.Matrix{Rows: m.Hidden, Cols: m.Hidden, Data: m.whh.W}
+	woutM := &tensor.Matrix{Rows: m.Classes, Cols: m.Hidden, Data: m.wout.W}
+
+	embs := ws.matrix(wsHead, wsEmbeds, tmax*rows, m.Embed)
+	hs := ws.matrix(wsHead, wsHidden, tmax*rows, m.Hidden)
+	pooled := ws.matrixZeroed(wsHead, wsPooled, rows, m.Hidden)
+	logits := ws.matrix(wsHead, wsLogits, rows, m.Classes)
+
+	// Forward: per step, gather active embeddings and advance the whole
+	// tile through one stacked matmul pair. Inactive rows compute garbage
+	// (stale embeddings) that no active output ever reads — every kernel
+	// here is row-independent.
+	for t := 0; t < tmax; t++ {
+		eT := stepView(embs, t, rows)
+		hT := stepView(hs, t, rows)
+		for r, seq := range tokens {
+			if t >= len(seq) {
 				continue
 			}
-			m.bh.Grad[i] += g
-			wx := m.wxh.W[i*m.Embed : (i+1)*m.Embed]
-			gwx := m.wxh.Grad[i*m.Embed : (i+1)*m.Embed]
-			for j, ev := range e {
-				gwx[j] += g * ev
-				dEmb[j] += g * wx[j]
+			copy(eT.Row(r), m.emb.W[seq[t]*m.Embed:(seq[t]+1)*m.Embed])
+		}
+		for r := 0; r < rows; r++ {
+			copy(hT.Row(r), m.bh.W)
+		}
+		if err := tensor.MulABTInto(&hT, &eT, wxhM); err != nil {
+			return nil, nil, err
+		}
+		if t > 0 {
+			hPrev := stepView(hs, t-1, rows)
+			if err := tensor.MulABTInto(&hT, &hPrev, whhM); err != nil {
+				return nil, nil, err
 			}
-			if hPrev != nil {
-				wh := m.whh.W[i*m.Hidden : (i+1)*m.Hidden]
-				gwh := m.whh.Grad[i*m.Hidden : (i+1)*m.Hidden]
-				for j, hv := range hPrev {
-					gwh[j] += g * hv
-					dh[j] += g * wh[j]
+		}
+		for i, v := range hT.Data {
+			hT.Data[i] = math.Tanh(v)
+		}
+		for r, seq := range tokens {
+			if t >= len(seq) {
+				continue
+			}
+			pr := pooled.Row(r)
+			for i, hv := range hT.Row(r) {
+				pr[i] += hv
+			}
+		}
+	}
+	for r, seq := range tokens {
+		invT := 1.0 / float64(len(seq))
+		pr := pooled.Row(r)
+		for i := range pr {
+			pr[i] *= invT
+		}
+	}
+	for r := 0; r < rows; r++ {
+		copy(logits.Row(r), m.bout.W)
+	}
+	if err := tensor.MulABTInto(logits, pooled, woutM); err != nil {
+		return nil, nil, err
+	}
+
+	lossGrad := ws.matrix(wsHead, wsLossGrad, rows, m.Classes)
+	losses, correct, err := softmaxCrossEntropySegmentedInto(lossGrad, logits, labels, bounds)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Backward. Output head first: per segment, bias then weight — each
+	// restricted to the segment's rows.
+	segs := len(bounds) - 1
+	for s := 0; s < segs; s++ {
+		lo, hi := bounds[s], bounds[s+1]
+		accumBias(lossGrad, sinks[s][rnnBout], lo, hi)
+		gm := tensor.Matrix{Rows: m.Classes, Cols: m.Hidden, Data: sinks[s][rnnWout]}
+		if err := tensor.MulATBRangeInto(&gm, lossGrad, pooled, lo, hi); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	// dPooled = G·Wout, then scaled once per row by 1/T_r: the product is
+	// the constant per-step addend of the recurrent carry.
+	dpooled := ws.matrixZeroed(wsHead, wsDPooled, rows, m.Hidden)
+	if err := tensor.MatMulInto(dpooled, lossGrad, woutM); err != nil {
+		return nil, nil, err
+	}
+	for r, seq := range tokens {
+		invT := 1.0 / float64(len(seq))
+		pr := dpooled.Row(r)
+		for i := range pr {
+			pr[i] *= invT
+		}
+	}
+
+	// dh carries the gradient flowing into h_t from the future; da is the
+	// pre-tanh delta. Both start (and inactive rows stay) at exactly 0, so
+	// the zero-skip kernels see inactive rows as absent.
+	dh := ws.matrixZeroed(wsHead, wsDH, rows, m.Hidden)
+	da := ws.matrixZeroed(wsHead, wsDA, rows, m.Hidden)
+	for t := tmax - 1; t >= 0; t-- {
+		hT := stepView(hs, t, rows)
+		eT := stepView(embs, t, rows)
+		for r, seq := range tokens {
+			if t >= len(seq) {
+				continue
+			}
+			dhr, dar, dpr, hr := dh.Row(r), da.Row(r), dpooled.Row(r), hT.Row(r)
+			for i := range dhr {
+				dhr[i] += dpr[i]
+				hv := hr[i]
+				dar[i] = dhr[i] * (1 - hv*hv)
+				dhr[i] = 0
+			}
+		}
+		for s := 0; s < segs; s++ {
+			lo, hi := bounds[s], bounds[s+1]
+			accumBias(da, sinks[s][rnnBh], lo, hi)
+			gwx := tensor.Matrix{Rows: m.Hidden, Cols: m.Embed, Data: sinks[s][rnnWxh]}
+			if err := tensor.MulATBRangeInto(&gwx, da, &eT, lo, hi); err != nil {
+				return nil, nil, err
+			}
+			embG := sinks[s][rnnEmb]
+			for r := lo; r < hi; r++ {
+				if t >= len(tokens[r]) {
+					continue
+				}
+				dEmb := embG[tokens[r][t]*m.Embed : (tokens[r][t]+1)*m.Embed]
+				for i, g := range da.Row(r) {
+					if g == 0 {
+						continue
+					}
+					wx := m.wxh.W[i*m.Embed : (i+1)*m.Embed]
+					for j, wv := range wx {
+						dEmb[j] += g * wv
+					}
+				}
+			}
+			if t > 0 {
+				hPrev := stepView(hs, t-1, rows)
+				gwh := tensor.Matrix{Rows: m.Hidden, Cols: m.Hidden, Data: sinks[s][rnnWhh]}
+				if err := tensor.MulATBRangeInto(&gwh, da, &hPrev, lo, hi); err != nil {
+					return nil, nil, err
 				}
 			}
 		}
+		if t > 0 {
+			// Carry Whhᵀ·da into the previous step; inactive rows have
+			// da = 0 and are skipped.
+			if err := tensor.MatMulInto(dh, da, whhM); err != nil {
+				return nil, nil, err
+			}
+		}
 	}
+	return losses, correct, nil
 }
 
-// LossAndGrad runs forward + backward-through-time over the batch.
+// LossAndGrad runs forward + backward-through-time over the batch,
+// accumulating gradients into the model parameters. It is the batched
+// kernel over a single segment, so per-client results agree bitwise with
+// the batched engine's per-segment de-interleaving.
 func (m *TextRNN) LossAndGrad(in Input, labels []int) (float64, int, error) {
 	if in.Tokens == nil {
 		return 0, 0, errors.New("nn: TextRNN requires token input")
@@ -200,42 +305,49 @@ func (m *TextRNN) LossAndGrad(in Input, labels []int) (float64, int, error) {
 	if len(labels) == 0 {
 		return 0, 0, errors.New("nn: TextRNN on empty batch")
 	}
-	var loss float64
-	var correct int
-	invN := 1.0 / float64(len(labels))
-	for s, tokens := range in.Tokens {
-		tr, err := m.forwardSample(tokens)
-		if err != nil {
-			return 0, 0, err
-		}
-		y := labels[s]
-		if y < 0 || y >= m.Classes {
-			return 0, 0, fmt.Errorf("%w: label %d out of [0,%d)", ErrShape, y, m.Classes)
-		}
-		// Stable log-softmax on the single logit row.
-		maxv := tr.logits[0]
-		for _, v := range tr.logits[1:] {
-			if v > maxv {
-				maxv = v
-			}
-		}
-		var sum float64
-		for _, v := range tr.logits {
-			sum += math.Exp(v - maxv)
-		}
-		logZ := maxv + math.Log(sum)
-		loss += (logZ - tr.logits[y]) * invN
-		if Argmax(tr.logits) == y {
-			correct++
-		}
-		dlogits := make([]float64, m.Classes)
-		for c, v := range tr.logits {
-			dlogits[c] = math.Exp(v-logZ) * invN
-		}
-		dlogits[y] -= invN
-		m.backwardSample(tr, dlogits)
+	sinks := [][][]float64{{m.emb.Grad, m.wxh.Grad, m.whh.Grad, m.bh.Grad, m.wout.Grad, m.bout.Grad}}
+	losses, correct, err := m.lossAndGradKernel(nil, in.Tokens, labels, []int{0, len(labels)}, sinks)
+	if err != nil {
+		return 0, 0, err
 	}
-	return loss, correct, nil
+	return losses[0], correct[0], nil
+}
+
+// BatchedLossAndGrad implements BatchClassifier for the text model: one
+// time-major pass over the stacked tile with per-segment gradient
+// de-interleaving. It does not touch the model's own accumulated
+// gradients.
+func (m *TextRNN) BatchedLossAndGrad(in Input, labels []int, bounds []int) ([]SegmentGrad, error) {
+	return m.BatchedLossAndGradWs(nil, in, labels, bounds)
+}
+
+// BatchedLossAndGradWs is BatchedLossAndGrad through a per-worker
+// Workspace arena (see FeedForward.BatchedLossAndGradWs for the contract:
+// scratch is arena-backed, the returned gradients are fresh).
+func (m *TextRNN) BatchedLossAndGradWs(ws *Workspace, in Input, labels []int, bounds []int) ([]SegmentGrad, error) {
+	if in.Tokens == nil {
+		return nil, errors.New("nn: TextRNN requires token input")
+	}
+	if len(in.Tokens) != len(labels) {
+		return nil, fmt.Errorf("%w: %d sequences vs %d labels", ErrShape, len(in.Tokens), len(labels))
+	}
+	if err := validateBounds(bounds, len(in.Tokens)); err != nil {
+		return nil, err
+	}
+	segs := len(bounds) - 1
+	total := m.NumParams()
+	flat := make([]float64, segs*total)
+	scaffold := ws.gradScaffold(1)
+	sinks := segGradViews(scaffold, 0, flat, total, segs, 0, m.params)
+	losses, correct, err := m.lossAndGradKernel(ws, in.Tokens, labels, bounds, sinks)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]SegmentGrad, segs)
+	for s := range out {
+		out[s] = SegmentGrad{Loss: losses[s], Correct: correct[s], Grad: flat[s*total : (s+1)*total : (s+1)*total]}
+	}
+	return out, nil
 }
 
 // Predict returns the argmax class for each token sequence.
@@ -244,12 +356,57 @@ func (m *TextRNN) Predict(in Input) ([]int, error) {
 		return nil, errors.New("nn: TextRNN requires token input")
 	}
 	out := make([]int, len(in.Tokens))
-	for s, tokens := range in.Tokens {
-		tr, err := m.forwardSample(tokens)
-		if err != nil {
-			return nil, err
+	h := make([]float64, m.Hidden)
+	hPrev := make([]float64, m.Hidden)
+	pooled := make([]float64, m.Hidden)
+	logits := make([]float64, m.Classes)
+	for s, seq := range in.Tokens {
+		if len(seq) == 0 {
+			return nil, errors.New("nn: TextRNN received empty token sequence")
 		}
-		out[s] = Argmax(tr.logits)
+		for i := range hPrev {
+			hPrev[i] = 0
+		}
+		for i := range pooled {
+			pooled[i] = 0
+		}
+		for t, tok := range seq {
+			if tok < 0 || tok >= m.Vocab {
+				return nil, fmt.Errorf("%w: token %d out of vocab [0,%d)", ErrShape, tok, m.Vocab)
+			}
+			e := m.emb.W[tok*m.Embed : (tok+1)*m.Embed]
+			for i := 0; i < m.Hidden; i++ {
+				a := m.bh.W[i]
+				wx := m.wxh.W[i*m.Embed : (i+1)*m.Embed]
+				for j, ev := range e {
+					a += wx[j] * ev
+				}
+				if t > 0 {
+					wh := m.whh.W[i*m.Hidden : (i+1)*m.Hidden]
+					for j, hv := range hPrev {
+						a += wh[j] * hv
+					}
+				}
+				h[i] = math.Tanh(a)
+			}
+			copy(hPrev, h)
+			for i, hv := range h {
+				pooled[i] += hv
+			}
+		}
+		invT := 1.0 / float64(len(seq))
+		for i := range pooled {
+			pooled[i] *= invT
+		}
+		for c := 0; c < m.Classes; c++ {
+			w := m.wout.W[c*m.Hidden : (c+1)*m.Hidden]
+			sum := m.bout.W[c]
+			for i, pv := range pooled {
+				sum += w[i] * pv
+			}
+			logits[c] = sum
+		}
+		out[s] = Argmax(logits)
 	}
 	return out, nil
 }

@@ -43,9 +43,19 @@ func (ff *FeedForward) ZeroGrad() { zeroGrads(ff.params) }
 
 // forward runs the stack on a dense batch.
 func (ff *FeedForward) forward(x *tensor.Matrix) (*tensor.Matrix, error) {
+	return ff.forwardWs(nil, x)
+}
+
+// forwardWs runs the stack with layer scratch buffers checked out of the
+// workspace (each layer's index namespaces its arena keys).
+func (ff *FeedForward) forwardWs(ws *Workspace, x *tensor.Matrix) (*tensor.Matrix, error) {
 	var err error
 	for i, l := range ff.layers {
-		x, err = l.Forward(x)
+		if al, ok := l.(arenaLayer); ok {
+			x, err = al.forwardWs(ws, i, x)
+		} else {
+			x, err = l.Forward(x)
+		}
 		if err != nil {
 			return nil, fmt.Errorf("layer %d: %w", i, err)
 		}
