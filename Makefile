@@ -6,7 +6,11 @@ GO ?= go
 # the BENCH_PR.json artifact).
 BENCHFLAGS ?=
 
-.PHONY: all build test race bench bench-gate bench-baseline profile profile-top cover fmt-check doc-check vet dist
+.PHONY: all build test race bench bench-gate bench-baseline profile profile-top cover fmt-check doc-check vet dist fuzz
+
+# Fuzz budget per target for `make fuzz` (CI passes FUZZTIME=10s; raise it
+# locally for deeper runs, e.g. make fuzz FUZZTIME=2m).
+FUZZTIME ?= 10s
 
 all: fmt-check doc-check build test
 
@@ -108,3 +112,13 @@ vet:
 # target already runs one) would miss; this is the CI dist job.
 dist:
 	$(GO) test -race -count 3 -timeout 10m ./internal/campaign/...
+
+# Short-fuzz sweep over every fuzz target (go's fuzzer takes exactly one
+# -fuzz pattern per invocation, hence one line per target). Each run replays
+# the checked-in corpus first, so regressions caught by fuzzing stay caught;
+# the CI fuzz job runs this with the default 10s budget per target.
+fuzz:
+	$(GO) test -run '^$$' -fuzz '^FuzzDecode$$' -fuzztime $(FUZZTIME) ./internal/codec
+	$(GO) test -run '^$$' -fuzz '^FuzzDefenseAggregate$$' -fuzztime $(FUZZTIME) ./internal/defense
+	$(GO) test -run '^$$' -fuzz '^FuzzKMeansCluster$$' -fuzztime $(FUZZTIME) ./internal/cluster
+	$(GO) test -run '^$$' -fuzz '^FuzzMeanShiftCluster$$' -fuzztime $(FUZZTIME) ./internal/cluster

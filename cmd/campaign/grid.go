@@ -9,6 +9,7 @@ import (
 	"github.com/signguard/signguard/internal/campaign"
 	"github.com/signguard/signguard/internal/cliutil"
 	"github.com/signguard/signguard/internal/experiments"
+	"github.com/signguard/signguard/internal/sanitize"
 )
 
 // gridFlags are the flags shared by run/serve/status/export: they select,
@@ -23,6 +24,7 @@ type gridFlags struct {
 	cacheDir   string
 	codec      string
 	codecHyper string
+	nonFinite  string
 }
 
 func (g *gridFlags) register(fs *flag.FlagSet) {
@@ -34,6 +36,7 @@ func (g *gridFlags) register(fs *flag.FlagSet) {
 	fs.StringVar(&g.cacheDir, "cache-dir", ".campaign-cache", "cell result cache directory")
 	fs.StringVar(&g.codec, "codec", "", "gradient-compression codec stamped onto every cell (see 'campaign rules'; empty = cells' own codec axis)")
 	fs.StringVar(&g.codecHyper, "codec-hyper", "", "codec hyperparameters as key=value[,key=value], e.g. k=64 (requires -codec)")
+	fs.StringVar(&g.nonFinite, "nonfinite-policy", "", "non-finite ingest policy stamped onto every cell: "+strings.Join(sanitize.PolicyNames(), "|")+" (empty = legacy diverge-on-NaN)")
 }
 
 // parseSeeds parses the -seeds list ("1,2,3").
@@ -92,10 +95,16 @@ func (g *gridFlags) spec() (campaign.Spec, error) {
 	if g.codec == "" && hyper != nil {
 		return campaign.Spec{}, fmt.Errorf("-codec-hyper requires -codec")
 	}
-	// Codec is cell identity: stamped cells hash and cache separately from
-	// their uncompressed originals, so run/status/export all see the same
-	// grid for the same flags.
-	return campaign.ApplyCodec(spec, g.codec, hyper), nil
+	if g.nonFinite != "" {
+		if _, err := sanitize.ParsePolicy("-nonfinite-policy", g.nonFinite); err != nil {
+			return campaign.Spec{}, err
+		}
+	}
+	// Codec and non-finite policy are cell identity: stamped cells hash and
+	// cache separately from their originals, so run/status/export all see
+	// the same grid for the same flags.
+	spec = campaign.ApplyCodec(spec, g.codec, hyper)
+	return campaign.ApplyNonFinite(spec, g.nonFinite), nil
 }
 
 func (g *gridFlags) store() (*campaign.Store, error) {

@@ -53,6 +53,7 @@ import (
 	"github.com/signguard/signguard/internal/data"
 	"github.com/signguard/signguard/internal/fl"
 	"github.com/signguard/signguard/internal/nn"
+	"github.com/signguard/signguard/internal/sanitize"
 	"github.com/signguard/signguard/internal/tensor"
 	"github.com/signguard/signguard/internal/transport"
 )
@@ -68,11 +69,12 @@ func main() {
 		seed    = flag.Int64("seed", 1, "shared dataset/model seed (must match clients)")
 		timeout = flag.Duration("round-timeout", 30*time.Second, "per-round network timeout (sync mode)")
 
-		async    = flag.Bool("async", false, "serve the buffered asynchronous HTTP protocol instead of synchronous rounds")
-		buffer   = flag.Int("buffer", 8, "async: aggregate every K accepted arrivals")
-		alpha    = flag.Float64("alpha", 0.5, "async: staleness-discount exponent of w(s)=1/(1+s)^alpha")
-		queueCap = flag.Int("queue-cap", asyncfl.DefaultQueueCap, "async: per-client update queue bound (drop-oldest beyond)")
-		ttl      = flag.Duration("session-ttl", asyncfl.DefaultSessionTTL, "async: client liveness lease lifetime")
+		async     = flag.Bool("async", false, "serve the buffered asynchronous HTTP protocol instead of synchronous rounds")
+		buffer    = flag.Int("buffer", 8, "async: aggregate every K accepted arrivals")
+		alpha     = flag.Float64("alpha", 0.5, "async: staleness-discount exponent of w(s)=1/(1+s)^alpha")
+		queueCap  = flag.Int("queue-cap", asyncfl.DefaultQueueCap, "async: per-client update queue bound (drop-oldest beyond)")
+		ttl       = flag.Duration("session-ttl", asyncfl.DefaultSessionTTL, "async: client liveness lease lifetime")
+		nonFinite = flag.String("nonfinite-policy", sanitize.Reject.String(), "async/loadtest: disposition for updates carrying NaN/±Inf: "+strings.Join(sanitize.PolicyNames(), "|"))
 
 		loadRun     = flag.Bool("loadtest", false, "run the async load harness in-process and exit")
 		loadClients = flag.Int("load-clients", 10000, "loadtest: simulated client sessions")
@@ -81,6 +83,7 @@ func main() {
 		loadDim     = flag.Int("load-dim", 64, "loadtest: synthetic model dimensionality")
 		loadByz     = flag.Float64("load-byz", 0, "loadtest: Byzantine client fraction")
 		loadChurn   = flag.Float64("load-churn", 0, "loadtest: churned client fraction")
+		loadHostile = flag.Float64("load-nonfinite", 0, "loadtest: fraction of clients shipping non-finite (NaN-injection) payloads")
 		loadRule    = flag.String("load-rule", "", "loadtest: defense in front of the buffer (empty = none)")
 
 		codecStr = flag.String("codec", "", "async: comma-separated accepted codec list advertised to clients (empty = all built-ins); loadtest: compress simulated client submissions with this codec")
@@ -97,18 +100,24 @@ func main() {
 	if err := cliutil.Fraction("-load-churn", *loadChurn); err != nil {
 		log.Fatalf("flserver: %v", err)
 	}
+	if err := cliutil.Fraction("-load-nonfinite", *loadHostile); err != nil {
+		log.Fatalf("flserver: %v", err)
+	}
+	policy, err := sanitize.ParsePolicy("-nonfinite-policy", *nonFinite)
+	if err != nil {
+		log.Fatalf("flserver: %v", err)
+	}
 
-	var err error
 	switch {
 	case *loadRun:
 		var wire codec.Codec
 		if wire, err = buildLoadCodec(*codecStr, *hyperStr); err == nil {
-			err = runLoadtest(*loadRule, *loadClients, *loadUpdates, *loadConc, *loadDim, *buffer, *alpha, *loadByz, *loadChurn, *seed, wire)
+			err = runLoadtest(*loadRule, *loadClients, *loadUpdates, *loadConc, *loadDim, *buffer, *alpha, *loadByz, *loadChurn, *loadHostile, *seed, wire, policy)
 		}
 	case *async:
 		var accepted []string
 		if accepted, err = parseAccepted(*codecStr, *hyperStr); err == nil {
-			err = runAsync(*addr, *ruleStr, *buffer, *rounds, *byz, *queueCap, *lr, *alpha, *seed, *ttl, accepted)
+			err = runAsync(*addr, *ruleStr, *buffer, *rounds, *byz, *queueCap, *lr, *alpha, *seed, *ttl, accepted, policy)
 		}
 	default:
 		if *codecStr != "" || *hyperStr != "" {
@@ -273,8 +282,8 @@ func run(addr, ruleStr string, clients, rounds, byz int, lr float64, seed int64,
 // runAsync serves the buffered asynchronous protocol until the target
 // number of aggregation steps completes, then evaluates the global model.
 // accepted is the codec accept-list advertised to clients (nil = every
-// built-in codec).
-func runAsync(addr, ruleStr string, buffer, steps, byz, queueCap int, lr, alpha float64, seed int64, ttl time.Duration, accepted []string) error {
+// built-in codec); policy is the non-finite ingest disposition.
+func runAsync(addr, ruleStr string, buffer, steps, byz, queueCap int, lr, alpha float64, seed int64, ttl time.Duration, accepted []string, policy sanitize.Policy) error {
 	rule, err := buildRule(ruleStr, buffer, byz, seed)
 	if err != nil {
 		return err
@@ -297,6 +306,7 @@ func runAsync(addr, ruleStr string, buffer, steps, byz, queueCap int, lr, alpha 
 		Momentum:      0.9,
 		WeightDecay:   5e-4,
 		QueueCap:      queueCap,
+		NonFinite:     policy,
 		TargetSteps:   int64(steps),
 		SessionTTL:    ttl,
 		Logf:          log.Printf,
@@ -335,8 +345,9 @@ func runAsync(addr, ruleStr string, buffer, steps, byz, queueCap int, lr, alpha 
 	}
 
 	st := agg.Stats()
-	log.Printf("flserver: async run complete: %d steps, %d arrivals, %d drops, %d rejects, mean buffer occupancy %.1f",
-		st.Steps, st.Arrivals, st.Drops, st.Rejects, st.MeanOccupancy)
+	log.Printf("flserver: async run complete: %d steps, %d arrivals, %d drops, %d rejects (%d non-finite), mean buffer occupancy %.1f",
+		st.Steps, st.Arrivals, st.Drops, st.Rejects,
+		st.NonFiniteRejects+st.NonFiniteClamps+st.NonFiniteQuarantines, st.MeanOccupancy)
 	_, params, _ := agg.Model()
 	if err := model.SetParamVector(params); err != nil {
 		return err
@@ -350,7 +361,7 @@ func runAsync(addr, ruleStr string, buffer, steps, byz, queueCap int, lr, alpha 
 }
 
 // runLoadtest drives the in-process load harness and prints its report.
-func runLoadtest(ruleStr string, clients, updates, concurrency, dim, buffer int, alpha, byzFrac, churnFrac float64, seed int64, wire codec.Codec) error {
+func runLoadtest(ruleStr string, clients, updates, concurrency, dim, buffer int, alpha, byzFrac, churnFrac, hostileFrac float64, seed int64, wire codec.Codec, policy sanitize.Policy) error {
 	var rule aggregate.Rule
 	if ruleStr != "" {
 		var err error
@@ -359,18 +370,20 @@ func runLoadtest(ruleStr string, clients, updates, concurrency, dim, buffer int,
 		}
 	}
 	rep, err := loadtest.Run(loadtest.Config{
-		Clients:          clients,
-		UpdatesPerClient: updates,
-		Concurrency:      concurrency,
-		Dim:              dim,
-		K:                buffer,
-		Alpha:            alpha,
-		Rule:             rule,
-		ByzFraction:      byzFrac,
-		ChurnFraction:    churnFrac,
-		Codec:            wire,
-		Seed:             seed,
-		Logf:             log.Printf,
+		Clients:           clients,
+		UpdatesPerClient:  updates,
+		Concurrency:       concurrency,
+		Dim:               dim,
+		K:                 buffer,
+		Alpha:             alpha,
+		Rule:              rule,
+		ByzFraction:       byzFrac,
+		ChurnFraction:     churnFrac,
+		NonFiniteFraction: hostileFrac,
+		NonFinite:         policy,
+		Codec:             wire,
+		Seed:              seed,
+		Logf:              log.Printf,
 	})
 	if err != nil {
 		return err

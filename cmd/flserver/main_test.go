@@ -1,9 +1,12 @@
 package main
 
 import (
+	"math"
 	"strings"
 	"testing"
 	"time"
+
+	"github.com/signguard/signguard/internal/sanitize"
 )
 
 func TestValidateFlags(t *testing.T) {
@@ -35,6 +38,8 @@ func TestValidateFlags(t *testing.T) {
 		{"negative timeout", 4, 100, 0.05, -time.Second, 8, 0.5, "-round-timeout"},
 		{"zero buffer", 4, 100, 0.05, time.Second, 0, 0.5, "-buffer"},
 		{"negative alpha", 4, 100, 0.05, time.Second, 8, -0.1, "-alpha"},
+		{"NaN lr", 4, 100, math.NaN(), time.Second, 8, 0.5, "-lr"},
+		{"NaN alpha", 4, 100, 0.05, time.Second, 8, math.NaN(), "-alpha"},
 	} {
 		err := validateFlags(tc.clients, tc.rounds, tc.lr, tc.timeout, tc.buffer, tc.alpha)
 		if err == nil {
@@ -42,6 +47,23 @@ func TestValidateFlags(t *testing.T) {
 		} else if !strings.Contains(err.Error(), tc.flag) {
 			t.Errorf("%s: error %q does not name %s", tc.name, err, tc.flag)
 		}
+	}
+}
+
+// The -nonfinite-policy flag follows the cliutil error contract: every
+// canonical spelling parses, anything else fails naming the flag.
+func TestNonFinitePolicyFlag(t *testing.T) {
+	for _, name := range sanitize.PolicyNames() {
+		if _, err := sanitize.ParsePolicy("-nonfinite-policy", name); err != nil {
+			t.Errorf("ParsePolicy(%q): %v", name, err)
+		}
+	}
+	_, err := sanitize.ParsePolicy("-nonfinite-policy", "ignore")
+	if err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+	if !strings.Contains(err.Error(), "-nonfinite-policy") {
+		t.Errorf("error %q does not name the flag", err)
 	}
 }
 

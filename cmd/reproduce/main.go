@@ -216,6 +216,13 @@ func run(exp, dataset, scaleName, format, outPath string, seed int64, workers in
 		}
 		return emit(t)
 	}
+	runHostile := func() error {
+		t, err := experiments.Hostile(engine, p)
+		if err != nil {
+			return err
+		}
+		return emit(t)
+	}
 
 	switch exp {
 	case "table1":
@@ -242,9 +249,11 @@ func run(exp, dataset, scaleName, format, outPath string, seed int64, workers in
 		return runBatched()
 	case "compression":
 		return runCompression()
+	case "hostile":
+		return runHostile()
 	case "all":
 		for _, f := range []func() error{runFig2, runTable1, runTable2, runFig4, runFig5, runFig6, runTable3,
-			runSubsample, runCoordFrac, runAdaptive, runBatched, runCompression} {
+			runSubsample, runCoordFrac, runAdaptive, runBatched, runCompression, runHostile} {
 			if err := f(); err != nil {
 				return err
 			}

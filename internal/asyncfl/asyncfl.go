@@ -38,6 +38,8 @@ import (
 
 	"github.com/signguard/signguard/internal/aggregate"
 	"github.com/signguard/signguard/internal/nn"
+	"github.com/signguard/signguard/internal/sanitize"
+	"github.com/signguard/signguard/internal/tensor"
 )
 
 // Defaults for Config fields left zero.
@@ -81,6 +83,11 @@ type Config struct {
 	// MaxStaleness, when > 0, rejects updates staler than this many
 	// versions outright instead of merging them at a tiny weight.
 	MaxStaleness int
+	// NonFinite is the ingest screen's disposition for updates carrying
+	// NaN or ±Inf coordinates (see internal/sanitize). The zero value
+	// defaults to sanitize.Reject: untrusted ingest never lets a
+	// non-finite value reach the buffer unscreened.
+	NonFinite sanitize.Policy
 	// TargetSteps, when > 0, marks the aggregator Done after that many
 	// aggregation steps; further submits are refused. 0 runs forever.
 	TargetSteps int64
@@ -121,6 +128,8 @@ func (c *Config) validate() error {
 		return fmt.Errorf("asyncfl: max staleness %d invalid", c.MaxStaleness)
 	case c.ReorderWindow < 0:
 		return fmt.Errorf("asyncfl: reorder window %d invalid", c.ReorderWindow)
+	case c.NonFinite != 0 && !c.NonFinite.Valid():
+		return fmt.Errorf("asyncfl: unknown non-finite policy %d", int(c.NonFinite))
 	}
 	return nil
 }
@@ -160,6 +169,10 @@ type SubmitResult struct {
 	Backpressure bool
 	// Stepped reports this arrival triggered an aggregation step.
 	Stepped bool
+	// NonFinite reports the update carried NaN or ±Inf coordinates. Under
+	// the Clamp policy it was repaired and accepted; under Reject or
+	// Quarantine it was withheld from the buffer.
+	NonFinite bool
 	// Staleness is the update's age in model versions at submit time.
 	Staleness int
 	// Version is the current model version after processing — when it
@@ -186,17 +199,22 @@ type StepSummary struct {
 
 // Stats snapshots the aggregator's counters.
 type Stats struct {
-	Version       int
-	Steps         int64
-	Arrivals      int64 // accepted updates
-	Buffered      int   // updates currently queued
-	Drops         int64 // evictions by drop-oldest
-	Rejects       int64 // refused updates (stale, future-versioned, done)
-	RuleErrors    int64 // steps skipped because the defense errored
-	EmptySelects  int64 // steps skipped because the defense kept nothing
-	AliveSessions int
-	Expired       int64 // sessions ever expired
-	PurgedUpdates int64 // queued updates discarded by session expiry
+	Version    int
+	Steps      int64
+	Arrivals   int64 // accepted updates
+	Buffered   int   // updates currently queued
+	Drops      int64 // evictions by drop-oldest
+	Rejects    int64 // refused updates (stale, future-versioned, done)
+	RuleErrors int64 // steps skipped because the defense errored
+	// Non-finite ingest accounting: how many updates the screen rejected,
+	// repaired in place, or quarantined (see Config.NonFinite).
+	NonFiniteRejects     int64
+	NonFiniteClamps      int64
+	NonFiniteQuarantines int64
+	EmptySelects         int64 // steps skipped because the defense kept nothing
+	AliveSessions        int
+	Expired              int64 // sessions ever expired
+	PurgedUpdates        int64 // queued updates discarded by session expiry
 	// MeanOccupancy is the buffer population averaged over accepted
 	// arrivals — how full the buffer runs in steady state.
 	MeanOccupancy float64
@@ -239,16 +257,19 @@ type Aggregator struct {
 	reorder    map[int64]*Update
 	reorderWin int64
 
-	steps        int64
-	ingestBytes  int64
-	drops        int64
-	rejects      int64
-	ruleErrors   int64
-	emptySelects int64
-	purged       int64
-	occSum       int64
-	occN         int64
-	history      []StepSummary
+	steps                int64
+	ingestBytes          int64
+	drops                int64
+	rejects              int64
+	ruleErrors           int64
+	emptySelects         int64
+	nonFiniteRejects     int64
+	nonFiniteClamps      int64
+	nonFiniteQuarantines int64
+	purged               int64
+	occSum               int64
+	occN                 int64
+	history              []StepSummary
 }
 
 // New builds an aggregator from cfg.
@@ -258,6 +279,9 @@ func New(cfg Config) (*Aggregator, error) {
 	}
 	if cfg.QueueCap == 0 {
 		cfg.QueueCap = DefaultQueueCap
+	}
+	if cfg.NonFinite == 0 {
+		cfg.NonFinite = sanitize.Reject
 	}
 	if cfg.ReorderWindow == 0 {
 		cfg.ReorderWindow = DefaultReorderWindow
@@ -343,6 +367,21 @@ func (a *Aggregator) Submit(u Update) (SubmitResult, error) {
 	return res, nil
 }
 
+// NoteNonFiniteReject accounts a hostile update refused before it ever
+// reached Submit: the transport calls it when a codec decode refuses a
+// payload that carries — or amplifies to — NaN/±Inf, so wire-level
+// non-finite traffic shows up in the same Stats counters as the buffer
+// screen's rejections. Like any other client message it renews the
+// session's liveness lease.
+func (a *Aggregator) NoteNonFiniteReject(client string) {
+	expired, _ := a.sessions.Touch(client)
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.purgeLocked(expired)
+	a.nonFiniteRejects++
+	a.rejects++
+}
+
 // Heartbeat renews a session lease without contributing an update (an idle
 // client staying live) and purges whatever expired meanwhile. It returns
 // the current model version and done state.
@@ -404,6 +443,31 @@ func (a *Aggregator) applyLocked(u Update) SubmitResult {
 		return res
 	}
 
+	// Ingest screen: copy first so the Clamp repair never mutates the
+	// caller's (or a parked deterministic-mode update's) slice, then screen
+	// the copy. Reject and Quarantine consume the arrival — in
+	// deterministic mode its schedule position has already drained — but
+	// nothing hostile enters the buffer.
+	g := make([]float64, len(u.Grad))
+	copy(g, u.Grad)
+	switch sanitize.Screen(g, a.cfg.NonFinite) {
+	case sanitize.Rejected:
+		a.nonFiniteRejects++
+		a.rejects++
+		res.NonFinite = true
+		return res
+	case sanitize.Quarantined:
+		// Accepted for accounting (the operator sees who ships garbage via
+		// the counter and ingest bytes) but withheld from aggregation.
+		a.nonFiniteQuarantines++
+		a.ingestBytes += int64(wireBytes(u))
+		res.NonFinite = true
+		return res
+	case sanitize.Clamped:
+		a.nonFiniteClamps++
+		res.NonFinite = true
+	}
+
 	q := a.queues[u.Client]
 	if len(q) >= a.queueCap {
 		// Drop-oldest: the evicted update already counted as an arrival,
@@ -415,17 +479,11 @@ func (a *Aggregator) applyLocked(u Update) SubmitResult {
 		a.drops++
 		res.Dropped = true
 	}
-	g := make([]float64, len(u.Grad))
-	copy(g, u.Grad)
 	q = append(q, entry{client: u.Client, version: u.Version, seq: a.arrival, grad: g})
 	a.arrival++
 	a.queues[u.Client] = q
 	a.buffered++
-	wb := u.WireBytes
-	if wb == 0 {
-		wb = 8 * len(u.Grad)
-	}
-	a.ingestBytes += int64(wb)
+	a.ingestBytes += int64(wireBytes(u))
 	res.Accepted = true
 	res.Backpressure = len(q) >= a.queueCap
 
@@ -515,6 +573,15 @@ func (a *Aggregator) stepLocked() {
 			return
 		}
 	}
+	if !tensor.AllFinite(merged) {
+		// Defense-in-depth behind the ingest screen: a clamped-but-huge
+		// buffer can still overflow the staleness-weighted merge, and a
+		// caller-supplied rule is not necessarily output-guarded. A
+		// non-finite merge must never reach the optimizer.
+		a.ruleErrors++
+		a.logf("asyncfl: non-finite merged aggregate from %d-update buffer (step skipped)", len(buf))
+		return
+	}
 	if err := a.opt.Step(a.params, merged); err != nil {
 		a.ruleErrors++
 		a.logf("asyncfl: optimizer step failed: %v", err)
@@ -535,6 +602,15 @@ func (a *Aggregator) stepLocked() {
 		close(a.doneCh)
 		a.logf("asyncfl: target of %d steps reached at version %d", a.cfg.TargetSteps, a.version)
 	}
+}
+
+// wireBytes is the ingest-accounting size of one update: its reported
+// encoded size, falling back to the dense float64 size when unreported.
+func wireBytes(u Update) int {
+	if u.WireBytes != 0 {
+		return u.WireBytes
+	}
+	return 8 * len(u.Grad)
 }
 
 // sortEntries orders buffer entries by arrival number (insertion sort: the
@@ -577,19 +653,22 @@ func (a *Aggregator) Stats() Stats {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	st := Stats{
-		Version:       a.version,
-		Steps:         a.steps,
-		Arrivals:      a.arrival,
-		Buffered:      a.buffered,
-		Drops:         a.drops,
-		Rejects:       a.rejects,
-		RuleErrors:    a.ruleErrors,
-		EmptySelects:  a.emptySelects,
-		AliveSessions: a.sessions.Alive(),
-		Expired:       a.sessions.Expired(),
-		PurgedUpdates: a.purged,
-		IngestBytes:   a.ingestBytes,
-		Done:          a.done,
+		Version:              a.version,
+		Steps:                a.steps,
+		Arrivals:             a.arrival,
+		Buffered:             a.buffered,
+		Drops:                a.drops,
+		Rejects:              a.rejects,
+		RuleErrors:           a.ruleErrors,
+		EmptySelects:         a.emptySelects,
+		NonFiniteRejects:     a.nonFiniteRejects,
+		NonFiniteClamps:      a.nonFiniteClamps,
+		NonFiniteQuarantines: a.nonFiniteQuarantines,
+		AliveSessions:        a.sessions.Alive(),
+		Expired:              a.sessions.Expired(),
+		PurgedUpdates:        a.purged,
+		IngestBytes:          a.ingestBytes,
+		Done:                 a.done,
 	}
 	if a.occN > 0 {
 		st.MeanOccupancy = float64(a.occSum) / float64(a.occN)

@@ -24,6 +24,7 @@ import (
 	"net"
 	"net/http"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -31,6 +32,7 @@ import (
 	"github.com/signguard/signguard/internal/aggregate"
 	"github.com/signguard/signguard/internal/asyncfl"
 	"github.com/signguard/signguard/internal/codec"
+	"github.com/signguard/signguard/internal/sanitize"
 	"github.com/signguard/signguard/internal/tensor"
 	"github.com/signguard/signguard/internal/transport"
 )
@@ -63,6 +65,15 @@ type Config struct {
 	LR float64
 	// ByzFraction of clients submit sign-flipped, 5x-scaled gradients.
 	ByzFraction float64
+	// NonFiniteFraction of clients are hostile in the non-finite sense:
+	// every submission is a qsgd payload whose finite Scale amplifies to
+	// +Inf on decode — the wire shape of the NaN-injection attack (JSON
+	// cannot carry a literal NaN). The server must refuse each one with
+	// HTTP 400 and count it in Stats.NonFiniteRejects.
+	NonFiniteFraction float64
+	// NonFinite is the aggregator's ingest disposition for updates carrying
+	// NaN/±Inf (zero = the asyncfl default, sanitize.Reject).
+	NonFinite sanitize.Policy
 	// ChurnFraction of clients vanish after one update without ever
 	// heartbeating again — their sessions expire and queued updates are
 	// purged once SessionTTL passes.
@@ -84,6 +95,9 @@ func (c *Config) fill() error {
 	}
 	if c.ChurnFraction < 0 || c.ChurnFraction > 1 {
 		return fmt.Errorf("loadtest: churn fraction %v invalid", c.ChurnFraction)
+	}
+	if c.NonFiniteFraction < 0 || c.NonFiniteFraction > 1 {
+		return fmt.Errorf("loadtest: non-finite fraction %v invalid", c.NonFiniteFraction)
 	}
 	if c.UpdatesPerClient == 0 {
 		c.UpdatesPerClient = 2
@@ -121,12 +135,17 @@ type Report struct {
 	Clients   int
 	Byzantine int
 	Churned   int
+	Hostile   int
 	// Ingest volume: accepted updates, server-side drops/rejects/purges.
 	Updates int64
 	Drops   int64
 	Rejects int64
 	Purged  int64
 	Expired int64
+	// NonFiniteRejects counts hostile non-finite submissions the server
+	// refused (Stats.NonFiniteRejects: wire-level decode refusals plus
+	// buffer-screen rejections).
+	NonFiniteRejects int64
 	// Aggregation progress.
 	Steps    int64
 	Duration time.Duration
@@ -156,18 +175,20 @@ type Report struct {
 
 // String renders the report as the flserver -loadtest summary block.
 func (r *Report) String() string {
-	return fmt.Sprintf(`loadtest: %d clients (%d byzantine, %d churned), %d updates accepted in %v
+	return fmt.Sprintf(`loadtest: %d clients (%d byzantine, %d churned, %d hostile), %d updates accepted in %v
   throughput   %.1f rounds/s (%d aggregation steps), %.0f updates/s ingested
   ingest p50   %v
   ingest p99   %v
   ingest bytes %d (%.0f B/update)
   buffer       mean occupancy %.1f, drops %d, rejects %d, purged %d (expired sessions %d)
+  hostile      non-finite submissions refused %d
   model error  %.4f -> %.4f (reduction %.1f%%)`,
-		r.Clients, r.Byzantine, r.Churned, r.Updates, r.Duration.Round(time.Millisecond),
+		r.Clients, r.Byzantine, r.Churned, r.Hostile, r.Updates, r.Duration.Round(time.Millisecond),
 		r.RoundsPerSec, r.Steps, r.IngestPerSec,
 		r.IngestP50, r.IngestP99,
 		r.IngestBytes, r.BytesPerUpdate,
 		r.MeanBufferOccupancy, r.Drops, r.Rejects, r.Purged, r.Expired,
+		r.NonFiniteRejects,
 		r.InitialError, r.FinalError, 100*r.ErrorReduction)
 }
 
@@ -180,6 +201,17 @@ func spread(i, count, n int) bool {
 		return false
 	}
 	return (int64(i)*int64(count))%int64(n) < int64(count)
+}
+
+// roles assigns client i its fleet role. Roles are mutually exclusive with
+// Byzantine taking precedence over churn over hostile, and each uses a
+// shifted Bresenham spread so the categories interleave across the fleet.
+func roles(cfg *Config, i int) (isByz, isChurn, isHostile bool) {
+	n := cfg.Clients
+	isByz = spread(i, int(cfg.ByzFraction*float64(n)), n)
+	isChurn = !isByz && spread(i+1, int(cfg.ChurnFraction*float64(n)), n)
+	isHostile = !isByz && !isChurn && spread(i+2, int(cfg.NonFiniteFraction*float64(n)), n)
+	return
 }
 
 // rmsError is the root-mean-square distance between params and optimum.
@@ -214,6 +246,7 @@ func Run(cfg Config) (*Report, error) {
 		Rule:          cfg.Rule,
 		LR:            cfg.LR,
 		QueueCap:      cfg.QueueCap,
+		NonFinite:     cfg.NonFinite,
 		SessionTTL:    cfg.SessionTTL,
 	})
 	if err != nil {
@@ -238,7 +271,7 @@ func Run(cfg Config) (*Report, error) {
 	}}
 	base := "http://" + ln.Addr().String()
 
-	byzCount, churnCount := 0, 0
+	byzCount, churnCount, hostileCount := 0, 0, 0
 	lats := make([][]time.Duration, cfg.Concurrency)
 	var firstErr atomic.Value
 	var accepted atomic.Int64
@@ -259,10 +292,13 @@ func Run(cfg Config) (*Report, error) {
 		}(w)
 	}
 	for i := 0; i < cfg.Clients; i++ {
-		if spread(i, int(cfg.ByzFraction*float64(cfg.Clients)), cfg.Clients) {
+		switch isByz, isChurn, isHostile := roles(&cfg, i); {
+		case isByz:
 			byzCount++
-		} else if spread(i+1, int(cfg.ChurnFraction*float64(cfg.Clients)), cfg.Clients) {
+		case isChurn:
 			churnCount++
+		case isHostile:
+			hostileCount++
 		}
 		jobs <- i
 	}
@@ -298,9 +334,11 @@ func Run(cfg Config) (*Report, error) {
 		Clients:             cfg.Clients,
 		Byzantine:           byzCount,
 		Churned:             churnCount,
+		Hostile:             hostileCount,
 		Updates:             accepted.Load(),
 		Drops:               st.Drops,
 		Rejects:             st.Rejects,
+		NonFiniteRejects:    st.NonFiniteRejects,
 		Purged:              st.PurgedUpdates,
 		Expired:             st.Expired,
 		Steps:               st.Steps,
@@ -330,8 +368,7 @@ func Run(cfg Config) (*Report, error) {
 // submit sign-flipped 5x gradients; churned clients stop after one update
 // and never renew again, so their lease expires.
 func runClient(cfg *Config, base string, httpc *http.Client, optimum []float64, i int, lats *[]time.Duration, accepted *atomic.Int64) error {
-	isByz := spread(i, int(cfg.ByzFraction*float64(cfg.Clients)), cfg.Clients)
-	isChurn := !isByz && spread(i+1, int(cfg.ChurnFraction*float64(cfg.Clients)), cfg.Clients)
+	isByz, isChurn, isHostile := roles(cfg, i)
 	updates := cfg.UpdatesPerClient
 	if isChurn {
 		updates = 1
@@ -342,6 +379,9 @@ func runClient(cfg *Config, base string, httpc *http.Client, optimum []float64, 
 		HTTP: httpc,
 	}
 	ctx := context.Background()
+	if isHostile {
+		return runHostileClient(ctx, cfg, c, i, updates, lats)
+	}
 	noise := tensor.NewRNG(cfg.Seed + 7919*int64(i+1))
 	grad := make([]float64, len(optimum))
 	for u := 0; u < updates; u++ {
@@ -383,6 +423,38 @@ func runClient(cfg *Config, base string, httpc *http.Client, optimum []float64, 
 		if res.Done {
 			return nil
 		}
+	}
+	return nil
+}
+
+// runHostileClient simulates one non-finite attacker: every submission is a
+// qsgd payload whose finite Scale amplifies to +Inf on decode — the wire
+// shape of the NaN-injection attack. The server must refuse each one with
+// HTTP 400; an accepted hostile payload, or any other failure shape, aborts
+// the run.
+func runHostileClient(ctx context.Context, cfg *Config, c *transport.AsyncClient, i, updates int, lats *[]time.Duration) error {
+	hostile := codec.Encoded{Codec: codec.QSGD, Dim: cfg.Dim, Scale: 1e308, Levels: 1, Q: make([]int8, cfg.Dim)}
+	for j := range hostile.Q {
+		hostile.Q[j] = 127
+	}
+	for u := 0; u < updates; u++ {
+		model, err := c.Model(ctx)
+		if err != nil {
+			return fmt.Errorf("hostile client %d: %w", i, err)
+		}
+		if model.Done {
+			return nil
+		}
+		t0 := time.Now()
+		_, err = c.SubmitEncoded(ctx, model.Version, 0, hostile)
+		lat := time.Since(t0)
+		if err == nil {
+			return fmt.Errorf("hostile client %d: non-finite payload was accepted", i)
+		}
+		if !strings.Contains(err.Error(), "400") {
+			return fmt.Errorf("hostile client %d: %w", i, err)
+		}
+		*lats = append(*lats, lat)
 	}
 	return nil
 }

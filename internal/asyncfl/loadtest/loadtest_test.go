@@ -125,6 +125,35 @@ func TestLoadHarnessCodecReducesIngest(t *testing.T) {
 	}
 }
 
+// TestLoadHarnessHostileClients mixes non-finite attackers into a defended
+// fleet: every hostile submission must be refused and counted, and the
+// honest majority must still converge through the SignGuard defense.
+func TestLoadHarnessHostileClients(t *testing.T) {
+	rep, err := Run(Config{
+		Clients:           600,
+		UpdatesPerClient:  2,
+		Concurrency:       64,
+		Dim:               32,
+		K:                 16,
+		NonFiniteFraction: 0.2,
+		Rule:              core.NewPlain(3),
+		Seed:              7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Hostile == 0 {
+		t.Fatalf("report %+v: no hostile clients in a 20%% hostile fleet", rep)
+	}
+	if rep.NonFiniteRejects < int64(rep.Hostile) {
+		t.Fatalf("report %+v: %d hostile clients submitted but only %d non-finite rejections counted",
+			rep, rep.Hostile, rep.NonFiniteRejects)
+	}
+	if rep.ErrorReduction < 0.5 {
+		t.Fatalf("report %+v: honest majority failed to converge under non-finite attack", rep)
+	}
+}
+
 // TestLoadHarnessChurnExpiry uses a TTL shorter than the run so churned
 // clients' sessions actually expire and their queued updates are purged.
 func TestLoadHarnessChurnExpiry(t *testing.T) {
@@ -157,6 +186,7 @@ func TestLoadConfigValidation(t *testing.T) {
 		{Clients: 10, ChurnFraction: -0.1},
 		{Clients: 10, UpdatesPerClient: -1},
 		{Clients: 10, Concurrency: -2},
+		{Clients: 10, NonFiniteFraction: 2},
 	}
 	for i, cfg := range bad {
 		if _, err := Run(cfg); err == nil {

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"github.com/signguard/signguard/internal/tensor"
 )
 
 // Weight returns the staleness discount w(s) = 1/(1+s)^alpha applied to an
@@ -50,6 +52,12 @@ func WeightedMerge(grads [][]float64, staleness []int, alpha float64) ([]float64
 	inv := 1 / wsum
 	for j := range out {
 		out[j] *= inv
+	}
+	if !tensor.AllFinite(out) {
+		// A single NaN coordinate in any input — or a sum overflowing to
+		// ±Inf — poisons the merged average; callers must get an error, not
+		// a hostile aggregate (the optimizer would fold it into the model).
+		return nil, errors.New("asyncfl: non-finite staleness-weighted merge")
 	}
 	return out, nil
 }

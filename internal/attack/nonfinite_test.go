@@ -1,0 +1,106 @@
+package attack
+
+import (
+	"math"
+	"testing"
+
+	"github.com/signguard/signguard/internal/tensor"
+)
+
+func nonFiniteCtx(t *testing.T, d int) *Context {
+	t.Helper()
+	rng := tensor.NewRNG(1)
+	mk := func(n int) [][]float64 {
+		out := make([][]float64, n)
+		for i := range out {
+			out[i] = tensor.RandNormal(rng, d, 0, 1)
+		}
+		return out
+	}
+	return &Context{Benign: mk(6), ByzOwn: mk(3), Rng: tensor.NewRNG(2)}
+}
+
+func TestNonFiniteFullVector(t *testing.T) {
+	for _, tc := range []struct {
+		v     NonFiniteValue
+		check func(float64) bool
+	}{
+		{NaNValue, func(x float64) bool { return math.IsNaN(x) }},
+		{PosInfValue, func(x float64) bool { return math.IsInf(x, 1) }},
+		{NegInfValue, func(x float64) bool { return math.IsInf(x, -1) }},
+	} {
+		ctx := nonFiniteCtx(t, 16)
+		out, err := NewNonFinite(tc.v).Craft(ctx)
+		if err != nil {
+			t.Fatalf("%v: %v", tc.v, err)
+		}
+		if len(out) != ctx.NumByz() {
+			t.Fatalf("%v: crafted %d gradients, want %d", tc.v, len(out), ctx.NumByz())
+		}
+		for i, g := range out {
+			for j, x := range g {
+				if !tc.check(x) {
+					t.Fatalf("%v: gradient %d coord %d = %v, want poisoned", tc.v, i, j, x)
+				}
+			}
+		}
+		// The honest inputs must be untouched.
+		for _, g := range ctx.ByzOwn {
+			if !tensor.AllFinite(g) {
+				t.Fatalf("%v: Craft mutated ByzOwn", tc.v)
+			}
+		}
+	}
+}
+
+func TestNonFiniteSparsePoisonsFraction(t *testing.T) {
+	const d = 100
+	ctx := nonFiniteCtx(t, d)
+	out, err := NewNonFiniteSparse(NaNValue, 0.05).Craft(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, g := range out {
+		poisoned := 0
+		for _, x := range g {
+			if math.IsNaN(x) {
+				poisoned++
+			}
+		}
+		if poisoned != 5 {
+			t.Errorf("gradient %d has %d NaN coords, want 5", i, poisoned)
+		}
+	}
+}
+
+// A fraction too small to poison a single coordinate still poisons one —
+// the attack never degenerates into honesty.
+func TestNonFiniteSparseAtLeastOneCoordinate(t *testing.T) {
+	ctx := nonFiniteCtx(t, 8)
+	out, err := NewNonFiniteSparse(PosInfValue, 0.001).Craft(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, g := range out {
+		if tensor.AllFinite(g) {
+			t.Errorf("gradient %d fully finite", i)
+		}
+	}
+}
+
+func TestNonFiniteNames(t *testing.T) {
+	if got := NewNonFinite(NaNValue).Name(); got != "NonFinite(NaN)" {
+		t.Errorf("Name = %q", got)
+	}
+	if got := NewNonFinite(PosInfValue).Name(); got != "NonFinite(+Inf)" {
+		t.Errorf("Name = %q", got)
+	}
+	if got := NewNonFiniteSparse(NaNValue, 0.01).Name(); got != "NonFinite-Sparse(NaN,0.01)" {
+		t.Errorf("Name = %q", got)
+	}
+	// Zero value defaults to NaN.
+	var a NonFinite
+	if got := a.Name(); got != "NonFinite(NaN)" {
+		t.Errorf("zero-value Name = %q", got)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"github.com/signguard/signguard/internal/data"
 	"github.com/signguard/signguard/internal/fl"
 	"github.com/signguard/signguard/internal/nn"
+	"github.com/signguard/signguard/internal/sanitize"
 )
 
 // CellExec is the fully-resolved form of one cell: dataset loaded, rule and
@@ -29,9 +30,12 @@ type CellExec struct {
 	Participation fl.Participation
 	// Codec overrides the round pipeline's gradient-compression stage
 	// (nil = the lossless identity wire format).
-	Codec  codec.Codec
-	Hook   func(*fl.RoundState)
-	Params Params
+	Codec codec.Codec
+	// NonFinite selects the server's non-finite ingest screen (the zero
+	// policy keeps the legacy diverge-on-non-finite contract).
+	NonFinite sanitize.Policy
+	Hook      func(*fl.RoundState)
+	Params    Params
 	// SimWorkers bounds the in-simulation parallelism (0 = automatic,
 	// 1 = sequential): the per-client gradient phase and the aggregation
 	// rule's kernels (threaded through fl.Config.Workers into
@@ -61,6 +65,7 @@ func (x *CellExec) Run() (*fl.RunResult, error) {
 		EvalEvery:    x.Params.EvalEvery,
 		EvalSamples:  x.Params.EvalSamples,
 		NonIID:       x.NonIID,
+		NonFinite:    x.NonFinite,
 		Pipeline:     fl.Pipeline{Participation: x.Participation, Codec: x.Codec},
 		Seed:         x.Params.Seed,
 		RoundHook:    x.Hook,
@@ -106,6 +111,10 @@ type CellResult struct {
 	// every submitted gradient's encoded wire size under the cell's codec.
 	WireBytes int64 `json:",omitempty"`
 
+	// NonFiniteScreened is the run total of submissions the non-finite
+	// ingest screen dropped (cells with a NonFinitePolicy axis only).
+	NonFiniteScreened int `json:",omitempty"`
+
 	// Probe holds the serialized output of the cell's probe, if any.
 	Probe json.RawMessage `json:",omitempty"`
 
@@ -120,14 +129,15 @@ type CellResult struct {
 // newCellResult converts an fl.RunResult into the stored form.
 func newCellResult(c Cell, key string, res *fl.RunResult) *CellResult {
 	out := &CellResult{
-		Key:           key,
-		Cell:          c,
-		RuleName:      res.RuleName,
-		AttackName:    res.AttackName,
-		BestAccuracy:  res.BestAccuracy,
-		FinalAccuracy: res.FinalAccuracy,
-		Diverged:      res.Diverged,
-		WireBytes:     res.WireBytes,
+		Key:               key,
+		Cell:              c,
+		RuleName:          res.RuleName,
+		AttackName:        res.AttackName,
+		BestAccuracy:      res.BestAccuracy,
+		FinalAccuracy:     res.FinalAccuracy,
+		Diverged:          res.Diverged,
+		WireBytes:         res.WireBytes,
+		NonFiniteScreened: res.NonFiniteScreened,
 	}
 	if h, m, ok := res.SelectionRates(); ok {
 		out.HasSelection = true

@@ -1,0 +1,116 @@
+package campaign_test
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/signguard/signguard/internal/attack"
+	"github.com/signguard/signguard/internal/campaign"
+	"github.com/signguard/signguard/internal/sanitize"
+)
+
+// TestNonFiniteAxisKeepsHistoricalHashes pins the cache-compatibility
+// contract of the hostile-input axis: a cell without a policy hashes
+// exactly as before the field existed, and a stamped policy IS identity.
+func TestNonFiniteAxisKeepsHistoricalHashes(t *testing.T) {
+	base := campaign.NewCell("tiny", "Mean", "LIE", tinyParams(1))
+	k1, err := base.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	zero := base
+	zero.NonFinitePolicy = ""
+	k2, err := zero.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 != k2 {
+		t.Fatal("zero-valued NonFinitePolicy changed the cell hash")
+	}
+	reject := base
+	reject.NonFinitePolicy = sanitize.Reject.String()
+	kr, err := reject.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	clamp := base
+	clamp.NonFinitePolicy = sanitize.Clamp.String()
+	kc, err := clamp.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kr == k1 || kc == k1 || kr == kc {
+		t.Fatal("NonFinitePolicy not part of the cell identity")
+	}
+}
+
+func TestNonFiniteAxisID(t *testing.T) {
+	c := campaign.NewCell("tiny", "Mean", "LIE", tinyParams(1))
+	if strings.Contains(c.ID(), "nonfinite") {
+		t.Errorf("policy-free cell ID %q mentions nonfinite", c.ID())
+	}
+	c.NonFinitePolicy = "clamp"
+	if !strings.Contains(c.ID(), "nonfinite=clamp") {
+		t.Errorf("cell ID %q does not render the non-finite axis", c.ID())
+	}
+}
+
+func TestValidateRejectsBadNonFinitePolicy(t *testing.T) {
+	bad := campaign.NewCell("tiny", "Mean", "LIE", tinyParams(1))
+	bad.NonFinitePolicy = "ignore"
+	if err := testRegistry().Validate(campaign.Spec{Name: "x", Cells: []campaign.Cell{bad}}); err == nil ||
+		!strings.Contains(err.Error(), "ignore") {
+		t.Errorf("unknown non-finite policy passed validation: %v", err)
+	}
+}
+
+// TestApplyNonFinite: the grid-wide stamping helper behind the
+// -nonfinite-policy flag.
+func TestApplyNonFinite(t *testing.T) {
+	spec := testSpec()
+	stamped := campaign.ApplyNonFinite(spec, "reject")
+	if len(stamped.Cells) != len(spec.Cells) {
+		t.Fatalf("stamped %d cells, want %d", len(stamped.Cells), len(spec.Cells))
+	}
+	for i, c := range stamped.Cells {
+		if c.NonFinitePolicy != "reject" {
+			t.Fatalf("cell %d not stamped: %+v", i, c)
+		}
+		if spec.Cells[i].NonFinitePolicy != "" {
+			t.Fatal("ApplyNonFinite mutated the input spec")
+		}
+	}
+	same := campaign.ApplyNonFinite(spec, "")
+	for i := range same.Cells {
+		if same.Cells[i].NonFinitePolicy != "" {
+			t.Fatalf("empty policy stamped cell %d", i)
+		}
+	}
+}
+
+// TestNonFiniteCellsThroughEngine runs the hostile-input axis end to end:
+// under the legacy zero policy a NaN-injection attack diverges the run (the
+// historical semantics), under the reject policy the same cell screens the
+// hostile submissions and completes.
+func TestNonFiniteCellsThroughEngine(t *testing.T) {
+	reg := testRegistry()
+	reg.RegisterAttack("NonFinite-NaN", func(_ campaign.Cell, _ int64) (attack.Attack, error) {
+		return attack.NewNonFinite(attack.NaNValue), nil
+	})
+	legacy := campaign.NewCell("tiny", "Mean", "NonFinite-NaN", tinyParams(1))
+	screened := legacy
+	screened.NonFinitePolicy = sanitize.Reject.String()
+	spec := campaign.Spec{Name: "hostile", Cells: []campaign.Cell{legacy, screened}}
+
+	e := &campaign.Engine{Registry: reg, Workers: 2}
+	rep := mustRun(t, e, spec)
+	if !rep.Results[0].Diverged {
+		t.Error("legacy policy did not diverge under NaN injection")
+	}
+	if rep.Results[1].Diverged {
+		t.Error("reject policy diverged: hostile submissions were not screened")
+	}
+	if rep.Results[1].NonFiniteScreened == 0 {
+		t.Error("reject policy screened nothing under a NaN-injection attack")
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"github.com/signguard/signguard/internal/defense"
 	"github.com/signguard/signguard/internal/fl"
 	"github.com/signguard/signguard/internal/nn"
+	"github.com/signguard/signguard/internal/sanitize"
 )
 
 // DatasetBuilder binds a dataset key to its loader and model family.
@@ -140,6 +141,16 @@ func (r *Registry) codecFor(c Cell) (codec.Codec, error) {
 	return r.codecs.Build(c.Codec, codec.Params{Hyper: c.CodecHyper})
 }
 
+// nonFiniteFor maps a cell's NonFinitePolicy name to the sanitize policy
+// the fl engine's ingest screen runs ("" = the zero policy, i.e. the
+// legacy diverge-on-non-finite contract).
+func nonFiniteFor(c Cell) (sanitize.Policy, error) {
+	if c.NonFinitePolicy == "" {
+		return 0, nil
+	}
+	return sanitize.ParsePolicy("NonFinitePolicy", c.NonFinitePolicy)
+}
+
 // participationFor maps a cell's participation fields to the fl stage
 // (nil = engine default, i.e. full participation).
 func participationFor(c Cell) (fl.Participation, error) {
@@ -174,6 +185,9 @@ func (r *Registry) Validate(spec Spec) error {
 			return fmt.Errorf("cell %d (%s): %w", i, c.ID(), err)
 		}
 		if _, err := participationFor(c); err != nil {
+			return fmt.Errorf("cell %d (%s): %w", i, c.ID(), err)
+		}
+		if _, err := nonFiniteFor(c); err != nil {
 			return fmt.Errorf("cell %d (%s): %w", i, c.ID(), err)
 		}
 		if c.Codec != "" {

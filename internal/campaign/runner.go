@@ -112,6 +112,10 @@ func (r *Runner) executeCell(c Cell, key string) (*CellResult, error) {
 	if err != nil {
 		return nil, fmt.Errorf("building codec %s: %w", c.Codec, err)
 	}
+	policy, err := nonFiniteFor(c)
+	if err != nil {
+		return nil, err
+	}
 
 	x := &CellExec{
 		Dataset:       dataset,
@@ -123,6 +127,7 @@ func (r *Runner) executeCell(c Cell, key string) (*CellResult, error) {
 		NonIID:        nonIID,
 		Participation: participation,
 		Codec:         wireCodec,
+		NonFinite:     policy,
 		Params:        p,
 		SimWorkers:    r.SimWorkers,
 		BatchClients:  c.BatchClients || r.BatchClients,

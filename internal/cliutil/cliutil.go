@@ -10,11 +10,24 @@ package cliutil
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
 	"time"
 )
+
+// FiniteFloat requires v to be neither NaN nor ±Inf. flag.Float64 and
+// strconv.ParseFloat happily parse "NaN" and "Inf", and a non-finite value
+// poisons everything it touches downstream (campaign cell hashes, CSV
+// exports, gradient math), so flags that feed numbers into the pipeline
+// reject them at the door.
+func FiniteFloat(flag string, v float64) error {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return fmt.Errorf("%s must be finite (got %v)", flag, v)
+	}
+	return nil
+}
 
 // PositiveInt requires v >= 1.
 func PositiveInt(flag string, v int) error {
@@ -40,24 +53,36 @@ func IndexInRange(flag string, v, n int) error {
 	return nil
 }
 
-// PositiveFloat requires v > 0.
+// PositiveFloat requires v > 0 and finite (NaN fails every comparison, so
+// each float validator screens it explicitly).
 func PositiveFloat(flag string, v float64) error {
+	if err := FiniteFloat(flag, v); err != nil {
+		return err
+	}
 	if v <= 0 {
 		return fmt.Errorf("%s must be positive (got %v)", flag, v)
 	}
 	return nil
 }
 
-// NonNegativeFloat requires v >= 0.
+// NonNegativeFloat requires v >= 0 and finite.
 func NonNegativeFloat(flag string, v float64) error {
+	if err := FiniteFloat(flag, v); err != nil {
+		return err
+	}
 	if v < 0 {
 		return fmt.Errorf("%s must be >= 0 (got %v)", flag, v)
 	}
 	return nil
 }
 
-// Fraction requires v in [0, 1].
+// Fraction requires v in [0, 1]. NaN is caught explicitly: it fails both
+// range comparisons, so without the finite screen `-byz-fraction NaN`
+// would validate.
 func Fraction(flag string, v float64) error {
+	if err := FiniteFloat(flag, v); err != nil {
+		return err
+	}
 	if v < 0 || v > 1 {
 		return fmt.Errorf("%s must be in [0, 1] (got %v)", flag, v)
 	}
@@ -100,6 +125,11 @@ func ParseHyper(flag, s string) (map[string]float64, error) {
 		f, err := strconv.ParseFloat(strings.TrimSpace(v), 64)
 		if err != nil {
 			return nil, fmt.Errorf("%s: bad value in %q: %v", flag, pair, err)
+		}
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			// ParseFloat accepts "NaN" and "Inf"; a non-finite hyper poisons
+			// campaign cell hashes and CSV exports, so refuse it here.
+			return nil, fmt.Errorf("%s: non-finite value in %q (hyperparameters must be finite)", flag, pair)
 		}
 		if _, dup := out[k]; dup {
 			return nil, fmt.Errorf("%s: duplicate hyperparameter %q", flag, k)

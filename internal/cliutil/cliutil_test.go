@@ -1,6 +1,7 @@
 package cliutil
 
 import (
+	"math"
 	"strings"
 	"testing"
 	"time"
@@ -27,6 +28,13 @@ func TestRangeChecksNameTheFlag(t *testing.T) {
 		{"zero duration", PositiveDuration("-round-timeout", 0), "-round-timeout"},
 		{"negative duration", PositiveDuration("-round-timeout", -time.Second), "-round-timeout"},
 		{"enum miss", Enum("-rule", "no-such-rule", "mean", "signguard"), "-rule"},
+		{"NaN finite float", FiniteFloat("-lr", math.NaN()), "-lr"},
+		{"Inf finite float", FiniteFloat("-lr", math.Inf(1)), "-lr"},
+		{"NaN positive float", PositiveFloat("-lr", math.NaN()), "-lr"},
+		{"Inf positive float", PositiveFloat("-lr", math.Inf(1)), "-lr"},
+		{"NaN non-negative float", NonNegativeFloat("-alpha", math.NaN()), "-alpha"},
+		{"NaN fraction", Fraction("-load-byz", math.NaN()), "-load-byz"},
+		{"Inf fraction", Fraction("-load-byz", math.Inf(-1)), "-load-byz"},
 	} {
 		if tc.err == nil {
 			t.Errorf("%s: accepted", tc.name)
@@ -70,7 +78,11 @@ func TestParseHyper(t *testing.T) {
 	if h, err := ParseHyper("-codec-hyper", ""); err != nil || h != nil {
 		t.Fatalf("empty string should parse to nil, got %v, %v", h, err)
 	}
-	for _, bad := range []string{"k", "=4", "k=", "k=abc", "k=1,k=2"} {
+	// strconv.ParseFloat parses "NaN" and "Inf", so non-finite values must
+	// be refused explicitly — they would poison campaign cell hashes and
+	// CSV exports downstream.
+	for _, bad := range []string{"k", "=4", "k=", "k=abc", "k=1,k=2",
+		"k=NaN", "k=nan", "k=Inf", "k=-Inf", "k=+inf", "k=1,trim=NaN"} {
 		if _, err := ParseHyper("-codec-hyper", bad); err == nil {
 			t.Errorf("ParseHyper(%q) accepted", bad)
 		} else if !strings.Contains(err.Error(), "-codec-hyper") {

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -29,8 +30,23 @@ func NewKMeans(k int) *KMeans {
 	return &KMeans{K: k, MaxIter: 100, Tol: 1e-6, Restarts: 3}
 }
 
+// ErrNonFinitePoints marks clustering input carrying NaN or ±Inf
+// coordinates: MeanShift refuses such points up front, and KMeans returns
+// it when no restart converges to a finite inertia (a NaN inertia fails
+// every "keep the lowest" comparison, so no winner can ever be selected).
+var ErrNonFinitePoints = errors.New("cluster: non-finite points")
+
 // Cluster partitions the points into K clusters. The rng drives the
 // k-means++ seeding; pass a seeded source for deterministic results.
+//
+// When K exceeds the number of points, K is clamped to len(points): more
+// clusters than points is unsatisfiable, and each point becomes its own
+// cluster. Result.Centers and Result.Sizes have the clamped length, so
+// len(Centers) == len(Sizes) <= K always holds.
+//
+// Restarts whose inertia is non-finite (a NaN or ±Inf coordinate poisons
+// every squared distance) are skipped; if no restart produces a finite
+// inertia, Cluster returns ErrNonFinitePoints instead of a nil Result.
 func (km *KMeans) Cluster(rng *rand.Rand, points [][]float64) (*Result, error) {
 	n := len(points)
 	if n == 0 {
@@ -62,9 +78,18 @@ func (km *KMeans) Cluster(rng *rand.Rand, points [][]float64) (*Result, error) {
 	bestInertia := math.Inf(1)
 	for r := 0; r < restarts; r++ {
 		res, inertia := km.run(rng, points, k, maxIter)
+		// A NaN inertia fails every comparison, so without this guard a
+		// hostile point would leave best nil and the caller would receive
+		// (nil, nil) — the crash this check exists to prevent.
+		if math.IsNaN(inertia) || math.IsInf(inertia, 0) {
+			continue
+		}
 		if inertia < bestInertia {
 			best, bestInertia = res, inertia
 		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("%w: no restart converged to a finite inertia", ErrNonFinitePoints)
 	}
 	return best, nil
 }

@@ -144,6 +144,13 @@ func (ms *MeanShift) Cluster(points [][]float64) (*Result, error) {
 		if len(p) != d {
 			return nil, fmt.Errorf("cluster: point %d has %d dims, want %d", i, len(p), d)
 		}
+		// A NaN coordinate zeroes every kernel weight for its point (all
+		// distance comparisons fail), silently isolating it as its own
+		// mode and corrupting the bandwidth estimate; an Inf coordinate
+		// overflows the squared distances. Refuse instead of degrading.
+		if !tensor.AllFinite(p) {
+			return nil, fmt.Errorf("%w: point %d has a non-finite coordinate", ErrNonFinitePoints, i)
+		}
 	}
 	h := ms.Bandwidth
 	if h <= 0 {

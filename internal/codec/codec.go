@@ -19,11 +19,18 @@
 package codec
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
 	"sort"
 )
+
+// ErrNonFinite marks encode/decode refusals caused by NaN or ±Inf values —
+// either carried verbatim in a payload or produced by amplification during
+// decode. Receivers (the async transport) match it with errors.Is to count
+// hostile traffic separately from malformed payloads.
+var ErrNonFinite = errors.New("non-finite value")
 
 // Canonical codec names: the registry keys, the Encoded.Codec wire tags,
 // and the names the async protocol advertises.
@@ -84,6 +91,11 @@ func (e Encoded) Bytes() int {
 	return n
 }
 
+// finite reports whether v is neither NaN nor ±Inf.
+func finite(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
+}
+
 // checkDim rejects a payload declaring a negative dimension before any
 // make([]float64, Dim) happens. Encoded values arrive from untrusted
 // clients over the async wire, so a decode allocation must never be sized
@@ -125,12 +137,22 @@ func (IdentityCodec) Encode(grad []float64, _ *rand.Rand) (Encoded, error) {
 	return Encoded{Codec: Identity, Dim: len(grad), Dense: append([]float64(nil), grad...)}, nil
 }
 
-// Decode implements Codec.
+// Decode implements Codec. A payload carrying NaN or ±Inf values is
+// refused: decoded gradients feed norms, distances and clustering
+// directly, so the wire boundary must never emit a non-finite value
+// without an error.
 func (IdentityCodec) Decode(e Encoded) ([]float64, error) {
 	if len(e.Dense) != e.Dim {
 		return nil, fmt.Errorf("codec: identity payload has %d values for dim %d", len(e.Dense), e.Dim)
 	}
-	return append([]float64(nil), e.Dense...), nil
+	out := make([]float64, e.Dim)
+	for i, v := range e.Dense {
+		if !finite(v) {
+			return nil, fmt.Errorf("codec: identity payload value %d: %w", i, ErrNonFinite)
+		}
+		out[i] = v
+	}
+	return out, nil
 }
 
 // TopKCodec keeps the K largest-magnitude coordinates exactly and drops the
@@ -192,6 +214,11 @@ func (c TopKCodec) Encode(grad []float64, _ *rand.Rand) (Encoded, error) {
 	sort.Ints(kept)
 	e := Encoded{Codec: TopK, Dim: len(grad), Idx: make([]int32, k), Val: make([]float64, k)}
 	for i, idx := range kept {
+		if !finite(grad[idx]) {
+			// NaN magnitudes also poison the selection order, so a
+			// non-finite input must error rather than ship a hostile payload.
+			return Encoded{}, fmt.Errorf("codec: topk cannot encode coordinate %d: %w", idx, ErrNonFinite)
+		}
 		e.Idx[i] = int32(idx)
 		e.Val[i] = grad[idx]
 	}
@@ -213,6 +240,9 @@ func (TopKCodec) Decode(e Encoded) ([]float64, error) {
 	for i, idx := range e.Idx {
 		if idx < 0 || int(idx) >= e.Dim {
 			return nil, fmt.Errorf("codec: topk index %d out of dim %d", idx, e.Dim)
+		}
+		if !finite(e.Val[i]) {
+			return nil, fmt.Errorf("codec: topk payload value %d: %w", i, ErrNonFinite)
 		}
 		out[idx] = e.Val[i]
 	}
@@ -258,6 +288,11 @@ func (c QSGDCodec) Encode(grad []float64, rng *rand.Rand) (Encoded, error) {
 		norm += v * v
 	}
 	norm = math.Sqrt(norm)
+	if !finite(norm) {
+		// A NaN or overflowing norm would ship as the payload Scale and
+		// poison every decoded coordinate downstream.
+		return Encoded{}, fmt.Errorf("codec: qsgd cannot encode a gradient whose norm is a %w", ErrNonFinite)
+	}
 	e := Encoded{Codec: QSGD, Dim: len(grad), Scale: norm, Levels: s, Q: make([]int8, len(grad))}
 	if norm == 0 {
 		return e, nil
@@ -277,7 +312,10 @@ func (c QSGDCodec) Encode(grad []float64, rng *rand.Rand) (Encoded, error) {
 	return e, nil
 }
 
-// Decode implements Codec: g_i = Scale·Q_i/Levels.
+// Decode implements Codec: g_i = Scale·Q_i/Levels. A payload whose Scale
+// is non-finite — or finite but so large the product overflows — is
+// refused: JSON cannot carry a literal NaN, so amplification through a
+// huge Scale is exactly how a hostile client smuggles ±Inf past the wire.
 func (QSGDCodec) Decode(e Encoded) ([]float64, error) {
 	if len(e.Q) != e.Dim {
 		return nil, fmt.Errorf("codec: qsgd payload has %d levels for dim %d", len(e.Q), e.Dim)
@@ -285,13 +323,20 @@ func (QSGDCodec) Decode(e Encoded) ([]float64, error) {
 	if e.Levels < 1 {
 		return nil, fmt.Errorf("codec: qsgd payload with %d levels", e.Levels)
 	}
+	if !finite(e.Scale) {
+		return nil, fmt.Errorf("codec: qsgd payload scale is a %w", ErrNonFinite)
+	}
 	out := make([]float64, e.Dim)
 	if e.Scale == 0 {
 		return out, nil
 	}
 	inv := e.Scale / float64(e.Levels)
 	for i, q := range e.Q {
-		out[i] = float64(q) * inv
+		v := float64(q) * inv
+		if !finite(v) {
+			return nil, fmt.Errorf("codec: qsgd payload amplifies to a %w at %d", ErrNonFinite, i)
+		}
+		out[i] = v
 	}
 	return out, nil
 }

@@ -1,0 +1,71 @@
+package codec
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// FuzzDecode drives arbitrary payload fields — hostile floats, mismatched
+// lengths, out-of-range indices — through every registry decode path and
+// asserts the wire invariant: any successful decode returns a fully finite
+// gradient of exactly the declared dimension; everything else errors.
+func FuzzDecode(f *testing.F) {
+	f.Add(uint8(0), 4, int64(0), 4, []byte{})
+	f.Add(uint8(1), 8, int64(0), 2, []byte{0, 0, 0, 0, 0, 0, 0x24, 0x40})
+	nan := make([]byte, 8)
+	binary.LittleEndian.PutUint64(nan, math.Float64bits(math.NaN()))
+	f.Add(uint8(2), 3, int64(math.Float64bits(math.NaN())), 4, nan)
+	f.Add(uint8(2), 2, int64(math.Float64bits(1e308)), 1, []byte{127, 1})
+	f.Add(uint8(3), 16, int64(0), 0, []byte{0xff, 0x00})
+	reg := Builtin()
+	names := []string{Identity, TopK, QSGD, SignSGD}
+	f.Fuzz(func(t *testing.T, which uint8, dim int, scaleBits int64, levels int, data []byte) {
+		if dim < 0 || dim > 1<<12 {
+			return
+		}
+		e := Encoded{Codec: names[int(which)%len(names)], Dim: dim}
+		switch e.Codec {
+		case Identity:
+			e.Dense = bytesToFloats(data)
+		case TopK:
+			// Interleave: 4 bytes of index, 8 bytes of value per entry.
+			for len(data) >= 12 {
+				e.Idx = append(e.Idx, int32(binary.LittleEndian.Uint32(data[:4])))
+				e.Val = append(e.Val, math.Float64frombits(binary.LittleEndian.Uint64(data[4:12])))
+				data = data[12:]
+			}
+		case QSGD:
+			e.Scale = math.Float64frombits(uint64(scaleBits))
+			e.Levels = levels
+			e.Q = make([]int8, len(data))
+			for i, b := range data {
+				e.Q[i] = int8(b)
+			}
+		case SignSGD:
+			e.Sign = data
+		}
+		out, err := reg.Decode(e)
+		if err != nil {
+			return
+		}
+		if len(out) != e.Dim {
+			t.Fatalf("%s: decoded %d values for declared dim %d", e.Codec, len(out), e.Dim)
+		}
+		for i, v := range out {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("%s: decode emitted non-finite value at %d without error", e.Codec, i)
+			}
+		}
+	})
+}
+
+// bytesToFloats reinterprets a fuzz buffer as little-endian float64s.
+func bytesToFloats(data []byte) []float64 {
+	out := make([]float64, 0, len(data)/8)
+	for len(data) >= 8 {
+		out = append(out, math.Float64frombits(binary.LittleEndian.Uint64(data[:8])))
+		data = data[8:]
+	}
+	return out
+}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"github.com/signguard/signguard/internal/tensor"
+)
+
+// hostileGrads returns a mostly-benign cohort with one NaN-poisoned
+// gradient — the cheapest remote attack against the serving path.
+func hostileGrads(n, d int, poison float64) [][]float64 {
+	rng := tensor.NewRNG(1)
+	grads := make([][]float64, n)
+	for i := range grads {
+		g := make([]float64, d)
+		for j := range g {
+			g[j] = rng.NormFloat64()
+		}
+		grads[i] = g
+	}
+	grads[n-1][0] = poison
+	return grads
+}
+
+// Regression for the remote-DoS crash: a single NaN coordinate made every
+// KMeans restart's inertia NaN, Cluster returned (nil, nil), and Apply
+// nil-dereferenced on res.Largest(). The filter must now return an error.
+func TestSignClusterFilterKMeansNaNGradientNoPanic(t *testing.T) {
+	for _, sim := range []Similarity{NoSimilarity, CosineSimilarity, DistanceSimilarity} {
+		for _, poison := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+			grads := hostileGrads(8, 32, poison)
+			ctx, err := NewFilterContext(grads, nil, tensor.NewRNG(2))
+			if err != nil {
+				continue // context refused the buffer: also acceptable
+			}
+			f := NewSignClusterFilter(0.5, sim)
+			f.Algo = KMeansAlgo
+			kept, err := f.Apply(ctx) // must not panic
+			if err != nil {
+				continue
+			}
+			// If the filter kept anything, the poisoned gradient must not
+			// be in the kept set via a NaN feature row sneaking through.
+			for _, i := range kept {
+				if !tensor.AllFinite(grads[i]) {
+					t.Errorf("sim=%v poison=%v: filter kept non-finite gradient %d", sim, poison, i)
+				}
+			}
+		}
+	}
+}
+
+// The same hostile buffer through the full SignGuard rule (every variant ×
+// both clustering algorithms): no panic, and any successful aggregate is
+// finite.
+func TestSignGuardHostileBufferNoPanic(t *testing.T) {
+	for _, algo := range []ClusterAlgo{MeanShiftAlgo, KMeansAlgo} {
+		for _, sim := range []Similarity{NoSimilarity, CosineSimilarity, DistanceSimilarity} {
+			for _, poison := range []float64{math.NaN(), math.Inf(1)} {
+				cfg := DefaultConfig()
+				cfg.Similarity = sim
+				cfg.Algo = algo
+				sg, err := New(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := sg.Aggregate(hostileGrads(10, 64, poison))
+				if err != nil {
+					continue // refusing the buffer is the expected outcome
+				}
+				if !tensor.AllFinite(res.Gradient) {
+					t.Errorf("algo=%v sim=%v poison=%v: non-finite aggregate", algo, sim, poison)
+				}
+			}
+		}
+	}
+}

@@ -174,6 +174,16 @@ func (f *SignClusterFilter) Features(ctx *FilterContext) ([][]float64, error) {
 			features[i][last] = r / 3
 		}
 	}
+	// A non-finite gradient leaks NaN into the similarity features (the
+	// sign proportions themselves are robust — NaN counts as a zero sign —
+	// but cosine and distance are not), and NaN feature rows poison every
+	// clustering algorithm downstream. Fail here, where the offending
+	// gradient index is still known.
+	for i, row := range features {
+		if !tensor.AllFinite(row) {
+			return nil, fmt.Errorf("core: non-finite feature row for gradient %d (non-finite input gradient)", i)
+		}
+	}
 	return features, nil
 }
 
@@ -199,6 +209,13 @@ func (f *SignClusterFilter) Apply(ctx *FilterContext) ([]int, error) {
 	}
 	if err != nil {
 		return nil, fmt.Errorf("core: sign clustering: %w", err)
+	}
+	// Check the result before dereferencing it: a clusterer must never
+	// return (nil, nil), but a defense layer does not bet the server's
+	// liveness on that contract (KMeans once did exactly that when every
+	// restart's inertia went NaN).
+	if res == nil {
+		return nil, errors.New("core: clustering returned no result")
 	}
 	largest := res.Largest()
 	if largest < 0 {

@@ -122,6 +122,12 @@ func (r *Registry) Specs() []Spec {
 // Build constructs the named defense. Hyperparameter keys not declared by
 // the spec are an error: a sweep axis that silently fell back to defaults
 // would corrupt a whole grid.
+//
+// Every built rule is wrapped in an aggregate.FiniteGuard: whatever a
+// defense does with a hostile buffer, a non-finite aggregate surfaces as an
+// error (wrapping aggregate.ErrNonFiniteAggregate) instead of poisoning the
+// model. Callers needing the concrete rule type unwrap with
+// aggregate.Unwrap.
 func (r *Registry) Build(name string, p Params) (aggregate.Rule, error) {
 	s, err := r.Lookup(name)
 	if err != nil {
@@ -130,7 +136,11 @@ func (r *Registry) Build(name string, p Params) (aggregate.Rule, error) {
 	if err := checkHyper(s, p.Hyper); err != nil {
 		return nil, err
 	}
-	return s.Build(p)
+	rule, err := s.Build(p)
+	if err != nil {
+		return nil, err
+	}
+	return aggregate.Guard(rule), nil
 }
 
 // ValidateHyper checks that name is registered and accepts every given

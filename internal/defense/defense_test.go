@@ -76,8 +76,8 @@ func TestSignGuardHyperApplied(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := rule.(*core.SignGuard); !ok {
-		t.Fatalf("SignGuard entry built a %T", rule)
+	if _, ok := aggregate.Unwrap(rule).(*core.SignGuard); !ok {
+		t.Fatalf("SignGuard entry built a %T", aggregate.Unwrap(rule))
 	}
 	// An out-of-range hyperparameter must surface the core validation.
 	if _, err := Builtin().Build("SignGuard", Params{
@@ -92,9 +92,9 @@ func TestDnCHyperApplied(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	d, ok := rule.(*aggregate.DnC)
+	d, ok := aggregate.Unwrap(rule).(*aggregate.DnC)
 	if !ok {
-		t.Fatalf("DnC entry built a %T", rule)
+		t.Fatalf("DnC entry built a %T", aggregate.Unwrap(rule))
 	}
 	if d.SubDim != 123 {
 		t.Errorf("SubDim = %d, want 123", d.SubDim)
@@ -104,7 +104,7 @@ func TestDnCHyperApplied(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if d := rule.(*aggregate.DnC); d.SubDim != 2000 {
+	if d := aggregate.Unwrap(rule).(*aggregate.DnC); d.SubDim != 2000 {
 		t.Errorf("default SubDim = %d, want 2000", d.SubDim)
 	}
 }

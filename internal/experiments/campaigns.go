@@ -156,7 +156,7 @@ func CampaignNames() []string {
 	return []string{
 		"table1", "table2", "table3", "fig2", "fig4", "fig5", "fig6",
 		"subsample", "coordfrac", "dncsubdim", "adaptive", "batched",
-		"compression", "all",
+		"compression", "hostile", "all",
 	}
 }
 
@@ -196,6 +196,8 @@ func CampaignByName(name string, p Params) (campaign.Spec, error) {
 		return BatchedSpec(p), nil
 	case "compression":
 		return CompressionSpec(p), nil
+	case "hostile":
+		return HostileSpec(p), nil
 	case "all":
 		names := CampaignNames()
 		specs := make([]campaign.Spec, 0, len(names)-1)

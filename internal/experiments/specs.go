@@ -223,10 +223,15 @@ func Attacks() []AttackSpec {
 
 // ExtraAttacks returns the attack strategies beyond the paper's Table I
 // columns: the adaptive round-aware attacks enabled by the pipeline's
-// filtering-feedback channel.
+// filtering-feedback channel, and the non-finite injection family of the
+// hostile-input campaign (NaN/±Inf, full-vector and sparse-coordinate).
 func ExtraAttacks() []AttackSpec {
 	return []AttackSpec{
 		{Name: "Adaptive-Min-Max", New: func(int64) attack.Attack { return attack.NewAdaptiveMinMax() }},
+		{Name: "NonFinite-NaN", New: func(int64) attack.Attack { return attack.NewNonFinite(attack.NaNValue) }},
+		{Name: "NonFinite-PosInf", New: func(int64) attack.Attack { return attack.NewNonFinite(attack.PosInfValue) }},
+		{Name: "NonFinite-NegInf", New: func(int64) attack.Attack { return attack.NewNonFinite(attack.NegInfValue) }},
+		{Name: "NonFinite-Sparse", New: func(int64) attack.Attack { return attack.NewNonFiniteSparse(attack.NaNValue, 0.01) }},
 	}
 }
 

@@ -29,6 +29,7 @@ import (
 	"github.com/signguard/signguard/internal/data"
 	"github.com/signguard/signguard/internal/nn"
 	"github.com/signguard/signguard/internal/parallel"
+	"github.com/signguard/signguard/internal/sanitize"
 	"github.com/signguard/signguard/internal/tensor"
 )
 
@@ -105,6 +106,16 @@ type Config struct {
 	// NonIID, when non-nil, uses the paper's non-IID partition.
 	NonIID *NonIID
 
+	// NonFinite selects the server's screening of non-finite submitted
+	// gradients (see internal/sanitize). The zero value keeps the legacy
+	// contract: any non-finite submission ends the run as diverged. An
+	// explicit policy screens per gradient instead — Reject and Quarantine
+	// drop the submission from the round's buffer, Clamp repairs it in
+	// place — so a hostile-input attack costs the attacker its slot, not
+	// the server its run. Screening happens post-adversary, before the
+	// codec stage, mirroring the ingest gate of the async serving layer.
+	NonFinite sanitize.Policy
+
 	// Seed drives every random choice of the run. Each pipeline stage
 	// derives its own RNG stream from it (model init, partition, attack
 	// randomness, arrival permutation, participation, client batching), so
@@ -163,6 +174,8 @@ func (c *Config) validate() error {
 		return fmt.Errorf("fl: learning rate %v invalid", c.LR)
 	case c.FastLocal && !c.BatchClients:
 		return errors.New("fl: FastLocal requires BatchClients (fast kernels belong to the batched engine)")
+	case c.NonFinite != 0 && !c.NonFinite.Valid():
+		return fmt.Errorf("fl: unknown non-finite policy %d", int(c.NonFinite))
 	}
 	if p, ok := c.Pipeline.Participation.(UniformSubsample); ok {
 		if p.K < 1 || p.K > c.Clients {
@@ -466,10 +479,38 @@ func (s *Simulation) Step(round int) (*RoundMetrics, error) {
 		byzMask[pos] = true
 	}
 
-	for _, g := range grads {
-		if !gradientHealthy(g) {
-			// The attack itself overflowed (honest inputs were usable).
-			return nil, fmt.Errorf("%w: unusable submitted gradient in round %d", ErrDiverged, round)
+	// Ingest screening of the submitted buffer. Without a policy the
+	// legacy contract holds: any non-finite submission ends the run as
+	// diverged. With one, each gradient is screened individually —
+	// Reject/Quarantine drop it (and its Byzantine-mask slot), Clamp
+	// repairs it in place — and only the survivors reach the wire.
+	var screened int
+	if s.cfg.NonFinite == 0 {
+		for _, g := range grads {
+			if !gradientHealthy(g) {
+				// The attack itself overflowed (honest inputs were usable).
+				return nil, fmt.Errorf("%w: unusable submitted gradient in round %d", ErrDiverged, round)
+			}
+		}
+	} else {
+		kept, keptMask := grads[:0], byzMask[:0]
+		for i, g := range grads {
+			switch sanitize.Screen(g, s.cfg.NonFinite) {
+			case sanitize.Rejected, sanitize.Quarantined:
+				screened++
+				continue
+			}
+			if !gradientHealthy(g) {
+				// Finite but overflow-prone (norm beyond the usable range):
+				// still a diverged model, not a screenable submission.
+				return nil, fmt.Errorf("%w: unusable submitted gradient in round %d", ErrDiverged, round)
+			}
+			kept = append(kept, g)
+			keptMask = append(keptMask, byzMask[i])
+		}
+		grads, byzMask = kept, keptMask
+		if len(grads) == 0 {
+			return nil, fmt.Errorf("%w: every submitted gradient was non-finite in round %d", ErrDiverged, round)
 		}
 	}
 
@@ -498,6 +539,12 @@ func (s *Simulation) Step(round int) (*RoundMetrics, error) {
 	// Stage 5: defense.
 	res, err := s.pipe.Defense.Aggregate(round, grads)
 	if err != nil {
+		if errors.Is(err, aggregate.ErrNonFiniteAggregate) {
+			// The rule's output guard fired: same terminal training state
+			// as the historical post-aggregation finiteness check below.
+			return nil, fmt.Errorf("%w: rule %s produced a non-finite aggregate in round %d",
+				ErrDiverged, s.pipe.Defense.Name(), round)
+		}
 		return nil, fmt.Errorf("fl: rule %s: %w", s.pipe.Defense.Name(), err)
 	}
 	if !tensor.AllFinite(res.Gradient) {
@@ -527,7 +574,10 @@ func (s *Simulation) Step(round int) (*RoundMetrics, error) {
 		})
 	}
 
-	m := &RoundMetrics{Round: round, TrainLoss: lossSum / float64(max(lossCnt, 1)), WireBytes: wireBytes}
+	m := &RoundMetrics{
+		Round: round, TrainLoss: lossSum / float64(max(lossCnt, 1)),
+		WireBytes: wireBytes, NonFiniteScreened: screened,
+	}
 	m.countSelection(res.Selected, byzMask)
 	return m, nil
 }

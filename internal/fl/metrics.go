@@ -12,6 +12,11 @@ type RoundMetrics struct {
 	// gradients — what the codec stage shipped across the wire.
 	WireBytes int64
 
+	// NonFiniteScreened counts submissions the round's ingest screen
+	// dropped as non-finite (always 0 under the legacy zero policy, which
+	// diverges instead of screening).
+	NonFiniteScreened int
+
 	// Selection accounting against the ground-truth Byzantine mask. A
 	// value of -1 for the counts means the rule did not report a selection
 	// (coordinate-wise rules).
@@ -66,6 +71,10 @@ type RunResult struct {
 	// every round's encoded gradient sizes.
 	WireBytes int64
 
+	// NonFiniteScreened is the run total of submissions dropped by the
+	// non-finite ingest screen.
+	NonFiniteScreened int
+
 	selHonest, selByz     int
 	totalHonest, totalByz int
 	selRounds             int
@@ -75,6 +84,7 @@ type RunResult struct {
 func (r *RunResult) Add(m *RoundMetrics) {
 	r.History = append(r.History, *m)
 	r.WireBytes += m.WireBytes
+	r.NonFiniteScreened += m.NonFiniteScreened
 	if m.Evaluated {
 		if m.TestAccuracy > r.BestAccuracy {
 			r.BestAccuracy = m.TestAccuracy

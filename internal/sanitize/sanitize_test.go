@@ -1,0 +1,91 @@
+package sanitize
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestParsePolicy(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Policy
+	}{
+		{"reject", Reject},
+		{"clamp", Clamp},
+		{"quarantine", Quarantine},
+	} {
+		got, err := ParsePolicy("-nonfinite-policy", tc.in)
+		if err != nil {
+			t.Fatalf("ParsePolicy(%q): %v", tc.in, err)
+		}
+		if got != tc.want {
+			t.Fatalf("ParsePolicy(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+		if got.String() != tc.in {
+			t.Fatalf("Policy(%v).String() = %q, want %q", got, got.String(), tc.in)
+		}
+		if !got.Valid() {
+			t.Fatalf("Policy %v not Valid()", got)
+		}
+	}
+}
+
+func TestParsePolicyRejectsUnknownNamingFlag(t *testing.T) {
+	_, err := ParsePolicy("-nonfinite-policy", "ignore")
+	if err == nil {
+		t.Fatal("ParsePolicy accepted unknown value")
+	}
+	if want := "-nonfinite-policy"; !strings.Contains(err.Error(), want) {
+		t.Fatalf("error %q does not name the flag %q", err, want)
+	}
+}
+
+func TestScreenClean(t *testing.T) {
+	g := []float64{1, -2, 0.5}
+	for _, p := range []Policy{Reject, Clamp, Quarantine} {
+		if v := Screen(g, p); v != Clean {
+			t.Fatalf("Screen(finite, %v) = %v, want Clean", p, v)
+		}
+	}
+}
+
+func TestScreenReject(t *testing.T) {
+	g := []float64{1, math.NaN(), 3}
+	if v := Screen(g, Reject); v != Rejected {
+		t.Fatalf("Screen = %v, want Rejected", v)
+	}
+	if !math.IsNaN(g[1]) {
+		t.Fatal("Reject must not mutate the gradient")
+	}
+}
+
+func TestScreenClampRepairs(t *testing.T) {
+	g := []float64{math.NaN(), math.Inf(1), math.Inf(-1), 2}
+	if v := Screen(g, Clamp); v != Clamped {
+		t.Fatalf("Screen = %v, want Clamped", v)
+	}
+	want := []float64{0, ClampLimit, -ClampLimit, 2}
+	for i := range want {
+		if g[i] != want[i] {
+			t.Fatalf("g[%d] = %v, want %v", i, g[i], want[i])
+		}
+	}
+}
+
+func TestScreenQuarantine(t *testing.T) {
+	g := []float64{math.Inf(1)}
+	if v := Screen(g, Quarantine); v != Quarantined {
+		t.Fatalf("Screen = %v, want Quarantined", v)
+	}
+	if !math.IsInf(g[0], 1) {
+		t.Fatal("Quarantine must not mutate the gradient")
+	}
+}
+
+// Unknown (zero) policy behaves as Reject — the fail-safe direction.
+func TestScreenZeroPolicyRejects(t *testing.T) {
+	if v := Screen([]float64{math.NaN()}, 0); v != Rejected {
+		t.Fatalf("Screen with zero policy = %v, want Rejected", v)
+	}
+}

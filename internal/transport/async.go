@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
@@ -93,6 +94,13 @@ func NewAsyncCodecHandler(agg *asyncfl.Aggregator, accepted []string) (http.Hand
 			var err error
 			grad, err = reg.Decode(*req.Encoded)
 			if err != nil {
+				if errors.Is(err, codec.ErrNonFinite) {
+					// JSON cannot carry a literal NaN, so a payload that
+					// decodes to — or amplifies to — a non-finite gradient is
+					// the wire-level shape of the non-finite attack. Account
+					// it on the aggregator's counters before refusing.
+					agg.NoteNonFiniteReject(req.Client)
+				}
 				http.Error(w, fmt.Sprintf("decoding %s payload: %v", req.Encoded.Codec, err), http.StatusBadRequest)
 				return
 			}

@@ -1,0 +1,148 @@
+package transport
+
+import (
+	"context"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"github.com/signguard/signguard/internal/aggregate"
+	"github.com/signguard/signguard/internal/asyncfl"
+	"github.com/signguard/signguard/internal/codec"
+	"github.com/signguard/signguard/internal/core"
+	"github.com/signguard/signguard/internal/tensor"
+)
+
+// newHostileTestServer spins a real HTTP server over an aggregator defended
+// by SignGuard with the KMeans sign filter — the exact defense the original
+// NaN crash chain ran through (NaN features -> NaN inertia in every KMeans
+// restart -> nil cluster result -> nil deref). The rule is FiniteGuard-
+// wrapped exactly as the defense registry wraps it.
+func newHostileTestServer(t *testing.T, dim int) (*asyncfl.Aggregator, *httptest.Server) {
+	t.Helper()
+	cfg := core.DefaultConfig()
+	cfg.Algo = core.KMeansAlgo
+	rule, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg, err := asyncfl.New(asyncfl.Config{
+		InitialParams: make([]float64, dim),
+		K:             6,
+		Alpha:         0.5,
+		LR:            0.1,
+		Rule:          aggregate.Guard(rule),
+		SessionTTL:    -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewAsyncHandler(agg))
+	t.Cleanup(srv.Close)
+	return agg, srv
+}
+
+// TestAsyncHostileNaNEndToEnd is the deterministic regression for the
+// NaN-gradient crash: hostile non-finite traffic is driven through the full
+// serving path (HTTP client -> handler -> aggregator -> SignGuard-KMeans
+// defense) in every wire shape it can take, and the server must refuse each
+// one, count it, keep aggregating honest traffic, and keep the model
+// finite.
+func TestAsyncHostileNaNEndToEnd(t *testing.T) {
+	dim := 16
+	agg, srv := newHostileTestServer(t, dim)
+	ctx := context.Background()
+
+	// Shape 1: a literal NaN token. JSON cannot represent it, so the body
+	// is malformed and the handler refuses it at the parse layer.
+	resp, err := http.Post(srv.URL+AsyncPathUpdate, "application/json",
+		strings.NewReader(`{"Client":"evil","Grad":[NaN,1,2]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("literal-NaN body: HTTP %d, want 400", resp.StatusCode)
+	}
+
+	// Shape 2: the representable attack — a valid-JSON qsgd payload whose
+	// finite Scale amplifies to +Inf on decode. The handler must refuse it
+	// and account it on the aggregator's non-finite counters.
+	evil := &AsyncClient{Base: srv.URL, ID: "evil"}
+	hostile := codec.Encoded{Codec: codec.QSGD, Dim: dim, Scale: 1e308, Levels: 1, Q: make([]int8, dim)}
+	for i := range hostile.Q {
+		hostile.Q[i] = 127
+	}
+	if _, err := evil.SubmitEncoded(ctx, 0, 0, hostile); err == nil {
+		t.Fatal("amplifying qsgd payload was accepted")
+	} else if !strings.Contains(err.Error(), "400") {
+		t.Fatalf("amplifying qsgd payload: %v, want HTTP 400", err)
+	}
+	st, err := evil.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.NonFiniteRejects != 1 {
+		t.Fatalf("NonFiniteRejects = %d after wire-level refusal, want 1", st.NonFiniteRejects)
+	}
+
+	// Shape 3: a NaN gradient reaching Submit itself (an in-process caller
+	// behind the HTTP boundary). The default Reject screen withholds it.
+	nan := make([]float64, dim)
+	nan[3] = math.NaN()
+	res, err := agg.Submit(asyncfl.Update{Client: "evil", Grad: nan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accepted || !res.NonFinite {
+		t.Fatalf("NaN submit: Accepted=%v NonFinite=%v, want refused+flagged", res.Accepted, res.NonFinite)
+	}
+
+	// Honest traffic interleaved with more hostile payloads: aggregation
+	// must proceed on the honest updates through the SignGuard-KMeans
+	// defense as if the attack were not happening.
+	clients := []*AsyncClient{
+		{Base: srv.URL, ID: "h0"},
+		{Base: srv.URL, ID: "h1"},
+		{Base: srv.URL, ID: "h2"},
+	}
+	for round := 0; round < 4; round++ {
+		evil.SubmitEncoded(ctx, 0, 0, hostile) // refused every time
+		for ci, c := range clients {
+			model, err := c.Model(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			grad := make([]float64, dim)
+			for j := range grad {
+				grad[j] = 0.05*float64(j%5+1) + 0.002*float64(ci)
+			}
+			if _, err := c.Submit(ctx, model.Version, 0, grad); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	st, err = evil.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Steps == 0 {
+		t.Fatalf("no aggregation steps despite 12 honest arrivals: %+v", st)
+	}
+	if st.NonFiniteRejects < 5 {
+		t.Errorf("NonFiniteRejects = %d, want >= 5 (one per hostile payload)", st.NonFiniteRejects)
+	}
+	model, err := clients[0].Model(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.AllFinite(model.Params) {
+		t.Fatalf("model went non-finite under hostile traffic: %v", model.Params)
+	}
+	if tensor.Norm(model.Params) == 0 {
+		t.Error("model never moved: honest traffic did not aggregate")
+	}
+}
