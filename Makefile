@@ -6,7 +6,7 @@ GO ?= go
 # the BENCH_PR.json artifact).
 BENCHFLAGS ?=
 
-.PHONY: all build test race bench bench-gate bench-baseline profile profile-top cover fmt-check doc-check vet dist fuzz
+.PHONY: all build test conformance race bench bench-gate bench-baseline profile profile-top cover fmt-check doc-check vet dist fuzz
 
 # Fuzz budget per target for `make fuzz` (CI passes FUZZTIME=10s; raise it
 # locally for deeper runs, e.g. make fuzz FUZZTIME=2m).
@@ -24,6 +24,15 @@ test: vet
 
 race:
 	$(GO) test -race -short -timeout 15m ./...
+
+# Registry-wide conformance suite (internal/conformance): every registered
+# defense and codec must hold its contract — byte-identical aggregation for
+# any worker count, finite-or-error behavior on hostile inputs, declared
+# hyperparameters and codec round-trip bounds. Run under the race detector
+# with -count=2 so a stateful rule that only misbehaves on reuse (or only
+# races under parallel kernels) still fails; the CI test job runs this.
+conformance:
+	$(GO) test -race -count=2 -timeout 10m -run 'Conformance' ./internal/defense ./internal/codec ./internal/experiments
 
 # Compile and execute every benchmark exactly once: fast enough for a PR
 # gate, and it fails loudly when benchmark code rots. -benchmem adds B/op

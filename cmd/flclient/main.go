@@ -19,6 +19,9 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"maps"
+	"slices"
+	"strings"
 
 	"github.com/signguard/signguard/internal/cliutil"
 	"github.com/signguard/signguard/internal/codec"
@@ -28,6 +31,20 @@ import (
 	"github.com/signguard/signguard/internal/tensor"
 	"github.com/signguard/signguard/internal/transport"
 )
+
+// localByzModes maps every -byzantine mode to the internal/attack registry
+// entry it renders locally. The network setting restricts the adversary to
+// the registry subset that needs no cohort visibility (a real client never
+// sees the other submissions), which is why omniscient attacks like LIE or
+// Min-Max have no mode here. A test pins each value against attack.Builtin
+// and each key against the flag usage string, so neither the doc comment
+// nor the CLI surface can drift from the registry.
+var localByzModes = map[string]string{
+	"signflip":  "Sign-flip",
+	"reverse":   "Reverse",
+	"random":    "Random",
+	"labelflip": "Label-flip",
+}
 
 func main() {
 	var (
@@ -45,6 +62,9 @@ func main() {
 	flag.Parse()
 
 	if err := validateFlags(*id, *clients, *batch, *updates); err != nil {
+		log.Fatalf("flclient: %v", err)
+	}
+	if err := validateByzMode(*byzStr); err != nil {
 		log.Fatalf("flclient: %v", err)
 	}
 	wire, err := buildCodec(*codecStr, *hyperStr, *async)
@@ -69,6 +89,17 @@ func validateFlags(id, clients, batch, updates int) error {
 		return err
 	}
 	return cliutil.NonNegativeInt("-updates", updates)
+}
+
+// validateByzMode rejects unknown -byzantine modes before connecting.
+func validateByzMode(mode string) error {
+	if mode == "" {
+		return nil
+	}
+	if _, ok := localByzModes[mode]; !ok {
+		return fmt.Errorf("unknown -byzantine mode %q (have %s)", mode, strings.Join(slices.Sorted(maps.Keys(localByzModes)), "|"))
+	}
+	return nil
 }
 
 // buildCodec resolves the -codec/-codec-hyper flags to a wire codec

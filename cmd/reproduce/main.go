@@ -11,7 +11,7 @@
 //
 // Experiments: table1, table2, table3, fig2, fig4, fig5, fig6, the
 // post-paper scenario axes (subsample, coordfrac, adaptive, batched,
-// compression), and all. -codec stamps a gradient-compression codec onto
+// compression, hostile, serverlearn), and all. -codec stamps a gradient-compression codec onto
 // every cell of whichever experiment runs (the codec is cell identity, so
 // compressed reruns cache separately).
 package main
@@ -32,7 +32,7 @@ import (
 
 func main() {
 	var (
-		expFlag     = flag.String("exp", "table1", "experiment id: table1|table2|table3|fig2|fig4|fig5|fig6|subsample|coordfrac|adaptive|batched|compression|all")
+		expFlag     = flag.String("exp", "table1", "experiment id: table1|table2|table3|fig2|fig4|fig5|fig6|subsample|coordfrac|adaptive|batched|compression|hostile|serverlearn|all")
 		datasetFlag = flag.String("dataset", "", "table1 only: restrict to one dataset (mnist|fashion|cifar|agnews)")
 		scaleFlag   = flag.String("scale", "bench", "scale preset: bench|standard|full")
 		formatFlag  = flag.String("format", "md", "output format: md|tsv")
@@ -223,6 +223,13 @@ func run(exp, dataset, scaleName, format, outPath string, seed int64, workers in
 		}
 		return emit(t)
 	}
+	runServerLearn := func() error {
+		t, err := experiments.ServerLearn(engine, p)
+		if err != nil {
+			return err
+		}
+		return emit(t)
+	}
 
 	switch exp {
 	case "table1":
@@ -251,9 +258,11 @@ func run(exp, dataset, scaleName, format, outPath string, seed int64, workers in
 		return runCompression()
 	case "hostile":
 		return runHostile()
+	case "serverlearn":
+		return runServerLearn()
 	case "all":
 		for _, f := range []func() error{runFig2, runTable1, runTable2, runFig4, runFig5, runFig6, runTable3,
-			runSubsample, runCoordFrac, runAdaptive, runBatched, runCompression, runHostile} {
+			runSubsample, runCoordFrac, runAdaptive, runBatched, runCompression, runHostile, runServerLearn} {
 			if err := f(); err != nil {
 				return err
 			}

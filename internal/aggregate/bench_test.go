@@ -86,6 +86,31 @@ func BenchmarkMedian(b *testing.B) {
 	})
 }
 
+func BenchmarkFLTrust(b *testing.B) {
+	benchRule(b, 2000, func(n, w int) Rule {
+		rule := &FLTrust{Root: 100, Workers: w}
+		// The server gradient the engine would install each round: the
+		// honest direction, so the trust weighting does real work against
+		// the displaced outlier block.
+		rule.SetServerGradient(benchGrads(n, 2000)[n-1])
+		return rule
+	})
+}
+
+func BenchmarkFLAME(b *testing.B) {
+	benchRule(b, 2000, func(n, w int) Rule {
+		rule := NewFLAME(2, 0.001, 42)
+		rule.Workers = w
+		return rule
+	})
+}
+
+func BenchmarkMoM(b *testing.B) {
+	benchRule(b, 2000, func(n, w int) Rule {
+		return &MedianOfMeans{Workers: w}
+	})
+}
+
 // BenchmarkPairwiseDistancesViaKrumScores isolates the shared distance
 // matrix kernel through its dominant consumer.
 func BenchmarkKrumScores(b *testing.B) {

@@ -1,0 +1,99 @@
+package attack
+
+import "fmt"
+
+// Spec declares one attack in the package's catalog: the canonical
+// user-facing name, the capabilities callers must provision for (history
+// recording, data poisoning), the meaning of the optional scalar parameter,
+// and a constructor.
+//
+// The catalog is the single source of truth for attack enumeration: the
+// experiments tables, the campaign registry and the CLI mode lists are
+// cross-checked against it by tests, so a new attack that is registered
+// here but not surfaced there (or vice versa) fails the build's test gate
+// instead of silently drifting.
+type Spec struct {
+	// Name is the stable catalog key (the tables' column label).
+	Name string
+	// Adaptive reports that the built attack consumes filtering history
+	// (Adversary with NeedsHistory() == true).
+	Adaptive bool
+	// Poisons reports that the built attack implements DataPoisoner.
+	Poisons bool
+	// Param names the scalar parameter New consumes, "" when New ignores
+	// it. Zero always selects the documented default.
+	Param string
+	// New builds a fresh instance. param is the attack's scalar knob (see
+	// Param), seed drives any construction-time randomness.
+	New func(param float64, seed int64) (Attack, error)
+}
+
+// Builtin returns the attack catalog in presentation order: the paper's
+// nine Table I columns, the parameterized ablation attacks, the adaptive
+// round-aware attacks, the non-finite injection family, and the backdoor /
+// model-replacement adversary.
+func Builtin() []Spec {
+	return []Spec{
+		{Name: "NoAttack", New: func(float64, int64) (Attack, error) { return NewNone(), nil }},
+		{Name: "Random", New: func(float64, int64) (Attack, error) { return NewRandom(), nil }},
+		{Name: "Noise", New: func(float64, int64) (Attack, error) { return NewNoise(), nil }},
+		{Name: "Label-flip", Poisons: true, New: func(float64, int64) (Attack, error) { return NewLabelFlip(), nil }},
+		{Name: "ByzMean", New: func(float64, int64) (Attack, error) { return NewByzMean(), nil }},
+		{Name: "Sign-flip", New: func(float64, int64) (Attack, error) { return NewSignFlip(), nil }},
+		{Name: "LIE", Param: "z", New: func(z float64, _ int64) (Attack, error) {
+			if z == 0 {
+				z = 0.3
+			}
+			return NewLIE(z), nil
+		}},
+		{Name: "Min-Max", New: func(float64, int64) (Attack, error) { return NewMinMax(), nil }},
+		{Name: "Min-Sum", New: func(float64, int64) (Attack, error) { return NewMinSum(), nil }},
+		{Name: "Reverse", Param: "scale", New: func(scale float64, _ int64) (Attack, error) {
+			if scale <= 0 {
+				scale = 1
+			}
+			return NewReverse(scale), nil
+		}},
+		{Name: "TimeVarying", Param: "switch_every", New: func(every float64, seed int64) (Attack, error) {
+			switchEvery := int(every)
+			if switchEvery < 1 {
+				switchEvery = 1
+			}
+			tv, err := NewTimeVarying(DefaultTimeVaryingPool(), switchEvery, seed)
+			if err != nil {
+				return nil, err
+			}
+			return tv, nil
+		}},
+		{Name: "Adaptive-Min-Max", Adaptive: true, New: func(float64, int64) (Attack, error) { return NewAdaptiveMinMax(), nil }},
+		{Name: "SignKeep", New: func(float64, int64) (Attack, error) { return NewSignKeeping(), nil }},
+		{Name: "NonFinite-NaN", New: func(float64, int64) (Attack, error) { return NewNonFinite(NaNValue), nil }},
+		{Name: "NonFinite-PosInf", New: func(float64, int64) (Attack, error) { return NewNonFinite(PosInfValue), nil }},
+		{Name: "NonFinite-NegInf", New: func(float64, int64) (Attack, error) { return NewNonFinite(NegInfValue), nil }},
+		{Name: "NonFinite-Sparse", New: func(float64, int64) (Attack, error) { return NewNonFiniteSparse(NaNValue, 0.01), nil }},
+		{Name: "Backdoor", Adaptive: true, Poisons: true, Param: "boost", New: func(boost float64, _ int64) (Attack, error) {
+			// Target class 0; boost 0 selects the documented default λ.
+			return NewBackdoor(0, boost), nil
+		}},
+	}
+}
+
+// BuiltinNames returns the catalog names in presentation order.
+func BuiltinNames() []string {
+	specs := Builtin()
+	out := make([]string, len(specs))
+	for i, s := range specs {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// SpecByName looks up a catalog entry.
+func SpecByName(name string) (Spec, error) {
+	for _, s := range Builtin() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("attack: unknown attack %q", name)
+}

@@ -1,0 +1,55 @@
+package attack
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestBuiltinCatalogContract checks every catalog entry against the
+// capabilities it declares: the constructor builds with defaults, Adaptive
+// matches the instance's history appetite, and Poisons matches whether it
+// implements DataPoisoner. Callers provision history recording and data
+// poisoning off these flags, so a mismatch means an attack silently runs
+// without the machinery it needs.
+func TestBuiltinCatalogContract(t *testing.T) {
+	seen := map[string]bool{}
+	for _, spec := range Builtin() {
+		spec := spec
+		if seen[spec.Name] {
+			t.Errorf("duplicate catalog name %q", spec.Name)
+		}
+		seen[spec.Name] = true
+		t.Run(spec.Name, func(t *testing.T) {
+			att, err := spec.New(0, 1)
+			if err != nil {
+				t.Fatalf("default construction: %v", err)
+			}
+			if att.Name() == "" {
+				t.Error("built attack has an empty Name()")
+			}
+			if got := Promote(att).NeedsHistory(); got != spec.Adaptive {
+				t.Errorf("NeedsHistory() = %v, catalog declares Adaptive=%v", got, spec.Adaptive)
+			}
+			if _, got := att.(DataPoisoner); got != spec.Poisons {
+				t.Errorf("implements DataPoisoner = %v, catalog declares Poisons=%v", got, spec.Poisons)
+			}
+			if _, err := spec.New(0, 1); err != nil {
+				t.Errorf("second construction: %v", err)
+			}
+		})
+	}
+}
+
+// TestSpecByName covers the lookup's hit and miss paths.
+func TestSpecByName(t *testing.T) {
+	s, err := SpecByName("Backdoor")
+	if err != nil || s.Name != "Backdoor" {
+		t.Fatalf("SpecByName(Backdoor) = %+v, %v", s, err)
+	}
+	if _, err := SpecByName("nope"); err == nil || !strings.Contains(err.Error(), "nope") {
+		t.Errorf("missing attack lookup: %v", err)
+	}
+	if len(BuiltinNames()) != len(Builtin()) {
+		t.Error("BuiltinNames out of sync with Builtin")
+	}
+}

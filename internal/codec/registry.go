@@ -30,6 +30,15 @@ type Spec struct {
 	Hyper []string
 	// Build constructs an instance with the given hyperparameters.
 	Build func(p Params) (Codec, error)
+
+	// Lossless declares that Decode(Encode(g)) reproduces g bit for bit.
+	// The conformance suite enforces it.
+	Lossless bool
+	// MinCosine is the minimum cosine similarity a default-configuration
+	// round trip must preserve on dense Gaussian vectors — the lossy
+	// codec's declared error bound, enforced by the conformance suite.
+	// Ignored when Lossless (the bound is exactness).
+	MinCosine float64
 }
 
 // Registry is an ordered name → codec catalog. The zero value is unusable;
@@ -160,24 +169,29 @@ func checkHyper(s Spec, hyper map[string]float64) error {
 // extend the returned registry freely; each call returns a fresh copy.
 func Builtin() *Registry {
 	r := NewRegistry()
-	r.mustRegister(Spec{Name: Identity, Build: func(Params) (Codec, error) {
+	r.mustRegister(Spec{Name: Identity, Lossless: true, Build: func(Params) (Codec, error) {
 		return IdentityCodec{}, nil
 	}})
-	r.mustRegister(Spec{Name: TopK, Hyper: []string{"k"}, Build: func(p Params) (Codec, error) {
+	// Declared MinCosine bounds are deliberately conservative: topk keeps
+	// the dominant squared mass (~0.6 cosine on Gaussian vectors at the
+	// default d/10), qsgd's 4-level grid lands near 0.78 on Gaussian
+	// vectors, and signsgd's sign vector aligns with a Gaussian input at
+	// √(2/π) ≈ 0.80 in expectation.
+	r.mustRegister(Spec{Name: TopK, Hyper: []string{"k"}, MinCosine: 0.4, Build: func(p Params) (Codec, error) {
 		k := int(p.hyper("k", 0))
 		if k < 0 {
 			return nil, fmt.Errorf("codec: topk k %d must be >= 0 (0 = d/10)", k)
 		}
 		return TopKCodec{K: k}, nil
 	}})
-	r.mustRegister(Spec{Name: QSGD, Hyper: []string{"levels"}, Build: func(p Params) (Codec, error) {
+	r.mustRegister(Spec{Name: QSGD, Hyper: []string{"levels"}, MinCosine: 0.7, Build: func(p Params) (Codec, error) {
 		s := int(p.hyper("levels", DefaultQSGDLevels))
 		if s < 1 || s > 127 {
 			return nil, fmt.Errorf("codec: qsgd levels %d out of [1,127]", s)
 		}
 		return QSGDCodec{Levels: s}, nil
 	}})
-	r.mustRegister(Spec{Name: SignSGD, Build: func(Params) (Codec, error) {
+	r.mustRegister(Spec{Name: SignSGD, MinCosine: 0.5, Build: func(Params) (Codec, error) {
 		return SignSGDCodec{}, nil
 	}})
 	return r

@@ -1,0 +1,351 @@
+// Package conformance is the registry-wide contract checker of the defense
+// and codec catalogs. Every registered defense must produce byte-identical
+// aggregates for any worker count, survive hostile (non-finite) input
+// buffers with a finite aggregate or an error, and declare hyperparameters
+// that round-trip through the CLI's key=value syntax; every registered
+// codec must honor its declared round-trip bound (bit-exactness for
+// lossless codecs, a minimum preserved cosine for lossy ones) and reject
+// malformed wire payloads.
+//
+// The checks are plain error-returning functions rather than test helpers,
+// so the per-registry conformance tests can assert both directions: that
+// every shipped entry passes, and — on deliberately broken registries —
+// that a violation is actually caught (the test of the test).
+package conformance
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/signguard/signguard/internal/aggregate"
+	"github.com/signguard/signguard/internal/cliutil"
+	"github.com/signguard/signguard/internal/codec"
+	"github.com/signguard/signguard/internal/defense"
+	"github.com/signguard/signguard/internal/stats"
+	"github.com/signguard/signguard/internal/tensor"
+)
+
+// WorkerCounts are the worker settings every defense must agree across:
+// sequential, the smallest parallel split, and a count that does not divide
+// typical cohort sizes evenly.
+var WorkerCounts = []int{1, 2, 7}
+
+// Cohort is the gradient cohort geometry the defense checks run at.
+const (
+	CohortN   = 12
+	CohortF   = 2
+	CohortDim = 40
+)
+
+// buildRule constructs a fresh instance of the named defense and installs a
+// reference gradient when the rule learns server-side.
+func buildRule(reg *defense.Registry, name string, seed int64, server []float64) (aggregate.Rule, error) {
+	rule, err := reg.Build(name, defense.Params{N: CohortN, F: CohortF, Seed: seed})
+	if err != nil {
+		return nil, fmt.Errorf("build %s: %w", name, err)
+	}
+	if sl, ok := aggregate.Unwrap(rule).(aggregate.ServerLearner); ok {
+		sl.SetServerGradient(server)
+	}
+	return rule, nil
+}
+
+// cohort returns a deterministic Gaussian gradient cohort.
+func cohort(seed int64) [][]float64 {
+	rng := tensor.NewRNG(seed)
+	grads := make([][]float64, CohortN)
+	for i := range grads {
+		grads[i] = tensor.RandNormal(rng, CohortDim, 0, 1)
+	}
+	return grads
+}
+
+// CheckDefenseWorkerDeterminism asserts the determinism contract for one
+// registered defense: a fresh instance per worker count, aggregating the
+// same cohort, must return bit-identical gradients (compared through
+// Float64bits, so -0 vs +0 and NaN payload differences count) and identical
+// selections.
+func CheckDefenseWorkerDeterminism(reg *defense.Registry, name string, seed int64) error {
+	grads := cohort(seed)
+	server := tensor.RandNormal(tensor.NewRNG(seed+1), CohortDim, 0, 1)
+
+	var refGrad []float64
+	var refSel []int
+	for wi, workers := range WorkerCounts {
+		rule, err := buildRule(reg, name, seed, server)
+		if err != nil {
+			return err
+		}
+		if ws, ok := rule.(aggregate.WorkersSetter); ok {
+			ws.SetWorkers(workers)
+		}
+		res, err := rule.Aggregate(tensor.CloneAll(grads))
+		if err != nil {
+			return fmt.Errorf("%s with %d workers: %w", name, workers, err)
+		}
+		if wi == 0 {
+			refGrad, refSel = res.Gradient, res.Selected
+			continue
+		}
+		if len(res.Gradient) != len(refGrad) {
+			return fmt.Errorf("%s: %d workers returned dimension %d, %d workers %d",
+				name, workers, len(res.Gradient), WorkerCounts[0], len(refGrad))
+		}
+		for j := range refGrad {
+			if math.Float64bits(res.Gradient[j]) != math.Float64bits(refGrad[j]) {
+				return fmt.Errorf("%s: coordinate %d differs between %d and %d workers: %v vs %v",
+					name, j, WorkerCounts[0], workers, refGrad[j], res.Gradient[j])
+			}
+		}
+		if len(res.Selected) != len(refSel) {
+			return fmt.Errorf("%s: selection size differs between %d and %d workers: %d vs %d",
+				name, WorkerCounts[0], workers, len(refSel), len(res.Selected))
+		}
+		for j := range refSel {
+			if res.Selected[j] != refSel[j] {
+				return fmt.Errorf("%s: selection differs between %d and %d workers: %v vs %v",
+					name, WorkerCounts[0], workers, refSel, res.Selected)
+			}
+		}
+	}
+	return nil
+}
+
+// HostileBuffers returns named gradient cohorts carrying non-finite values
+// in the shapes attacks actually use: a single poisoned coordinate, a fully
+// poisoned vector, ±Inf spikes, a majority of sparsely poisoned vectors,
+// and an entirely non-finite cohort.
+func HostileBuffers(seed int64) map[string][][]float64 {
+	out := map[string][][]float64{}
+	mk := func(name string, poison func(grads [][]float64)) {
+		grads := cohort(seed)
+		poison(grads)
+		out[name] = grads
+	}
+	mk("one-nan-coord", func(g [][]float64) { g[0][3] = math.NaN() })
+	mk("full-nan-vector", func(g [][]float64) {
+		for j := range g[1] {
+			g[1][j] = math.NaN()
+		}
+	})
+	mk("inf-spikes", func(g [][]float64) {
+		g[0][0] = math.Inf(1)
+		g[2][7] = math.Inf(-1)
+	})
+	mk("majority-sparse-nan", func(g [][]float64) {
+		for i := 0; i < (len(g)+2)/2; i++ {
+			g[i][i%len(g[i])] = math.NaN()
+		}
+	})
+	mk("all-inf", func(g [][]float64) {
+		for i := range g {
+			for j := range g[i] {
+				g[i][j] = math.Inf(1)
+			}
+		}
+	})
+	return out
+}
+
+// CheckDefenseHostileInputs asserts the finite-or-error contract: whatever
+// a defense does with a non-finite cohort, it must either return an error
+// or a fully finite aggregate — never silently emit NaN/±Inf.
+func CheckDefenseHostileInputs(reg *defense.Registry, name string, seed int64) error {
+	server := tensor.RandNormal(tensor.NewRNG(seed+1), CohortDim, 0, 1)
+	for buffer, grads := range HostileBuffers(seed) {
+		rule, err := buildRule(reg, name, seed, server)
+		if err != nil {
+			return err
+		}
+		res, err := rule.Aggregate(grads)
+		if err != nil {
+			continue // rejecting hostile input satisfies the contract
+		}
+		if !tensor.AllFinite(res.Gradient) {
+			return fmt.Errorf("%s emitted a non-finite aggregate on %s without an error", name, buffer)
+		}
+	}
+	return nil
+}
+
+// CheckHyperDeclaration asserts that a spec's declared hyperparameter names
+// survive the CLI syntax: FormatHyper → ParseHyper must reproduce the map
+// exactly (names containing '=' or ',' cannot), and the registry must
+// reject an undeclared name instead of running defaults silently.
+//
+// The declared/unknown probes go through validate, so the same check works
+// for the defense and codec registries.
+func CheckHyperDeclaration(name string, hyper []string, validate func(h map[string]float64) error) error {
+	if len(hyper) > 0 {
+		probe := map[string]float64{}
+		for i, h := range hyper {
+			if h == "" {
+				return fmt.Errorf("%s declares an empty hyperparameter name", name)
+			}
+			probe[h] = float64(i) + 0.5
+		}
+		if len(probe) != len(hyper) {
+			return fmt.Errorf("%s declares duplicate hyperparameter names %v", name, hyper)
+		}
+		parsed, err := cliutil.ParseHyper("conformance", cliutil.FormatHyper(probe))
+		if err != nil {
+			return fmt.Errorf("%s: declared hyperparameters do not survive the CLI syntax: %w", name, err)
+		}
+		if len(parsed) != len(probe) {
+			return fmt.Errorf("%s: CLI round trip kept %d of %d hyperparameters", name, len(parsed), len(probe))
+		}
+		for k, v := range probe {
+			if pv, ok := parsed[k]; !ok || pv != v {
+				return fmt.Errorf("%s: hyperparameter %q did not round-trip through the CLI syntax", name, k)
+			}
+		}
+		if err := validate(probe); err != nil {
+			return fmt.Errorf("%s rejects its own declared hyperparameters: %w", name, err)
+		}
+	}
+	if err := validate(map[string]float64{"conformance_undeclared_probe": 1}); err == nil {
+		return fmt.Errorf("%s accepted an undeclared hyperparameter", name)
+	}
+	return nil
+}
+
+// CheckDefenseHyperDeclaration runs CheckHyperDeclaration against one
+// defense registry entry.
+func CheckDefenseHyperDeclaration(reg *defense.Registry, name string) error {
+	s, err := reg.Lookup(name)
+	if err != nil {
+		return err
+	}
+	return CheckHyperDeclaration("defense "+name, s.Hyper, func(h map[string]float64) error {
+		return reg.ValidateHyper(name, h)
+	})
+}
+
+// CheckCodecHyperDeclaration runs CheckHyperDeclaration against one codec
+// registry entry.
+func CheckCodecHyperDeclaration(reg *codec.Registry, name string) error {
+	s, err := reg.Lookup(name)
+	if err != nil {
+		return err
+	}
+	return CheckHyperDeclaration("codec "+name, s.Hyper, func(h map[string]float64) error {
+		return reg.ValidateHyper(name, h)
+	})
+}
+
+// CodecDim is the vector dimension the codec round-trip checks run at.
+const CodecDim = 64
+
+// CheckCodecRoundTrip asserts a codec's declared round-trip bound on dense
+// Gaussian vectors: a Lossless codec must reproduce the input bit for bit;
+// a lossy codec must preserve at least its declared MinCosine similarity.
+// A codec declaring neither bound fails — every registered codec must state
+// what its round trip guarantees.
+func CheckCodecRoundTrip(reg *codec.Registry, name string, seed int64) error {
+	s, err := reg.Lookup(name)
+	if err != nil {
+		return err
+	}
+	if !s.Lossless && s.MinCosine <= 0 {
+		return fmt.Errorf("codec %s declares no round-trip bound (Lossless or MinCosine)", name)
+	}
+	c, err := reg.Build(name, codec.Params{})
+	if err != nil {
+		return fmt.Errorf("build codec %s: %w", name, err)
+	}
+	rng := tensor.NewRNG(seed)
+	encRng := tensor.NewRNG(seed + 1)
+	for trial := 0; trial < 8; trial++ {
+		g := tensor.RandNormal(rng, CodecDim, 0, 1)
+		enc, err := c.Encode(g, encRng)
+		if err != nil {
+			return fmt.Errorf("codec %s encode (trial %d): %w", name, trial, err)
+		}
+		dec, err := c.Decode(enc)
+		if err != nil {
+			return fmt.Errorf("codec %s decode (trial %d): %w", name, trial, err)
+		}
+		if len(dec) != len(g) {
+			return fmt.Errorf("codec %s round trip changed dimension %d → %d", name, len(g), len(dec))
+		}
+		if !tensor.AllFinite(dec) {
+			return fmt.Errorf("codec %s decoded a non-finite gradient (trial %d)", name, trial)
+		}
+		if s.Lossless {
+			for j := range g {
+				if math.Float64bits(dec[j]) != math.Float64bits(g[j]) {
+					return fmt.Errorf("codec %s declares Lossless but coordinate %d changed: %v → %v",
+						name, j, g[j], dec[j])
+				}
+			}
+			continue
+		}
+		cos, err := stats.CosineSimilarity(g, dec)
+		if err != nil {
+			return fmt.Errorf("codec %s (trial %d): %w", name, trial, err)
+		}
+		if cos < s.MinCosine {
+			return fmt.Errorf("codec %s round trip preserved cosine %.4f, below the declared %.4f (trial %d)",
+				name, cos, s.MinCosine, trial)
+		}
+	}
+	return nil
+}
+
+// MalformedPayloads derives corrupted wire payloads from a valid encoding,
+// mutating whichever payload group the codec actually uses: a negative
+// dimension, truncated arrays, out-of-range sparse indices, and non-finite
+// carriers. Every returned payload must fail to decode.
+func MalformedPayloads(enc codec.Encoded) []codec.Encoded {
+	var bad []codec.Encoded
+	add := func(mutate func(e *codec.Encoded)) {
+		e := enc
+		e.Dense = append([]float64(nil), enc.Dense...)
+		e.Idx = append([]int32(nil), enc.Idx...)
+		e.Val = append([]float64(nil), enc.Val...)
+		e.Q = append([]int8(nil), enc.Q...)
+		e.Sign = append([]byte(nil), enc.Sign...)
+		mutate(&e)
+		bad = append(bad, e)
+	}
+	add(func(e *codec.Encoded) { e.Dim = -4 })
+	if len(enc.Dense) > 0 {
+		add(func(e *codec.Encoded) { e.Dense = e.Dense[:len(e.Dense)-1] })
+		add(func(e *codec.Encoded) { e.Dense[0] = math.Inf(1) })
+	}
+	if len(enc.Idx) > 0 {
+		add(func(e *codec.Encoded) { e.Idx[0] = int32(e.Dim + 5) })
+		add(func(e *codec.Encoded) { e.Val = e.Val[:len(e.Val)-1] })
+		add(func(e *codec.Encoded) { e.Val[0] = math.NaN() })
+	}
+	if len(enc.Q) > 0 {
+		add(func(e *codec.Encoded) { e.Q = e.Q[:len(e.Q)-1] })
+		add(func(e *codec.Encoded) { e.Levels = 0 })
+		add(func(e *codec.Encoded) { e.Scale = math.Inf(1) })
+	}
+	if len(enc.Sign) > 0 {
+		add(func(e *codec.Encoded) { e.Sign = e.Sign[:len(e.Sign)-1] })
+	}
+	return bad
+}
+
+// CheckCodecMalformedRejection asserts that a codec refuses every corrupted
+// variant of its own wire form with an error instead of fabricating a
+// gradient.
+func CheckCodecMalformedRejection(reg *codec.Registry, name string, seed int64) error {
+	c, err := reg.Build(name, codec.Params{})
+	if err != nil {
+		return fmt.Errorf("build codec %s: %w", name, err)
+	}
+	g := tensor.RandNormal(tensor.NewRNG(seed), CodecDim, 0, 1)
+	enc, err := c.Encode(g, tensor.NewRNG(seed+1))
+	if err != nil {
+		return fmt.Errorf("codec %s encode: %w", name, err)
+	}
+	for i, e := range MalformedPayloads(enc) {
+		if _, err := c.Decode(e); err == nil {
+			return fmt.Errorf("codec %s decoded malformed payload %d without an error", name, i)
+		}
+	}
+	return nil
+}

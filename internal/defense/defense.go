@@ -193,8 +193,10 @@ func signGuardConfig(p Params, sim core.Similarity) core.Config {
 var signGuardHyper = []string{"coord_fraction", "lower_bound", "upper_bound"}
 
 // Builtin returns the registry of the paper's ten Table I defenses, in row
-// order. Callers may extend the returned registry freely (e.g. the Table
-// III ablation variants); each call returns a fresh copy.
+// order, followed by the related-work families beyond the paper's table:
+// FLTrust server learning, FLAME-style clustering and the median-of-means
+// neighborhood filter. Callers may extend the returned registry freely
+// (e.g. the Table III ablation variants); each call returns a fresh copy.
 func Builtin() *Registry {
 	r := NewRegistry()
 	r.mustRegister(Spec{Name: "Mean", Build: func(Params) (aggregate.Rule, error) {
@@ -247,6 +249,35 @@ func Builtin() *Registry {
 	}})
 	r.mustRegister(Spec{Name: "SignGuard-Dist", Hyper: signGuardHyper, Build: func(p Params) (aggregate.Rule, error) {
 		return core.New(signGuardConfig(p, core.DistanceSimilarity))
+	}})
+	r.mustRegister(Spec{Name: "FLTrust", Hyper: []string{"root_size", "clip"}, Build: func(p Params) (aggregate.Rule, error) {
+		root := int(p.hyper("root_size", 100))
+		if root < 1 {
+			return nil, fmt.Errorf("defense: FLTrust root_size %d must be >= 1", root)
+		}
+		clip := p.hyper("clip", 0)
+		if clip < 0 || clip >= 1 {
+			return nil, fmt.Errorf("defense: FLTrust clip %v out of [0, 1)", clip)
+		}
+		return aggregate.NewFLTrust(root, clip), nil
+	}})
+	r.mustRegister(Spec{Name: "FLAME", Hyper: []string{"clusters", "sigma"}, Build: func(p Params) (aggregate.Rule, error) {
+		k := int(p.hyper("clusters", 2))
+		if k < 1 {
+			return nil, fmt.Errorf("defense: FLAME clusters %d must be >= 1", k)
+		}
+		sigma := p.hyper("sigma", 0)
+		if sigma < 0 {
+			return nil, fmt.Errorf("defense: FLAME sigma %v must be >= 0", sigma)
+		}
+		return aggregate.NewFLAME(k, sigma, p.Seed), nil
+	}})
+	r.mustRegister(Spec{Name: "MoM", Hyper: []string{"radius"}, Build: func(p Params) (aggregate.Rule, error) {
+		radius := p.hyper("radius", 0)
+		if radius < 0 {
+			return nil, fmt.Errorf("defense: MoM radius %v must be >= 0 (0 = median pairwise distance)", radius)
+		}
+		return aggregate.NewMedianOfMeans(radius), nil
 	}})
 	return r
 }

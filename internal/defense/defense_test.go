@@ -13,6 +13,7 @@ func TestBuiltinNamesOrder(t *testing.T) {
 	want := []string{
 		"Mean", "TrMean", "Median", "GeoMed", "Multi-Krum", "Bulyan",
 		"DnC", "SignGuard", "SignGuard-Sim", "SignGuard-Dist",
+		"FLTrust", "FLAME", "MoM",
 	}
 	got := Builtin().Names()
 	if len(got) != len(want) {
@@ -39,6 +40,11 @@ func TestBuiltinConstructorsBuildAndAggregate(t *testing.T) {
 		}
 		if rule.Name() != name {
 			t.Errorf("%s: rule reports name %q", name, rule.Name())
+		}
+		if sl, ok := aggregate.Unwrap(rule).(aggregate.ServerLearner); ok {
+			// Server-learning rules aggregate against a root-data reference
+			// gradient the engine installs each round.
+			sl.SetServerGradient(grads[0])
 		}
 		res, err := rule.Aggregate(grads)
 		if err != nil {

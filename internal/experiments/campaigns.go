@@ -54,6 +54,12 @@ func Registry() *campaign.Registry {
 		}
 		return attack.NewTimeVarying(attack.DefaultTimeVaryingPool(), switchEvery, c.Params.Seed+29)
 	})
+	// Backdoor's model-replacement boost λ rides the cell's AttackParam
+	// (0 → the attack's documented default), overriding the default-config
+	// registration from the ExtraAttacks loop above.
+	reg.RegisterAttack("Backdoor", func(c campaign.Cell, _ int64) (attack.Attack, error) {
+		return attack.NewBackdoor(0, c.AttackParam), nil
+	})
 	reg.RegisterProbe(SignStatsProbe, newSignStatsProbe)
 	reg.RegisterCodecs(codec.Builtin())
 	return reg
@@ -156,7 +162,7 @@ func CampaignNames() []string {
 	return []string{
 		"table1", "table2", "table3", "fig2", "fig4", "fig5", "fig6",
 		"subsample", "coordfrac", "dncsubdim", "adaptive", "batched",
-		"compression", "hostile", "all",
+		"compression", "hostile", "serverlearn", "all",
 	}
 }
 
@@ -198,6 +204,8 @@ func CampaignByName(name string, p Params) (campaign.Spec, error) {
 		return CompressionSpec(p), nil
 	case "hostile":
 		return HostileSpec(p), nil
+	case "serverlearn":
+		return ServerLearnSpec(p), nil
 	case "all":
 		names := CampaignNames()
 		specs := make([]campaign.Spec, 0, len(names)-1)

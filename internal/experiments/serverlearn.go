@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/signguard/signguard/internal/campaign"
+)
+
+// This file declares the server-learning campaign: the related-work defense
+// families beyond the paper's Table I (FLTrust server learning, FLAME-style
+// clustering, the median-of-means neighborhood filter) against the two
+// adversaries that stress them hardest — the backdoor / model-replacement
+// attack their papers were designed for, and the history-aware
+// Adaptive-Min-Max — at a 30% Byzantine fraction. Mean rides along as the
+// undefended reference row.
+
+// serverLearnRules are the compared rules; Mean last as the reference.
+var serverLearnRules = []string{"FLTrust", "FLAME", "MoM", "Mean"}
+
+// serverLearnAttacks are the campaign's adversaries.
+var serverLearnAttacks = []string{"Backdoor", "Adaptive-Min-Max"}
+
+// serverLearnBoost is the model-replacement factor λ of the campaign's
+// Backdoor cells. The classic replacement scaling is of cohort order
+// (Bagdasaryan et al. use n/η); at the attack's default λ=3 the boosted
+// minority barely moves an 8-client mean, so the grid pins the aggressive
+// setting the defense families were designed against.
+const serverLearnBoost = 10
+
+// ServerLearnByz returns the campaign's Byzantine count: 30% of the cohort.
+func ServerLearnByz(p Params) int {
+	byz := (3 * p.Clients) / 10
+	if byz < 1 {
+		byz = 1
+	}
+	return byz
+}
+
+// ServerLearnSpec declares the server-learning defense grid: each rule ×
+// attack on MNIST with the Byzantine count pinned to 30% of the clients
+// (overriding the Params fraction, so the grid is comparable across
+// parameter scales).
+func ServerLearnSpec(p Params) campaign.Spec {
+	spec := campaign.Spec{Name: "serverlearn"}
+	byz := ServerLearnByz(p)
+	for _, rule := range serverLearnRules {
+		for _, att := range serverLearnAttacks {
+			c := campaign.NewCell("mnist", rule, att, p)
+			c.NumByz = byz
+			if att == "Backdoor" {
+				c.AttackParam = serverLearnBoost
+			}
+			spec.Cells = append(spec.Cells, c)
+		}
+	}
+	return spec
+}
+
+// ServerLearn runs the server-learning campaign and renders final test
+// accuracy per rule × attack (final, not best: a backdoored or destabilized
+// model must pay for late-round damage).
+func ServerLearn(e *campaign.Engine, p Params) (*Table, error) {
+	rep, err := e.Run(context.Background(), ServerLearnSpec(p))
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{Title: fmt.Sprintf("Server-learning defenses — final test accuracy %% (%d/%d Byzantine)",
+		ServerLearnByz(p), p.Clients)}
+	t.Header = append([]string{"Defense"}, serverLearnAttacks...)
+	cur := cursor{results: rep.Results}
+	for _, rule := range serverLearnRules {
+		row := []string{rule}
+		for range serverLearnAttacks {
+			r := cur.next()
+			if r.Diverged {
+				row = append(row, "diverged")
+				continue
+			}
+			row = append(row, fmtAcc(r.FinalAccuracy))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}

@@ -187,6 +187,25 @@ func RuleByName(name string) (RuleSpec, error) {
 	return RuleSpec{}, fmt.Errorf("experiments: unknown rule %q", name)
 }
 
+// tableIRules are the paper's ten Table I row labels, in row order.
+var tableIRules = []string{
+	"Mean", "TrMean", "Median", "GeoMed", "Multi-Krum", "Bulyan",
+	"DnC", "SignGuard", "SignGuard-Sim", "SignGuard-Dist",
+}
+
+// PaperRules returns the ten Table I defense rows — the subset of Rules()
+// the paper's own tables render. The related-work families beyond the
+// table (FLTrust, FLAME, MoM) are evaluated by the serverlearn campaign
+// instead, so Table I keeps the paper's exact shape.
+func PaperRules() []RuleSpec {
+	sel, err := SelectRules(tableIRules...)
+	if err != nil {
+		// The names are static rows of the builtin registry.
+		panic(err)
+	}
+	return sel
+}
+
 // SelectRules filters Rules() to the given names, preserving order.
 func SelectRules(names ...string) ([]RuleSpec, error) {
 	out := make([]RuleSpec, 0, len(names))
@@ -223,15 +242,19 @@ func Attacks() []AttackSpec {
 
 // ExtraAttacks returns the attack strategies beyond the paper's Table I
 // columns: the adaptive round-aware attacks enabled by the pipeline's
-// filtering-feedback channel, and the non-finite injection family of the
-// hostile-input campaign (NaN/±Inf, full-vector and sparse-coordinate).
+// filtering-feedback channel, the sign-preserving white-box attack on
+// SignGuard itself, the non-finite injection family of the hostile-input
+// campaign (NaN/±Inf, full-vector and sparse-coordinate), and the backdoor
+// / model-replacement adversary of the server-learning campaign.
 func ExtraAttacks() []AttackSpec {
 	return []AttackSpec{
 		{Name: "Adaptive-Min-Max", New: func(int64) attack.Attack { return attack.NewAdaptiveMinMax() }},
+		{Name: "SignKeep", New: func(int64) attack.Attack { return attack.NewSignKeeping() }},
 		{Name: "NonFinite-NaN", New: func(int64) attack.Attack { return attack.NewNonFinite(attack.NaNValue) }},
 		{Name: "NonFinite-PosInf", New: func(int64) attack.Attack { return attack.NewNonFinite(attack.PosInfValue) }},
 		{Name: "NonFinite-NegInf", New: func(int64) attack.Attack { return attack.NewNonFinite(attack.NegInfValue) }},
 		{Name: "NonFinite-Sparse", New: func(int64) attack.Attack { return attack.NewNonFiniteSparse(attack.NaNValue, 0.01) }},
+		{Name: "Backdoor", New: func(int64) attack.Attack { return attack.NewBackdoor(0, 0) }},
 	}
 }
 

@@ -59,10 +59,10 @@ func TestSpecLookups(t *testing.T) {
 	}
 
 	rules := Rules()
-	if len(rules) != 10 {
-		t.Fatalf("%d rules, want 10 (Table I rows)", len(rules))
+	if len(rules) != 13 {
+		t.Fatalf("%d rules, want 13 (Table I rows + FLTrust/FLAME/MoM)", len(rules))
 	}
-	if rules[0].Name != "Mean" || rules[len(rules)-1].Name != "SignGuard-Dist" {
+	if rules[0].Name != "Mean" || rules[len(rules)-1].Name != "MoM" {
 		t.Errorf("rule order: %s ... %s", rules[0].Name, rules[len(rules)-1].Name)
 	}
 	if _, err := RuleByName("nope"); err == nil {

@@ -12,7 +12,7 @@ import (
 // fraction, IID data.
 func Table1Spec(ds DatasetSpec, p Params) campaign.Spec {
 	spec := campaign.Spec{Name: "table1-" + ds.Key}
-	for _, rule := range Rules() {
+	for _, rule := range PaperRules() {
 		for _, att := range Attacks() {
 			spec.Cells = append(spec.Cells, campaign.NewCell(ds.Key, rule.Name, att.Name, p))
 		}
@@ -36,7 +36,7 @@ func renderTable1(ds DatasetSpec, results []*campaign.CellResult) *Table {
 	t := &Table{Title: fmt.Sprintf("Table I — %s (best test accuracy %%)", ds.Title)}
 	t.Header = append([]string{"GAR"}, attackNames(attacks)...)
 	cur := cursor{results: results}
-	for _, rule := range Rules() {
+	for _, rule := range PaperRules() {
 		row := []string{rule.Name}
 		for range attacks {
 			row = append(row, fmtAcc(cur.next().BestAccuracy))

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"github.com/signguard/signguard/internal/attack"
 	"github.com/signguard/signguard/internal/data"
 	"github.com/signguard/signguard/internal/nn"
 	"github.com/signguard/signguard/internal/tensor"
@@ -67,6 +68,47 @@ func Evaluate(model nn.Classifier, ds *data.Dataset, examples []data.Example) (f
 		}
 	}
 	return 100 * float64(correct) / float64(len(examples)), nil
+}
+
+// EvaluateASR returns the attack success rate (in percent) of a backdoor
+// trigger: the fraction of examples that the model classifies as target
+// once the trigger is stamped into their input. Examples whose true label
+// already is the target class are excluded — predicting them as target
+// needs no backdoor. triggerLen <= 0 selects attack.DefaultTriggerLen's
+// geometry via StampTrigger's own default.
+func EvaluateASR(model nn.Classifier, ds *data.Dataset, examples []data.Example, target, triggerLen int) (float64, error) {
+	triggered := make([]data.Example, 0, len(examples))
+	for _, e := range examples {
+		if e.Label == target {
+			continue
+		}
+		triggered = append(triggered, attack.StampTrigger(e, triggerLen))
+	}
+	if len(triggered) == 0 {
+		return 0, fmt.Errorf("fl: no non-target examples to evaluate ASR on (target %d)", target)
+	}
+	const chunk = 256
+	var hits int
+	for lo := 0; lo < len(triggered); lo += chunk {
+		hi := lo + chunk
+		if hi > len(triggered) {
+			hi = len(triggered)
+		}
+		in, _, err := BatchInput(ds, triggered[lo:hi])
+		if err != nil {
+			return 0, err
+		}
+		preds, err := model.Predict(in)
+		if err != nil {
+			return 0, err
+		}
+		for _, p := range preds {
+			if p == target {
+				hits++
+			}
+		}
+	}
+	return 100 * float64(hits) / float64(len(triggered)), nil
 }
 
 // EvaluateSample evaluates on at most limit examples drawn deterministically

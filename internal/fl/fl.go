@@ -201,6 +201,14 @@ type Simulation struct {
 	// path; replicas[0] is the main model.
 	replicas []nn.Classifier
 
+	// Server learning (FLTrust-style rules): the defense aggregates against
+	// a reference gradient the server computes each round on its own root
+	// dataset. Both fields are nil unless the rule implements
+	// aggregate.ServerLearner, so classic runs pay nothing and draw no
+	// extra randomness.
+	learner    aggregate.ServerLearner
+	rootClient *Client
+
 	// Adaptive-adversary feedback, recorded only when the adversary
 	// declares NeedsHistory (static attacks pay nothing).
 	adaptive bool
@@ -330,7 +338,7 @@ func New(cfg Config) (*Simulation, error) {
 		replicas[w] = r
 	}
 
-	return &Simulation{
+	s := &Simulation{
 		cfg:      cfg,
 		model:    model,
 		clients:  clients,
@@ -343,7 +351,50 @@ func New(cfg Config) (*Simulation, error) {
 		workers:  workers,
 		replicas: replicas,
 		adaptive: pipe.Adversary.NeedsHistory(),
-	}, nil
+	}
+	if err := s.provisionServerLearner(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// provisionServerLearner detects an aggregate.ServerLearner behind the
+// defense stage (unwrapping the registry's finite guard) and provisions the
+// server's root dataset for it: RootSize examples sampled from the training
+// pool, batched by a sampler on its own derived RNG stream (cfg.Seed+8).
+// The stream exists only for server-learning runs — every other
+// configuration creates no RNG and draws nothing, so its round-by-round
+// randomness is bit-identical to builds that predate the hook.
+func (s *Simulation) provisionServerLearner() error {
+	rd, ok := s.pipe.Defense.(RuleDefense)
+	if !ok {
+		return nil
+	}
+	learner, ok := aggregate.Unwrap(rd.Rule).(aggregate.ServerLearner)
+	if !ok {
+		return nil
+	}
+	rootRng := tensor.NewRNG(s.cfg.Seed + 8)
+	size := learner.RootSize()
+	if size < 1 {
+		size = 1
+	}
+	if size > len(s.cfg.Dataset.Train) {
+		size = len(s.cfg.Dataset.Train)
+	}
+	idx := tensor.SampleIndices(rootRng, len(s.cfg.Dataset.Train), size)
+	root, err := data.Subset(s.cfg.Dataset.Train, idx)
+	if err != nil {
+		return fmt.Errorf("fl: sampling server root dataset: %w", err)
+	}
+	sampler, err := data.NewSampler(rootRng, root)
+	if err != nil {
+		return fmt.Errorf("fl: server root dataset: %w", err)
+	}
+	s.learner = learner
+	// ID -1: the root client is server-side and never participates.
+	s.rootClient = &Client{ID: -1, Sampler: sampler}
+	return nil
 }
 
 // Model returns the global model (parameters reflect the latest round).
@@ -534,6 +585,22 @@ func (s *Simulation) Step(round int) (*RoundMetrics, error) {
 				s.pipe.Codec.Name(), len(g), len(dec))
 		}
 		grads[i] = dec
+	}
+
+	// Server-learning reference gradient (FLTrust-style rules): computed on
+	// the server's root dataset at the current global parameters. The local
+	// compute stages leave s.model positioned at the global vector, and
+	// localGradient zeroes the gradient buffers itself, so this read is
+	// byte-identical for any worker count and perturbs no client stream.
+	if s.rootClient != nil {
+		out := localGradient(&LocalEnv{Dataset: s.cfg.Dataset, BatchSize: s.cfg.BatchSize}, s.model, s.rootClient)
+		if out.Err != nil {
+			return nil, fmt.Errorf("fl: server root gradient: %w", out.Err)
+		}
+		if !gradientHealthy(out.Grad) {
+			return nil, fmt.Errorf("%w: unusable server root gradient in round %d", ErrDiverged, round)
+		}
+		s.learner.SetServerGradient(out.Grad)
 	}
 
 	// Stage 5: defense.
